@@ -1,0 +1,81 @@
+"""Ablation benchmark: decision phase and pre-ordered pruning (Section 5).
+
+Two comparisons back the design of pruneGreedyDP:
+
+* the Euclidean lower bound of Lemma 7 is far cheaper than an exact linear DP
+  insertion (it spends no exact distance query), which is why the decision
+  phase can afford to scan every candidate worker;
+* the pre-ordered pruning of Lemma 8 cuts the number of exact insertions and
+  shortest-distance queries of the planning phase without changing the chosen
+  worker's increased cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.insertion.linear_dp import LinearDPInsertion
+from repro.core.insertion.lower_bound import euclidean_insertion_lower_bound
+from repro.dispatch import DispatcherConfig, GreedyDP, PruneGreedyDP
+from repro.simulation.fleet import FleetState
+from repro.simulation.simulator import run_simulation
+from repro.workloads.scenarios import ScenarioConfig, build_instance, build_network, make_oracle
+
+from benchmarks.conftest import emit
+
+_CONFIG = ScenarioConfig(city="chengdu-like", num_workers=40, num_requests=200, seed=2018)
+_NETWORK = build_network(_CONFIG)
+_ORACLE = make_oracle(_NETWORK, _CONFIG)
+_INSTANCE = build_instance(_CONFIG, network=_NETWORK, oracle=_ORACLE)
+
+
+def _fleet_with_history(num_requests: int = 60) -> FleetState:
+    """A fleet warmed up by dispatching the first requests of the stream."""
+    fleet = FleetState(_INSTANCE.workers, _ORACLE)
+    dispatcher = GreedyDP(DispatcherConfig(grid_cell_metres=2000.0))
+    dispatcher.setup(_INSTANCE, fleet)
+    for request in _INSTANCE.requests[:num_requests]:
+        fleet.advance_all(request.release_time)
+        dispatcher.dispatch(request, request.release_time)
+    return fleet
+
+
+_FLEET = _fleet_with_history()
+_PROBE = _INSTANCE.requests[80]
+_DIRECT = _ORACLE.distance(_PROBE.origin, _PROBE.destination)
+_BUSY_ROUTE = max((state.route for state in _FLEET), key=lambda route: route.num_stops)
+
+
+def test_lower_bound_single_route(benchmark):
+    """Lemma 7 bound on the busiest route of the warmed-up fleet."""
+    benchmark.group = "decision phase (per route)"
+    bound = benchmark(
+        euclidean_insertion_lower_bound, _BUSY_ROUTE, _PROBE, _ORACLE, _DIRECT
+    )
+    assert bound >= 0.0
+
+
+def test_exact_insertion_single_route(benchmark):
+    """Exact linear DP insertion on the same route, for comparison."""
+    benchmark.group = "decision phase (per route)"
+    operator = LinearDPInsertion()
+    benchmark(operator.best_insertion, _BUSY_ROUTE, _PROBE, _ORACLE)
+
+
+@pytest.mark.parametrize("algorithm", [PruneGreedyDP, GreedyDP], ids=["pruneGreedyDP", "GreedyDP"])
+def test_pruning_ablation_full_run(benchmark, algorithm):
+    """Full simulation with and without Lemma 8 pruning; reports saved queries."""
+    benchmark.group = "pruning ablation (full run)"
+
+    def _run():
+        return run_simulation(
+            _INSTANCE, algorithm(DispatcherConfig(grid_cell_metres=2000.0))
+        )
+
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        f"[pruning ablation] {result.algorithm:>14s}: unified cost {result.unified_cost:,.0f}  "
+        f"served {result.served_rate:.1%}  distance queries {result.distance_queries:,}  "
+        f"insertions {result.insertions_evaluated:,}"
+    )
+    assert result.total_requests == _CONFIG.num_requests

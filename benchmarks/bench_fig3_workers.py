@@ -1,0 +1,34 @@
+"""Figure 3 reproduction: performance while varying the number of workers |W|.
+
+Paper findings the series should mirror (Section 6.2, "Impact of Number of
+Workers"): unified cost decreases and served rate increases with more workers
+for every algorithm; pruneGreedyDP attains the lowest unified cost and the
+highest served rate; tshare is fastest but serves the fewest requests;
+pruneGreedyDP issues fewer shortest-distance queries than GreedyDP.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure3_workers
+from repro.experiments.reporting import format_figure
+
+from benchmarks.conftest import bench_experiment, emit, run_figure_once
+
+
+def test_figure3_vary_number_of_workers(benchmark, shared_runner):
+    experiment = bench_experiment()
+    figure = run_figure_once(benchmark, figure3_workers, experiment, shared_runner)
+    emit(format_figure(figure))
+
+    for city in figure.cities():
+        cost = dict(figure.series(city, "pruneGreedyDP", "unified_cost"))
+        served = dict(figure.series(city, "pruneGreedyDP", "served_rate"))
+        values = sorted(cost)
+        # more workers -> lower unified cost and higher served rate
+        assert cost[values[-1]] <= cost[values[0]]
+        assert served[values[-1]] >= served[values[0]]
+
+        # pruneGreedyDP never issues more distance queries than GreedyDP
+        prune_queries = dict(figure.series(city, "pruneGreedyDP", "distance_queries"))
+        plain_queries = dict(figure.series(city, "GreedyDP", "distance_queries"))
+        assert sum(prune_queries.values()) <= sum(plain_queries.values())

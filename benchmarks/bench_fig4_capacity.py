@@ -1,0 +1,32 @@
+"""Figure 4 reproduction: performance while varying the worker capacity K_w.
+
+Paper findings (Section 6.2, "Impact of Capacity of Workers"): larger
+capacities lower the unified cost; pruneGreedyDP keeps the lowest unified cost
+and highest served rate; kinetic degrades sharply (exponential search) as K_w
+grows, which shows up here as rapidly growing response time under its node
+budget.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure4_capacity
+from repro.experiments.reporting import format_figure
+
+from benchmarks.conftest import bench_experiment, emit, run_figure_once
+
+
+def test_figure4_vary_worker_capacity(benchmark, shared_runner):
+    experiment = bench_experiment(cities=("chengdu-like", "nyc-like"))
+    figure = run_figure_once(benchmark, figure4_capacity, experiment, shared_runner)
+    emit(format_figure(figure))
+
+    for city in figure.cities():
+        cost = dict(figure.series(city, "pruneGreedyDP", "unified_cost"))
+        capacities = sorted(cost)
+        # a larger capacity can only help (more sharing opportunities)
+        assert cost[capacities[-1]] <= cost[capacities[0]] * 1.02
+
+        served_prune = dict(figure.series(city, "pruneGreedyDP", "served_rate"))
+        served_tshare = dict(figure.series(city, "tshare", "served_rate"))
+        # pruneGreedyDP serves at least as much as tshare at the default capacity
+        assert served_prune[4] >= served_tshare[4] - 1e-9

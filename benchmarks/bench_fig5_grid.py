@@ -1,0 +1,36 @@
+"""Figure 5 reproduction: performance while varying the grid-index cell size g.
+
+Paper findings (Section 6.2, "Impact of Grid Size"): effectiveness is largely
+insensitive to the grid size; pruneGreedyDP keeps the lowest unified cost and
+the highest served rate; tshare's grid index consumes far more memory than the
+other algorithms' (it stores per-cell sorted lists of all other cells), which
+we report alongside the three standard metrics.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure5_grid_size
+from repro.experiments.reporting import format_figure
+
+from benchmarks.conftest import bench_experiment, emit, run_figure_once
+
+
+def test_figure5_vary_grid_size(benchmark, shared_runner):
+    experiment = bench_experiment()
+    figure = run_figure_once(benchmark, figure5_grid_size, experiment, shared_runner)
+    emit(format_figure(figure))
+
+    for city in figure.cities():
+        # grid-index memory: tshare's sorted-cell lists dominate the plain grid
+        tshare_memory = dict(figure.series(city, "tshare", "index_memory_bytes"))
+        prune_memory = dict(figure.series(city, "pruneGreedyDP", "index_memory_bytes"))
+        for grid_km in tshare_memory:
+            assert tshare_memory[grid_km] > prune_memory[grid_km]
+
+        # finer grids mean more cells and therefore more tshare memory
+        grids = sorted(tshare_memory)
+        assert tshare_memory[grids[0]] >= tshare_memory[grids[-1]]
+
+        # effectiveness is stable across grid sizes for pruneGreedyDP
+        cost = [value for _, value in figure.series(city, "pruneGreedyDP", "unified_cost")]
+        assert max(cost) <= min(cost) * 1.15

@@ -1,0 +1,34 @@
+"""Figure 6 reproduction: performance while varying the delivery deadline e_r.
+
+Paper findings (Section 6.2, "Impact of Deadline"): longer deadlines lower the
+unified cost and raise the served rate for every algorithm; pruneGreedyDP stays
+the most effective; the pruning strategy saves more shortest-distance queries
+as the deadline grows (more candidate workers per request), keeping
+pruneGreedyDP's response time flat where GreedyDP's grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure6_deadline
+from repro.experiments.reporting import format_figure
+
+from benchmarks.conftest import bench_experiment, emit, run_figure_once
+
+
+def test_figure6_vary_deadline(benchmark, shared_runner):
+    experiment = bench_experiment()
+    figure = run_figure_once(benchmark, figure6_deadline, experiment, shared_runner)
+    emit(format_figure(figure))
+
+    for city in figure.cities():
+        served = dict(figure.series(city, "pruneGreedyDP", "served_rate"))
+        cost = dict(figure.series(city, "pruneGreedyDP", "unified_cost"))
+        deadlines = sorted(served)
+        # longer deadlines -> more served requests and lower unified cost
+        assert served[deadlines[-1]] >= served[deadlines[0]]
+        assert cost[deadlines[-1]] <= cost[deadlines[0]]
+
+        # Lemma 8 pruning saves exact queries versus GreedyDP at the longest deadline
+        prune_queries = dict(figure.series(city, "pruneGreedyDP", "distance_queries"))
+        plain_queries = dict(figure.series(city, "GreedyDP", "distance_queries"))
+        assert prune_queries[deadlines[-1]] <= plain_queries[deadlines[-1]]

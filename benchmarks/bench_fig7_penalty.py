@@ -1,0 +1,30 @@
+"""Figure 7 reproduction: performance while varying the penalty factor p_r.
+
+Paper findings (Section 6.2, "Impact of Penalty"): the unified cost of every
+algorithm grows with the penalty factor (unserved requests cost more), with
+pruneGreedyDP staying the smallest — i.e. it remains competitive when the
+objective leans towards revenue maximisation with varying c_r / c_w ratios.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure7_penalty
+from repro.experiments.reporting import format_figure
+
+from benchmarks.conftest import bench_experiment, emit, run_figure_once
+
+
+def test_figure7_vary_penalty(benchmark, shared_runner):
+    experiment = bench_experiment()
+    figure = run_figure_once(benchmark, figure7_penalty, experiment, shared_runner)
+    emit(format_figure(figure))
+
+    for city in figure.cities():
+        cost = dict(figure.series(city, "pruneGreedyDP", "unified_cost"))
+        factors = sorted(cost)
+        # a higher penalty factor can only increase the unified cost
+        assert cost[factors[-1]] >= cost[factors[0]]
+
+        # pruneGreedyDP stays no worse than tshare at the largest penalty
+        tshare_cost = dict(figure.series(city, "tshare", "unified_cost"))
+        assert cost[factors[-1]] <= tshare_cost[factors[-1]] * 1.01

@@ -1,0 +1,50 @@
+"""Empirical hardness benchmark (Section 3.3): the competitive ratio is unbounded.
+
+For each of the three lemmas, the adversarial cycle-graph distribution is
+sampled for growing |V| and a real online dispatcher (pruneGreedyDP) is run on
+every draw. The expected-cost ratio against the clairvoyant optimum must grow
+with |V| — the executable counterpart of "no constant competitive ratio".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hardness import estimate_competitive_ratio
+from repro.dispatch import DispatcherConfig, PruneGreedyDP
+from repro.simulation.simulator import run_simulation
+
+from benchmarks.conftest import emit
+
+SIZES = [8, 16, 32, 64]
+TRIALS = 20
+
+
+def _run_dispatcher(instance):
+    result = run_simulation(instance, PruneGreedyDP(DispatcherConfig(grid_cell_metres=50.0)))
+    return result.unified_cost, result.served_requests
+
+
+@pytest.mark.parametrize("lemma", [1, 2, 3])
+def test_hardness_ratio_grows_with_cycle_size(benchmark, lemma):
+    benchmark.group = f"hardness lemma {lemma}"
+
+    def _sweep():
+        return [
+            estimate_competitive_ratio(lemma, size, _run_dispatcher, trials=TRIALS, seed=2018)
+            for size in SIZES
+        ]
+
+    estimates = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [f"Lemma {lemma}: empirical E[ALG]/E[OPT] on cycle graphs"]
+    for estimate in estimates:
+        lines.append(
+            f"  |V|={estimate.num_vertices:>3d}  E[ALG]={estimate.mean_algorithm_cost:>10.2f}  "
+            f"E[OPT]={estimate.mean_optimal_cost:>10.2f}  unserved={estimate.unserved_fraction:.0%}"
+        )
+    emit("\n".join(lines))
+
+    # the online algorithm misses the adversarial request more and more often
+    assert estimates[-1].unserved_fraction >= estimates[0].unserved_fraction
+    # and its expected cost does not vanish while the optimum stays bounded
+    assert estimates[-1].mean_algorithm_cost > 0.0

@@ -1,0 +1,53 @@
+"""Table 4 and Table 5 reproduction: dataset statistics and parameter settings.
+
+Table 4 of the paper lists #requests, #vertices and #edges of the NYC and
+Chengdu datasets. The synthetic stand-ins are far smaller (see DESIGN.md for
+the substitution rationale) but keep the two-city structure: the NYC-like grid
+is several times larger than the Chengdu-like ring-radial city. Table 5 lists
+the swept parameters; we print the paper's values next to the scaled values the
+benchmarks actually use.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import table4_datasets, table5_parameters
+from repro.workloads.scenarios import ScenarioConfig, build_network
+
+from benchmarks.conftest import bench_experiment, emit
+from repro.experiments.reporting import format_table
+
+
+def test_table4_dataset_statistics(benchmark):
+    """Build both synthetic cities and report the Table 4 statistics."""
+    experiment = bench_experiment()
+
+    def _build():
+        return table4_datasets(experiment)
+
+    rows = benchmark.pedantic(_build, rounds=1, iterations=1)
+    emit("Table 4 — dataset statistics (synthetic stand-ins)\n" + format_table(rows))
+    by_city = {row["dataset"]: row for row in rows}
+    assert by_city["nyc-like"]["vertices"] > by_city["chengdu-like"]["vertices"]
+    assert by_city["nyc-like"]["requests"] > by_city["chengdu-like"]["requests"]
+
+
+def test_table5_parameter_settings(benchmark):
+    """Report the Table 5 parameter grid (paper values vs. scaled values)."""
+    experiment = bench_experiment()
+    rows = benchmark.pedantic(lambda: table5_parameters(experiment), rounds=1, iterations=1)
+    emit("Table 5 — parameter settings\n" + format_table(rows))
+    assert any("grid size" in str(row["parameter"]) for row in rows)
+
+
+def test_network_construction_nyc_like(benchmark):
+    """Time the construction of the larger (NYC-like) synthetic road network."""
+    benchmark.group = "network construction"
+    network = benchmark(build_network, ScenarioConfig(city="nyc-like"))
+    assert network.num_vertices > 1000
+
+
+def test_network_construction_chengdu_like(benchmark):
+    """Time the construction of the smaller (Chengdu-like) synthetic road network."""
+    benchmark.group = "network construction"
+    network = benchmark(build_network, ScenarioConfig(city="chengdu-like"))
+    assert network.num_vertices > 100

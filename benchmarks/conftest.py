@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure of the paper's evaluation has a corresponding
+``bench_fig*_*.py`` module. The heavy lifting (building the synthetic cities,
+running the sweeps) is delegated to :mod:`repro.experiments`; the modules here
+only decide the scale (the ``REPRO_BENCH_SCALE`` environment variable, default
+``small``), wrap the sweep in the pytest-benchmark fixture so timings land in
+the benchmark table, and print the paper-style series so the run log doubles as
+the data for ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.dispatch.base import DispatcherConfig
+from repro.experiments.config import ExperimentConfig, PAPER_ALGORITHMS
+from repro.experiments.runner import ScenarioRunner
+
+#: scale preset used by the figure benchmarks; override with REPRO_BENCH_SCALE.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+#: cities compared in every figure, mirroring the paper (Chengdu and NYC).
+BENCH_CITIES = ("chengdu-like", "nyc-like")
+
+
+def bench_experiment(
+    cities=BENCH_CITIES,
+    algorithms=tuple(PAPER_ALGORITHMS),
+    scale: str = BENCH_SCALE,
+    **extra,
+) -> ExperimentConfig:
+    """Experiment configuration shared by the figure benchmarks."""
+    return ExperimentConfig(cities=tuple(cities), algorithms=tuple(algorithms), scale=scale, **extra)
+
+
+@pytest.fixture(scope="session")
+def shared_runner() -> ScenarioRunner:
+    """One runner for the whole benchmark session so city/oracle builds are reused."""
+    return ScenarioRunner(DispatcherConfig(kinetic_node_budget=4000))
+
+
+def emit(text: str) -> None:
+    """Print a report block so it is captured in the benchmark run log."""
+    sys.stdout.write("\n" + text + "\n")
+    sys.stdout.flush()
+
+
+def run_figure_once(benchmark, figure_function, experiment, runner):
+    """Run a figure sweep exactly once under the benchmark fixture and report it."""
+    result_holder = {}
+
+    def _run():
+        result_holder["figure"] = figure_function(experiment, runner)
+        return result_holder["figure"]
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+    return result_holder["figure"]

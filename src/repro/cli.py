@@ -1,0 +1,172 @@
+"""Command-line interface for the URPSM reproduction.
+
+Four sub-commands cover the common workflows::
+
+    python -m repro simulate  --city chengdu-like --algorithm pruneGreedyDP
+    python -m repro compare   --city nyc-like --scale tiny
+    python -m repro figure    figure3 --scale tiny --output results/fig3.json
+    python -m repro datasets  --scale small
+
+``simulate`` runs one algorithm on one scenario; ``compare`` runs the paper's
+five algorithms on the same scenario and prints the comparison table;
+``figure`` reproduces one of Figures 3-7 and optionally writes the raw series
+to JSON/CSV/Markdown; ``datasets`` prints the Table 4 statistics of the
+synthetic cities.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.dispatch import ALGORITHMS, DispatcherConfig, make_dispatcher
+from repro.experiments.config import ExperimentConfig, PAPER_ALGORITHMS, SCALES
+from repro.experiments.figures import FIGURES
+from repro.experiments.io import figure_to_markdown, save_figure_csv, save_figure_json
+from repro.experiments.reporting import format_figure, format_results, format_table
+from repro.experiments.runner import ScenarioRunner
+from repro.experiments.tables import table4_datasets, table5_parameters
+from repro.simulation.simulator import run_simulation
+from repro.workloads.scenarios import CITY_BUILDERS, ScenarioConfig, build_instance
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Unified Approach to Route Planning for Shared Mobility'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="run one algorithm on one scenario")
+    _add_scenario_arguments(simulate)
+    simulate.add_argument("--algorithm", default="pruneGreedyDP", choices=sorted(ALGORITHMS))
+
+    compare = subparsers.add_parser("compare", help="compare the paper's algorithms on one scenario")
+    _add_scenario_arguments(compare)
+    compare.add_argument("--algorithms", nargs="*", default=PAPER_ALGORITHMS,
+                         choices=sorted(ALGORITHMS))
+
+    figure = subparsers.add_parser("figure", help="reproduce one of Figures 3-7")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    figure.add_argument("--cities", nargs="*", default=["chengdu-like", "nyc-like"],
+                        choices=sorted(CITY_BUILDERS))
+    figure.add_argument("--algorithms", nargs="*", default=PAPER_ALGORITHMS,
+                        choices=sorted(ALGORITHMS))
+    figure.add_argument("--seed", type=int, default=2018)
+    figure.add_argument("--output", type=Path, default=None,
+                        help="write the raw series to this path (.json, .csv or .md)")
+
+    datasets = subparsers.add_parser("datasets", help="print Table 4 / Table 5 of the paper")
+    datasets.add_argument("--scale", default="small", choices=sorted(SCALES))
+    datasets.add_argument("--seed", type=int, default=2018)
+
+    return parser
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--city", default="chengdu-like", choices=sorted(CITY_BUILDERS))
+    parser.add_argument("--workers", type=int, default=40)
+    parser.add_argument("--requests", type=int, default=250)
+    parser.add_argument("--capacity", type=int, default=4)
+    parser.add_argument("--deadline-minutes", type=float, default=10.0)
+    parser.add_argument("--penalty-factor", type=float, default=10.0)
+    parser.add_argument("--alpha", type=float, default=1.0)
+    parser.add_argument("--grid-km", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=2018)
+
+
+def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(
+        city=args.city,
+        num_workers=args.workers,
+        num_requests=args.requests,
+        worker_capacity=args.capacity,
+        deadline_minutes=args.deadline_minutes,
+        penalty_factor=args.penalty_factor,
+        alpha=args.alpha,
+        grid_km=args.grid_km,
+        seed=args.seed,
+    )
+
+
+# ------------------------------------------------------------------- commands
+
+
+def command_simulate(args: argparse.Namespace) -> int:
+    config = _scenario_from_args(args)
+    instance = build_instance(config)
+    dispatcher = make_dispatcher(
+        args.algorithm, DispatcherConfig(grid_cell_metres=config.grid_km * 1000.0)
+    )
+    result = run_simulation(instance, dispatcher)
+    print(format_results([result]))
+    return 0
+
+
+def command_compare(args: argparse.Namespace) -> int:
+    config = _scenario_from_args(args)
+    runner = ScenarioRunner(DispatcherConfig())
+    results = runner.compare(config, list(args.algorithms))
+    print(format_results(results))
+    return 0
+
+
+def command_figure(args: argparse.Namespace) -> int:
+    experiment = ExperimentConfig(
+        cities=tuple(args.cities),
+        algorithms=tuple(args.algorithms),
+        scale=args.scale,
+        seed=args.seed,
+    )
+    figure = FIGURES[args.name](experiment, ScenarioRunner(DispatcherConfig()))
+    print(format_figure(figure))
+    if args.output is not None:
+        _write_figure(figure, args.output)
+        print(f"\nwritten: {args.output}")
+    return 0
+
+
+def _write_figure(figure, output: Path) -> None:
+    suffix = output.suffix.lower()
+    if suffix == ".json":
+        save_figure_json(figure, output)
+    elif suffix == ".csv":
+        save_figure_csv(figure, output)
+    elif suffix in (".md", ".markdown"):
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(figure_to_markdown(figure), encoding="utf-8")
+    else:
+        raise ValueError(f"unsupported output format {suffix!r}; use .json, .csv or .md")
+
+
+def command_datasets(args: argparse.Namespace) -> int:
+    experiment = ExperimentConfig(scale=args.scale, seed=args.seed)
+    print("Table 4 — dataset statistics (synthetic stand-ins)")
+    print(format_table(table4_datasets(experiment)))
+    print()
+    print("Table 5 — parameter settings")
+    print(format_table(table5_parameters(experiment)))
+    return 0
+
+
+_COMMANDS = {
+    "simulate": command_simulate,
+    "compare": command_compare,
+    "figure": command_figure,
+    "datasets": command_datasets,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

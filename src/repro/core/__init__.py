@@ -1,0 +1,49 @@
+"""Core URPSM model: entities, routes, insertion operators, objective, hardness."""
+
+from repro.core.instance import URPSMInstance
+from repro.core.insertion import (
+    BasicInsertion,
+    InsertionOperator,
+    InsertionResult,
+    LinearDPInsertion,
+    NaiveDPInsertion,
+    euclidean_insertion_lower_bound,
+)
+from repro.core.objective import (
+    ObjectiveConfig,
+    PenaltyPolicy,
+    max_revenue_objective,
+    max_served_requests_objective,
+    min_total_distance_objective,
+    paper_default_objective,
+    platform_revenue,
+    unified_cost,
+)
+from repro.core.route import Route, empty_route
+from repro.core.types import Request, Stop, StopKind, Worker, dropoff_stop, pickup_stop
+
+__all__ = [
+    "URPSMInstance",
+    "BasicInsertion",
+    "InsertionOperator",
+    "InsertionResult",
+    "LinearDPInsertion",
+    "NaiveDPInsertion",
+    "euclidean_insertion_lower_bound",
+    "ObjectiveConfig",
+    "PenaltyPolicy",
+    "max_revenue_objective",
+    "max_served_requests_objective",
+    "min_total_distance_objective",
+    "paper_default_objective",
+    "platform_revenue",
+    "unified_cost",
+    "Route",
+    "empty_route",
+    "Request",
+    "Stop",
+    "StopKind",
+    "Worker",
+    "dropoff_stop",
+    "pickup_stop",
+]

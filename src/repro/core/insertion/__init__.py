@@ -1,0 +1,17 @@
+"""Insertion operators: basic O(n^3), naive DP O(n^2), linear DP O(n), and the
+Euclidean lower bound used by the decision phase."""
+
+from repro.core.insertion.base import InsertionOperator, InsertionResult
+from repro.core.insertion.basic import BasicInsertion
+from repro.core.insertion.linear_dp import LinearDPInsertion
+from repro.core.insertion.lower_bound import euclidean_insertion_lower_bound
+from repro.core.insertion.naive_dp import NaiveDPInsertion
+
+__all__ = [
+    "InsertionOperator",
+    "InsertionResult",
+    "BasicInsertion",
+    "NaiveDPInsertion",
+    "LinearDPInsertion",
+    "euclidean_insertion_lower_bound",
+]

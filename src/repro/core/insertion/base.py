@@ -1,0 +1,140 @@
+"""Shared interface of the insertion operators (Definition 6 of the paper).
+
+Given a worker's current route ``S_w`` and a new request ``r``, an insertion
+operator finds the feasible positions ``(i, j)`` for the pickup and drop-off of
+``r`` that minimise the increased travel cost, keeping the relative order of
+the existing stops unchanged.
+
+Three operators are provided, matching Section 4 of the paper:
+
+====================  =========================  ==========================
+Operator              Time complexity            Module
+====================  =========================  ==========================
+``BasicInsertion``    O(n^3)                      :mod:`repro.core.insertion.basic`
+``NaiveDPInsertion``  O(n^2)                      :mod:`repro.core.insertion.naive_dp`
+``LinearDPInsertion`` O(n)                        :mod:`repro.core.insertion.linear_dp`
+====================  =========================  ==========================
+
+All three return the same minimal increased cost (property-tested); they differ
+only in running time and in the number of shortest-distance queries issued.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.core.route import Route
+from repro.core.types import Request
+from repro.network.oracle import DistanceOracle
+
+INFINITY = math.inf
+
+
+@dataclass(frozen=True, slots=True)
+class InsertionResult:
+    """Outcome of a best-insertion search.
+
+    Attributes:
+        feasible: whether any feasible insertion exists.
+        delta: minimal increased travel cost ``Δ*`` (``inf`` when infeasible).
+        pickup_index: best pickup position ``i`` (``-1`` when infeasible).
+        dropoff_index: best drop-off position ``j`` (``-1`` when infeasible).
+        distance_queries: exact shortest-distance queries the operator issued.
+    """
+
+    feasible: bool
+    delta: float
+    pickup_index: int
+    dropoff_index: int
+    distance_queries: int = 0
+
+    @staticmethod
+    def infeasible(distance_queries: int = 0) -> "InsertionResult":
+        """The canonical "no feasible insertion" result."""
+        return InsertionResult(
+            feasible=False,
+            delta=INFINITY,
+            pickup_index=-1,
+            dropoff_index=-1,
+            distance_queries=distance_queries,
+        )
+
+
+class InsertionOperator(abc.ABC):
+    """Abstract best-insertion search over a single worker's route."""
+
+    #: Human-readable operator name used in benchmark reports.
+    name: str = "insertion"
+
+    @abc.abstractmethod
+    def best_insertion(
+        self, route: Route, request: Request, oracle: DistanceOracle
+    ) -> InsertionResult:
+        """Find the feasible insertion of ``request`` with minimal increased cost.
+
+        The route's auxiliary arrays must be up to date (call
+        :meth:`repro.core.route.Route.refresh` after any modification); the
+        operator itself never mutates ``route``.
+        """
+
+    def insert(
+        self, route: Route, request: Request, oracle: DistanceOracle
+    ) -> tuple[Route | None, InsertionResult]:
+        """Search for the best insertion and, if feasible, apply it.
+
+        Returns:
+            ``(new_route, result)`` where ``new_route`` is ``None`` when no
+            feasible insertion exists.
+        """
+        result = self.best_insertion(route, request, oracle)
+        if not result.feasible:
+            return None, result
+        new_route = route.with_insertion(
+            request, result.pickup_index, result.dropoff_index, oracle
+        )
+        return new_route, result
+
+
+class _PairwiseDistances:
+    """Per-call memo of the distances between route stops and o_r / d_r.
+
+    Caching these keeps the DP operators at the 2n+1 exact queries of Lemma 9
+    instead of re-querying the oracle for every (i, j) pair.
+    """
+
+    def __init__(self, route: Route, request: Request, oracle: DistanceOracle) -> None:
+        self._route = route
+        self._request = request
+        self._oracle = oracle
+        self._to_origin: dict[int, float] = {}
+        self._to_destination: dict[int, float] = {}
+        self.queries = 0
+        # L = dis(o_r, d_r): exactly one query, shared with ddl computations.
+        self.direct = route.direct_distance(request, oracle)
+        self.queries += 1
+
+    def to_origin(self, index: int) -> float:
+        """dis(l_index, o_r)."""
+        value = self._to_origin.get(index)
+        if value is None:
+            value = self._oracle.distance(self._route.vertex_at(index), self._request.origin)
+            self._to_origin[index] = value
+            self.queries += 1
+        return value
+
+    def to_destination(self, index: int) -> float:
+        """dis(l_index, d_r)."""
+        value = self._to_destination.get(index)
+        if value is None:
+            value = self._oracle.distance(
+                self._route.vertex_at(index), self._request.destination
+            )
+            self._to_destination[index] = value
+            self.queries += 1
+        return value
+
+    def leg(self, index: int) -> float:
+        """dis(l_index, l_{index+1}) recovered from the ``arr`` array (no query)."""
+        return self._route.arr[index + 1] - self._route.arr[index]

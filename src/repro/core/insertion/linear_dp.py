@@ -1,0 +1,142 @@
+"""Linear DP insertion (Algorithm 3 of the paper): O(n) time and memory.
+
+The operator never enumerates pickup/drop-off pairs. For every drop-off
+position ``j`` it combines
+
+* the drop-off detour ``det(l_j, d_r, l_{j+1})`` (constant for a fixed ``j``),
+* with ``Dio[j] = min_{i < j} det(l_i, o_r, l_{i+1})``, the cheapest feasible
+  pickup detour before ``j``, maintained incrementally by the dynamic program
+  of Eq. (11)-(12),
+
+and checks feasibility through Corollary 1. The special cases ``i = j``
+(Fig. 2a / 2b) are evaluated directly, as in Algorithm 2. Lemma 6 guarantees
+that whenever the recorded best pickup ``Plc[j]`` violates a constraint, no
+other pickup position can help, so a single candidate per ``j`` suffices.
+
+Deviation from the paper's pseudo-code: the early-exit of line 8
+(``arr[j] + dis(o_r, d_r) > e_r``) is not provably safe for the general
+``i < j`` case on road networks, so the default uses the provably safe
+``arr[j] > e_r`` (any later drop-off happens after visiting ``l_j``). The
+paper's more aggressive break is available via ``aggressive_break=True`` and is
+exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.core.insertion.base import (
+    INFINITY,
+    InsertionOperator,
+    InsertionResult,
+    _PairwiseDistances,
+)
+from repro.core.route import Route
+from repro.core.types import Request
+from repro.network.oracle import DistanceOracle
+
+
+class LinearDPInsertion(InsertionOperator):
+    """Linear-time best-insertion via the pickup-detour dynamic program.
+
+    Args:
+        aggressive_break: use the paper's stronger (but potentially lossy)
+            early-exit condition instead of the conservative one.
+    """
+
+    name = "linear-dp"
+
+    def __init__(self, aggressive_break: bool = False) -> None:
+        self.aggressive_break = aggressive_break
+
+    def best_insertion(
+        self, route: Route, request: Request, oracle: DistanceOracle
+    ) -> InsertionResult:
+        worker = route.worker
+        if request.capacity > worker.capacity:
+            return InsertionResult.infeasible()
+        if len(route.arr) != route.num_stops + 1:
+            route.refresh(oracle)
+
+        n = route.num_stops
+        arr, slack, picked = route.arr, route.slack, route.picked
+        free_capacity = worker.capacity - request.capacity
+        deadline = request.deadline
+
+        distances = _PairwiseDistances(route, request, oracle)
+        direct = distances.direct
+
+        best_delta = INFINITY
+        best_pair: tuple[int, int] | None = None
+
+        # Dio[j] / Plc[j] of Eq. (11)-(12), maintained incrementally: at the
+        # start of iteration ``j`` they describe the cheapest feasible pickup
+        # detour among i < j.
+        dio = INFINITY
+        plc = -1
+
+        for j in range(n + 1):
+            dist_j_origin = distances.to_origin(j)
+            dist_j_destination = distances.to_destination(j)
+
+            # ---- special cases i = j (Fig. 2a when j = n, Fig. 2b otherwise)
+            if picked[j] <= free_capacity and arr[j] + dist_j_origin + direct <= deadline + 1e-9:
+                if j == n:
+                    delta_same = dist_j_origin + direct
+                else:
+                    delta_same = (
+                        dist_j_origin
+                        + direct
+                        + distances.to_destination(j + 1)
+                        - distances.leg(j)
+                    )
+                if delta_same <= slack[j] + 1e-9 and delta_same < best_delta - 1e-9:
+                    best_delta = delta_same
+                    best_pair = (j, j)
+
+            # ---- general case i < j via the DP state (Corollary 1)
+            if j > 0 and dio < INFINITY:
+                if j == n:
+                    detour_destination = dist_j_destination
+                else:
+                    detour_destination = (
+                        dist_j_destination
+                        + distances.to_destination(j + 1)
+                        - distances.leg(j)
+                    )
+                capacity_ok = picked[j] <= free_capacity
+                deadline_ok = arr[j] + dio + dist_j_destination <= deadline + 1e-9
+                slack_ok = dio + detour_destination <= slack[j] + 1e-9
+                if capacity_ok and deadline_ok and slack_ok:
+                    delta_split = detour_destination + dio
+                    if delta_split < best_delta - 1e-9:
+                        best_delta = delta_split
+                        best_pair = (plc, j)
+
+            # ---- early exit (line 8 of Algorithm 3)
+            if self.aggressive_break:
+                if arr[j] + direct > deadline:
+                    break
+            elif arr[j] > deadline:
+                break
+
+            # ---- extend the DP state to j + 1 (Eq. 11-12)
+            if j < n:
+                if picked[j] > free_capacity:
+                    dio = INFINITY
+                    plc = -1
+                else:
+                    detour_origin = (
+                        dist_j_origin + distances.to_origin(j + 1) - distances.leg(j)
+                    )
+                    if detour_origin <= slack[j] + 1e-9 and detour_origin < dio:
+                        dio = detour_origin
+                        plc = j
+
+        if best_pair is None:
+            return InsertionResult.infeasible(distance_queries=distances.queries)
+        return InsertionResult(
+            feasible=True,
+            delta=best_delta,
+            pickup_index=best_pair[0],
+            dropoff_index=best_pair[1],
+            distance_queries=distances.queries,
+        )

@@ -1,0 +1,125 @@
+"""Euclidean lower bound on the minimal insertion cost (Section 5.1, Lemma 7).
+
+The decision phase of ``pruneGreedyDP`` must estimate, for every candidate
+worker, how much the best feasible insertion would increase the route cost —
+*without* spending exact shortest-distance queries. The paper derives a lower
+bound ``LB_{Δ*}`` by re-running the linear DP insertion with three changes:
+
+* every unknown shortest distance is replaced by the admissible Euclidean
+  bound (here: straight-line metres divided by the maximum network speed, so
+  the bound stays valid in travel-time units);
+* distances between consecutive route stops are recovered from the ``arr``
+  array, costing no query at all;
+* the only exact query is ``L = dis(o_r, d_r)``, computed once per request and
+  shared by all workers (Algorithm 4, line 1).
+
+Because the bound relaxes both the costs and the feasibility checks, it never
+exceeds the true minimal increased cost of a feasible insertion; if even the
+relaxed problem admits no insertion, ``inf`` is returned and the worker can be
+skipped outright.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.route import Route
+from repro.core.types import Request
+from repro.network.oracle import DistanceOracle
+
+INFINITY = math.inf
+
+
+def euclidean_insertion_lower_bound(
+    route: Route,
+    request: Request,
+    oracle: DistanceOracle,
+    direct_distance: float,
+) -> float:
+    """Lower bound on the minimal increased cost of inserting ``request``.
+
+    Args:
+        route: the worker's current route with fresh auxiliary arrays.
+        request: the new request.
+        oracle: distance oracle; only its (query-free) Euclidean lower bounds
+            are used here.
+        direct_distance: the exact ``L = dis(o_r, d_r)`` computed once by the
+            caller (Algorithm 4, line 1).
+
+    Returns:
+        ``LB_{Δ*}`` in seconds, or ``inf`` when even the relaxed insertion is
+        impossible (e.g. the request does not fit the worker's capacity).
+    """
+    worker = route.worker
+    if request.capacity > worker.capacity:
+        return INFINITY
+    if len(route.arr) != route.num_stops + 1:
+        route.refresh(oracle)
+
+    n = route.num_stops
+    arr, slack, picked = route.arr, route.slack, route.picked
+    free_capacity = worker.capacity - request.capacity
+    deadline = request.deadline
+
+    def euclid_to_origin(index: int) -> float:
+        return oracle.lower_bound(route.vertex_at(index), request.origin)
+
+    def euclid_to_destination(index: int) -> float:
+        return oracle.lower_bound(route.vertex_at(index), request.destination)
+
+    def leg(index: int) -> float:
+        return arr[index + 1] - arr[index]
+
+    best = INFINITY
+    # Dio^euc of Eq. (16): cheapest relaxed pickup detour among i < j.
+    dio = INFINITY
+
+    for j in range(n + 1):
+        lb_j_origin = euclid_to_origin(j)
+        lb_j_destination = euclid_to_destination(j)
+
+        # special cases i = j (Eq. 15, first two branches)
+        if picked[j] <= free_capacity and arr[j] + lb_j_origin + direct_distance <= deadline + 1e-9:
+            if j == n:
+                candidate = lb_j_origin + direct_distance
+            else:
+                candidate = (
+                    lb_j_origin + direct_distance + euclid_to_destination(j + 1) - leg(j)
+                )
+            candidate = max(candidate, 0.0)
+            if candidate <= slack[j] + 1e-9 and candidate < best:
+                best = candidate
+
+        # general case i < j (Eq. 17, third branch)
+        if j > 0 and dio < INFINITY:
+            if j == n:
+                detour_destination = lb_j_destination
+            else:
+                detour_destination = (
+                    lb_j_destination + euclid_to_destination(j + 1) - leg(j)
+                )
+            detour_destination = max(detour_destination, 0.0)
+            capacity_ok = picked[j] <= free_capacity
+            deadline_ok = arr[j] + dio + lb_j_destination <= deadline + 1e-9
+            slack_ok = dio + detour_destination <= slack[j] + 1e-9
+            if capacity_ok and deadline_ok and slack_ok:
+                candidate = detour_destination + dio
+                if candidate < best:
+                    best = candidate
+
+        # conservative early exit: any later drop-off happens after l_j
+        if arr[j] > deadline:
+            break
+
+        # extend Dio^euc to j + 1 (Eq. 16)
+        if j < n:
+            if picked[j] > free_capacity:
+                dio = INFINITY
+            else:
+                detour_origin = max(
+                    lb_j_origin + euclid_to_origin(j + 1) - leg(j), 0.0
+                )
+                if detour_origin <= slack[j] + 1e-9 and detour_origin < dio:
+                    dio = detour_origin
+
+    return best

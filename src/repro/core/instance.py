@@ -1,0 +1,95 @@
+"""A self-contained URPSM problem instance.
+
+Bundles the road network (with its distance oracle), the worker fleet, the
+request stream and the objective parameterisation. The dynamic simulator
+consumes instances; the workload generators produce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.objective import ObjectiveConfig, paper_default_objective
+from repro.core.types import Request, Worker
+from repro.exceptions import ConfigurationError
+from repro.network.graph import RoadNetwork
+from repro.network.oracle import DistanceOracle
+
+
+@dataclass
+class URPSMInstance:
+    """One URPSM problem: network + oracle + workers + time-ordered requests.
+
+    Attributes:
+        network: the road network.
+        oracle: the shared distance oracle over ``network``.
+        workers: the fleet.
+        requests: requests sorted by release time (enforced by
+            :meth:`validate`).
+        objective: the (alpha, penalty) parameterisation.
+        name: human-readable name used in reports.
+    """
+
+    network: RoadNetwork
+    oracle: DistanceOracle
+    workers: list[Worker]
+    requests: list[Request]
+    objective: ObjectiveConfig = field(default_factory=paper_default_objective)
+    name: str = "urpsm-instance"
+
+    def validate(self) -> None:
+        """Check referential integrity; raise :class:`ConfigurationError` otherwise."""
+        if not self.workers:
+            raise ConfigurationError("an instance needs at least one worker")
+        worker_ids = [worker.id for worker in self.workers]
+        if len(set(worker_ids)) != len(worker_ids):
+            raise ConfigurationError("duplicate worker identifiers")
+        request_ids = [request.id for request in self.requests]
+        if len(set(request_ids)) != len(request_ids):
+            raise ConfigurationError("duplicate request identifiers")
+        for worker in self.workers:
+            if not self.network.has_vertex(worker.initial_location):
+                raise ConfigurationError(
+                    f"worker {worker.id} starts at unknown vertex {worker.initial_location}"
+                )
+        previous_release = float("-inf")
+        for request in self.requests:
+            if not self.network.has_vertex(request.origin):
+                raise ConfigurationError(
+                    f"request {request.id} has unknown origin {request.origin}"
+                )
+            if not self.network.has_vertex(request.destination):
+                raise ConfigurationError(
+                    f"request {request.id} has unknown destination {request.destination}"
+                )
+            if request.release_time < previous_release:
+                raise ConfigurationError("requests must be sorted by release time")
+            previous_release = request.release_time
+
+    # ------------------------------------------------------------ statistics
+
+    def statistics(self) -> dict[str, float]:
+        """Aggregate instance statistics (Table 4 flavour)."""
+        stats = self.network.statistics()
+        stats.update(
+            {
+                "workers": float(len(self.workers)),
+                "requests": float(len(self.requests)),
+                "alpha": self.objective.alpha,
+            }
+        )
+        if self.requests:
+            horizons = [request.time_window for request in self.requests]
+            stats["mean_time_window_s"] = sum(horizons) / len(horizons)
+            stats["horizon_s"] = max(request.release_time for request in self.requests)
+        return stats
+
+    @property
+    def num_workers(self) -> int:
+        """Fleet size |W|."""
+        return len(self.workers)
+
+    @property
+    def num_requests(self) -> int:
+        """Number of requests |R|."""
+        return len(self.requests)

@@ -1,0 +1,121 @@
+"""The unified objective of URPSM (Definition 5) and its special cases.
+
+The unified cost of a plan is
+
+    UC(W, R) = alpha * sum_w D(S_w) + sum_{r in R-} p_r
+
+where ``D(S_w)`` is the total travel cost of worker ``w`` and ``R-`` the set of
+rejected requests. Section 3.2 of the paper shows that three classic objectives
+are special cases:
+
+* minimise total travel distance while serving all requests
+  (``alpha = 1``, ``p_r = inf``);
+* maximise the number of served requests (``alpha = 0``, ``p_r = 1``);
+* maximise platform revenue (``alpha = c_w``, ``p_r = c_r * dis(o_r, d_r)``).
+
+:class:`ObjectiveConfig` captures a (alpha, penalty-policy) pair, the
+``*_objective`` factory functions build the three presets, and
+:func:`unified_cost` / :func:`platform_revenue` evaluate plans.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.types import Request
+from repro.utils.validation import require_non_negative
+
+
+class PenaltyPolicy(enum.Enum):
+    """How the rejection penalty ``p_r`` of a request is derived."""
+
+    FIXED = "fixed"
+    """Every request has the same constant penalty."""
+
+    PROPORTIONAL = "proportional"
+    """``p_r = factor * dis(o_r, d_r)`` (the paper's default, Table 5)."""
+
+    INFINITE = "infinite"
+    """Rejection is forbidden (``p_r = inf``)."""
+
+
+@dataclass(frozen=True)
+class ObjectiveConfig:
+    """A parameterisation of the unified objective.
+
+    Attributes:
+        alpha: weight of the total travel cost.
+        penalty_policy: how per-request penalties are derived.
+        penalty_value: the constant (FIXED) or the multiplicative factor
+            (PROPORTIONAL); ignored for INFINITE.
+    """
+
+    alpha: float
+    penalty_policy: PenaltyPolicy = PenaltyPolicy.PROPORTIONAL
+    penalty_value: float = 10.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.alpha, "alpha")
+        if self.penalty_policy is not PenaltyPolicy.INFINITE:
+            require_non_negative(self.penalty_value, "penalty_value")
+
+    def penalty_for(self, direct_distance: float) -> float:
+        """Penalty ``p_r`` of a request whose shortest o->d cost is ``direct_distance``."""
+        if self.penalty_policy is PenaltyPolicy.INFINITE:
+            return math.inf
+        if self.penalty_policy is PenaltyPolicy.FIXED:
+            return self.penalty_value
+        return self.penalty_value * direct_distance
+
+
+def min_total_distance_objective() -> ObjectiveConfig:
+    """``alpha = 1`` and ``p_r = inf``: minimise distance while serving everything."""
+    return ObjectiveConfig(alpha=1.0, penalty_policy=PenaltyPolicy.INFINITE, penalty_value=0.0)
+
+
+def max_served_requests_objective() -> ObjectiveConfig:
+    """``alpha = 0`` and ``p_r = 1``: maximise the number of served requests."""
+    return ObjectiveConfig(alpha=0.0, penalty_policy=PenaltyPolicy.FIXED, penalty_value=1.0)
+
+
+def max_revenue_objective(worker_cost_per_second: float, fare_per_second: float) -> ObjectiveConfig:
+    """``alpha = c_w`` and ``p_r = c_r * dis(o_r, d_r)``: maximise platform revenue."""
+    return ObjectiveConfig(
+        alpha=worker_cost_per_second,
+        penalty_policy=PenaltyPolicy.PROPORTIONAL,
+        penalty_value=fare_per_second,
+    )
+
+
+def paper_default_objective(penalty_factor: float = 10.0) -> ObjectiveConfig:
+    """The evaluation default of Table 5: ``alpha = 1``, ``p_r = factor * dis(o_r, d_r)``."""
+    return ObjectiveConfig(
+        alpha=1.0, penalty_policy=PenaltyPolicy.PROPORTIONAL, penalty_value=penalty_factor
+    )
+
+
+def unified_cost(
+    total_travel_cost: float, rejected_requests: Iterable[Request], alpha: float
+) -> float:
+    """Evaluate ``UC(W, R)`` from an executed plan (Eq. 1)."""
+    penalty_sum = sum(request.penalty for request in rejected_requests)
+    return alpha * total_travel_cost + penalty_sum
+
+
+def platform_revenue(
+    total_travel_cost: float,
+    served_direct_distances: Iterable[float],
+    worker_cost_per_second: float,
+    fare_per_second: float,
+) -> float:
+    """Platform revenue of Eq. (2): fares of served requests minus worker cost.
+
+    Useful to verify empirically the reduction of Section 3.2: with
+    ``alpha = c_w`` and ``p_r = c_r * dis(o_r, d_r)``, minimising the unified
+    cost is equivalent to maximising this quantity.
+    """
+    fares = fare_per_second * sum(served_direct_distances)
+    return fares - worker_cost_per_second * total_travel_cost

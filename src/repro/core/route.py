@@ -1,0 +1,273 @@
+"""Routes and their auxiliary arrays (Definition 4 and Section 4.3.2).
+
+A route of a worker is ``S_w = <l_0, l_1, ..., l_n>`` where ``l_0`` is the
+worker's *current* position and ``l_1..l_n`` are pending pickup / drop-off
+stops. A route is feasible iff
+
+1. for every served request, the pickup precedes the drop-off (or the request
+   is already on board, in which case only the drop-off remains);
+2. every drop-off is reached no later than the request's deadline;
+3. the on-board load never exceeds the worker capacity.
+
+To support the DP insertions, the route maintains the four auxiliary arrays of
+the paper (Eq. 6-9):
+
+* ``arr[k]``   — arrival time at ``l_k`` (``arr[0]`` is the current time);
+* ``ddl[k]``   — latest tolerable arrival at ``l_k``;
+* ``slack[k]`` — maximal tolerable detour between ``l_k`` and ``l_{k+1}``;
+* ``picked[k]`` — on-board load right after serving ``l_k``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.types import Request, Stop, StopKind, Worker, dropoff_stop, pickup_stop
+from repro.exceptions import InfeasibleRouteError
+from repro.network.graph import Vertex
+from repro.network.oracle import DistanceOracle
+
+INFINITY = math.inf
+
+
+@dataclass
+class Route:
+    """Planned route of one worker.
+
+    Attributes:
+        worker: the worker executing the route.
+        origin: current position ``l_0`` of the worker (a vertex).
+        start_time: time at which the worker is (or was last known to be) at
+            ``origin``; this is ``arr[0]``.
+        stops: the pending stops ``l_1..l_n`` in visiting order.
+    """
+
+    worker: Worker
+    origin: Vertex
+    start_time: float
+    stops: list[Stop] = field(default_factory=list)
+
+    # Auxiliary arrays, each of length ``len(stops) + 1`` (index 0 = l_0).
+    arr: list[float] = field(default_factory=list, repr=False)
+    ddl: list[float] = field(default_factory=list, repr=False)
+    slack: list[float] = field(default_factory=list, repr=False)
+    picked: list[int] = field(default_factory=list, repr=False)
+
+    # Cached direct origin->destination distances per request id (the ``L`` of
+    # Lemma 7); filled lazily so ddl[] can be recomputed without re-querying.
+    _direct_distances: dict[int, float] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def num_stops(self) -> int:
+        """Number of pending stops ``n``."""
+        return len(self.stops)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the route has no pending stop."""
+        return not self.stops
+
+    def vertex_at(self, index: int) -> Vertex:
+        """Vertex of ``l_index`` (``index`` 0 means the worker's current position)."""
+        if index == 0:
+            return self.origin
+        return self.stops[index - 1].vertex
+
+    def onboard_requests(self) -> list[Request]:
+        """Requests already picked up (their drop-off is pending, pickup is not)."""
+        pending_pickups = {
+            stop.request.id for stop in self.stops if stop.kind is StopKind.PICKUP
+        }
+        return [
+            stop.request
+            for stop in self.stops
+            if stop.kind is StopKind.DROPOFF and stop.request.id not in pending_pickups
+        ]
+
+    def initial_load(self) -> int:
+        """On-board load at ``l_0`` (sum of capacities of on-board requests)."""
+        return sum(request.capacity for request in self.onboard_requests())
+
+    def request_ids(self) -> set[int]:
+        """Identifiers of every request appearing in the route."""
+        return {stop.request.id for stop in self.stops}
+
+    def direct_distance(self, request: Request, oracle: DistanceOracle) -> float:
+        """Shortest distance ``dis(o_r, d_r)`` of ``request``, cached on the route."""
+        cached = self._direct_distances.get(request.id)
+        if cached is None:
+            cached = oracle.distance(request.origin, request.destination)
+            self._direct_distances[request.id] = cached
+        return cached
+
+    def remember_direct_distance(self, request: Request, distance: float) -> None:
+        """Seed the direct-distance cache (used when the caller already knows ``L``)."""
+        self._direct_distances[request.id] = distance
+
+    # -------------------------------------------------------------- refresh
+
+    def refresh(self, oracle: DistanceOracle) -> None:
+        """Recompute ``arr``, ``ddl``, ``slack`` and ``picked`` (Eq. 6-9)."""
+        n = self.num_stops
+        arr = [0.0] * (n + 1)
+        ddl = [INFINITY] * (n + 1)
+        picked = [0] * (n + 1)
+        slack = [INFINITY] * (n + 1)
+
+        arr[0] = self.start_time
+        picked[0] = self.initial_load()
+
+        previous_vertex = self.origin
+        for index, stop in enumerate(self.stops, start=1):
+            arr[index] = arr[index - 1] + oracle.distance(previous_vertex, stop.vertex)
+            previous_vertex = stop.vertex
+            if stop.kind is StopKind.PICKUP:
+                ddl[index] = stop.request.deadline - self.direct_distance(stop.request, oracle)
+                picked[index] = picked[index - 1] + stop.request.capacity
+            else:
+                ddl[index] = stop.request.deadline
+                picked[index] = picked[index - 1] - stop.request.capacity
+
+        # slack[k] = min_{k' > k} (ddl[k'] - arr[k'])   (Eq. 8)
+        slack[n] = INFINITY
+        for index in range(n - 1, -1, -1):
+            slack[index] = min(slack[index + 1], ddl[index + 1] - arr[index + 1])
+
+        self.arr = arr
+        self.ddl = ddl
+        self.slack = slack
+        self.picked = picked
+
+    # ---------------------------------------------------------- feasibility
+
+    def is_feasible(self, oracle: DistanceOracle, refresh: bool = True) -> bool:
+        """Whether the route satisfies precedence, deadline and capacity constraints."""
+        try:
+            self.validate(oracle, refresh=refresh)
+        except InfeasibleRouteError:
+            return False
+        return True
+
+    def validate(self, oracle: DistanceOracle, refresh: bool = True) -> None:
+        """Raise :class:`InfeasibleRouteError` describing the first violated constraint."""
+        if refresh or len(self.arr) != self.num_stops + 1:
+            self.refresh(oracle)
+
+        seen_pickups: set[int] = set()
+        onboard_ids = {request.id for request in self.onboard_requests()}
+        for index, stop in enumerate(self.stops, start=1):
+            request = stop.request
+            if stop.kind is StopKind.PICKUP:
+                if request.id in seen_pickups:
+                    raise InfeasibleRouteError(
+                        f"request {request.id} is picked up twice in route of worker {self.worker.id}"
+                    )
+                seen_pickups.add(request.id)
+            else:
+                if request.id not in seen_pickups and request.id not in onboard_ids:
+                    raise InfeasibleRouteError(
+                        f"request {request.id} is dropped off before being picked up"
+                    )
+                # delivery deadline (constraint (ii) of Definition 4)
+                if self.arr[index] > request.deadline + 1e-9:
+                    raise InfeasibleRouteError(
+                        f"request {request.id} delivered at {self.arr[index]:.1f} after "
+                        f"deadline {request.deadline:.1f}"
+                    )
+            if self.picked[index] > self.worker.capacity:
+                raise InfeasibleRouteError(
+                    f"load {self.picked[index]} exceeds capacity {self.worker.capacity} "
+                    f"at stop {index} of worker {self.worker.id}"
+                )
+            if self.picked[index] < 0:
+                raise InfeasibleRouteError(
+                    f"negative load {self.picked[index]} at stop {index} of worker {self.worker.id}"
+                )
+
+        # every pickup must have a matching later drop-off
+        dropped = {
+            stop.request.id for stop in self.stops if stop.kind is StopKind.DROPOFF
+        }
+        missing = seen_pickups - dropped
+        if missing:
+            raise InfeasibleRouteError(
+                f"requests {sorted(missing)} are picked up but never dropped off"
+            )
+
+    # -------------------------------------------------------------- metrics
+
+    def planned_cost(self, oracle: DistanceOracle, refresh: bool = False) -> float:
+        """Remaining planned travel cost ``D(S_w)`` from ``l_0`` to ``l_n`` (seconds)."""
+        if refresh or len(self.arr) != self.num_stops + 1:
+            self.refresh(oracle)
+        if not self.stops:
+            return 0.0
+        return self.arr[-1] - self.arr[0]
+
+    # ------------------------------------------------------------ insertion
+
+    def with_insertion(
+        self,
+        request: Request,
+        pickup_index: int,
+        dropoff_index: int,
+        oracle: DistanceOracle,
+        refresh: bool = True,
+    ) -> "Route":
+        """Return a new route with ``request`` inserted at positions ``(i, j)``.
+
+        ``pickup_index`` = ``i`` places the pickup between ``l_i`` and
+        ``l_{i+1}``; ``dropoff_index`` = ``j`` (with ``j >= i``) places the
+        drop-off between ``l_j`` and ``l_{j+1}`` of the *original* route,
+        matching Figure 2 of the paper.
+        """
+        n = self.num_stops
+        i, j = pickup_index, dropoff_index
+        if not 0 <= i <= j <= n:
+            raise ValueError(f"invalid insertion positions ({i}, {j}) for a route of {n} stops")
+        pickup = pickup_stop(request)
+        dropoff = dropoff_stop(request)
+        if i == j:
+            new_stops = self.stops[:i] + [pickup, dropoff] + self.stops[i:]
+        else:
+            new_stops = (
+                self.stops[:i] + [pickup] + self.stops[i:j] + [dropoff] + self.stops[j:]
+            )
+        route = Route(
+            worker=self.worker,
+            origin=self.origin,
+            start_time=self.start_time,
+            stops=new_stops,
+            _direct_distances=dict(self._direct_distances),
+        )
+        if refresh:
+            route.refresh(oracle)
+        return route
+
+    def copy(self) -> "Route":
+        """Shallow copy with fresh (unfilled) auxiliary arrays."""
+        return Route(
+            worker=self.worker,
+            origin=self.origin,
+            start_time=self.start_time,
+            stops=list(self.stops),
+            _direct_distances=dict(self._direct_distances),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        description = ", ".join(
+            f"{'+' if stop.is_pickup else '-'}r{stop.request.id}@{stop.vertex}"
+            for stop in self.stops
+        )
+        return (
+            f"Route(worker={self.worker.id}, origin={self.origin}, "
+            f"t0={self.start_time:.1f}, [{description}])"
+        )
+
+
+def empty_route(worker: Worker, start_time: float = 0.0) -> Route:
+    """A route with no pending stop for ``worker`` at its initial location."""
+    return Route(worker=worker, origin=worker.initial_location, start_time=start_time)

@@ -1,0 +1,48 @@
+"""Online dispatch algorithms: pruneGreedyDP, GreedyDP and the paper's baselines."""
+
+from repro.dispatch.base import Dispatcher, DispatcherConfig, DispatchOutcome
+from repro.dispatch.batch import Batch
+from repro.dispatch.greedy_dp import GreedyDP, PruneGreedyDP
+from repro.dispatch.kinetic import Kinetic
+from repro.dispatch.nearest import NearestWorker
+from repro.dispatch.reoptimize import PruneGreedyDPReopt, reinsertion_improvement
+from repro.dispatch.tshare import TShare
+
+ALGORITHMS = {
+    "pruneGreedyDP": PruneGreedyDP,
+    "GreedyDP": GreedyDP,
+    "tshare": TShare,
+    "kinetic": Kinetic,
+    "batch": Batch,
+    "nearest": NearestWorker,
+    "pruneGreedyDP+reopt": PruneGreedyDPReopt,
+}
+"""Registry of dispatcher classes keyed by their benchmark names."""
+
+
+def make_dispatcher(name: str, config: DispatcherConfig | None = None) -> Dispatcher:
+    """Instantiate a dispatcher from the registry by name."""
+    try:
+        dispatcher_class = ALGORITHMS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown dispatcher {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from exc
+    return dispatcher_class(config)
+
+
+__all__ = [
+    "Dispatcher",
+    "DispatcherConfig",
+    "DispatchOutcome",
+    "Batch",
+    "GreedyDP",
+    "PruneGreedyDP",
+    "PruneGreedyDPReopt",
+    "Kinetic",
+    "NearestWorker",
+    "TShare",
+    "reinsertion_improvement",
+    "ALGORITHMS",
+    "make_dispatcher",
+]

@@ -1,0 +1,142 @@
+"""Dispatcher interface shared by every algorithm of the evaluation.
+
+A dispatcher receives requests one by one (in release order) from the
+simulator and either assigns each request to a worker — by updating that
+worker's planned route — or rejects it. Batch-style algorithms may defer
+requests and assign them when :meth:`Dispatcher.flush` is called.
+
+Every dispatcher reports a :class:`DispatchOutcome` per request so the metrics
+collector can compute the unified cost, served rate and per-request work
+(candidates considered, insertions evaluated).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.instance import URPSMInstance
+from repro.core.types import Request
+from repro.index.grid import GridIndex
+from repro.network.oracle import DistanceOracle
+
+if TYPE_CHECKING:  # imported lazily to avoid a dispatch <-> simulation cycle
+    from repro.simulation.fleet import FleetState
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchOutcome:
+    """What happened to one request."""
+
+    request: Request
+    served: bool
+    worker_id: int | None = None
+    increased_cost: float = 0.0
+    candidates_considered: int = 0
+    insertions_evaluated: int = 0
+    decision_rejected: bool = False
+    """True when the decision phase rejected the request before planning."""
+
+
+@dataclass
+class DispatcherConfig:
+    """Knobs shared by all dispatchers (Table 5 of the paper).
+
+    Attributes:
+        grid_cell_metres: grid-index cell size ``g`` in metres.
+        reject_unprofitable: after planning, reject the request anyway if
+            serving it increases the unified cost more than its penalty.
+        batch_interval: batching window in simulated seconds (used only by
+            batch-style dispatchers).
+        kinetic_node_budget: search-node budget per schedule optimisation of
+            the kinetic baseline (its search is exponential by design; the
+            budget mirrors a wall-clock cap).
+    """
+
+    grid_cell_metres: float = 2000.0
+    reject_unprofitable: bool = False
+    batch_interval: float = 6.0
+    kinetic_node_budget: int = 20_000
+
+
+class Dispatcher(abc.ABC):
+    """Base class of all online route-planning algorithms."""
+
+    #: short name used in benchmark tables ("pruneGreedyDP", "tshare", ...)
+    name: str = "dispatcher"
+
+    def __init__(self, config: DispatcherConfig | None = None) -> None:
+        self.config = config or DispatcherConfig()
+        self.instance: URPSMInstance | None = None
+        self.fleet: "FleetState | None" = None
+        self.oracle: DistanceOracle | None = None
+        self.grid: GridIndex | None = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def setup(self, instance: URPSMInstance, fleet: "FleetState") -> None:
+        """Bind the dispatcher to a problem instance and a fleet.
+
+        Subclasses overriding this must call ``super().setup(...)`` first.
+        """
+        self.instance = instance
+        self.fleet = fleet
+        self.oracle = instance.oracle
+        self.grid = self._build_grid(instance)
+        for state in fleet:
+            self.grid.insert(state.worker.id, state.position)
+
+    def _build_grid(self, instance: URPSMInstance) -> GridIndex:
+        """Build the worker grid index; overridden by tshare to build its variant."""
+        return GridIndex(instance.network, self.config.grid_cell_metres)
+
+    # --------------------------------------------------------------- running
+
+    @abc.abstractmethod
+    def dispatch(self, request: Request, now: float) -> DispatchOutcome | None:
+        """Handle one released request at simulation time ``now``.
+
+        Returns the outcome, or ``None`` if the request was deferred (batch
+        dispatchers); deferred requests must eventually be resolved by
+        :meth:`flush`.
+        """
+
+    def flush(self, now: float) -> list[DispatchOutcome]:
+        """Resolve any deferred requests (no-op for immediate dispatchers)."""
+        return []
+
+    # --------------------------------------------------------------- helpers
+
+    def sync_grid(self) -> None:
+        """Refresh the grid index with the fleet's current positions."""
+        assert self.grid is not None and self.fleet is not None
+        for state in self.fleet:
+            self.grid.update(state.worker.id, state.position)
+
+    def candidate_worker_ids(self, request: Request, now: float) -> list[int]:
+        """Workers that could possibly reach the request's origin in time.
+
+        Uses the grid index with a Euclidean reachability radius derived from
+        the remaining time budget and the maximum network speed, so no feasible
+        worker is ever filtered out (the filter of Algorithm 5, line 3).
+        """
+        assert self.grid is not None and self.oracle is not None and self.fleet is not None
+        budget_seconds = request.deadline - now
+        if budget_seconds <= 0:
+            return []
+        radius_metres = budget_seconds * self.oracle.network.max_speed
+        candidates = self.grid.members_near_vertex(request.origin, radius_metres)
+        if not candidates:
+            # degenerate grids (single cell) or stale entries: fall back to all
+            candidates = [state.worker.id for state in self.fleet]
+        return [int(worker_id) for worker_id in candidates]
+
+    def memory_estimate_bytes(self) -> int:
+        """Memory footprint of the dispatcher's index structures."""
+        return self.grid.memory_estimate_bytes() if self.grid is not None else 0
+
+    @property
+    def is_batched(self) -> bool:
+        """Whether the dispatcher defers requests to periodic flushes."""
+        return False

@@ -1,0 +1,148 @@
+"""GreedyDP and pruneGreedyDP (Section 5, Algorithms 4-5 of the paper).
+
+Both algorithms process each request in two phases:
+
+1. **Decision phase** (Algorithm 4): compute, for every candidate worker, the
+   Euclidean lower bound ``LB_{Δ*}`` of the minimal insertion cost using a
+   single exact distance query (``L = dis(o_r, d_r)``). If even
+   ``alpha * min LB`` exceeds the request's penalty, serving cannot pay off and
+   the request is rejected outright.
+2. **Planning phase** (Algorithm 5): insert the request into the route of the
+   worker with the minimal actual increased cost, found with the linear DP
+   insertion.
+
+``pruneGreedyDP`` additionally sorts the candidates by their lower bound and
+stops scanning as soon as the best actual increase found so far is below the
+next candidate's lower bound (Lemma 8, *pre-ordered pruning*) — this is what
+saves the billions of shortest-distance queries reported in Section 6.
+``GreedyDP`` is the ablation without the pruning rule: it evaluates the exact
+insertion for every candidate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.insertion.base import InsertionOperator
+from repro.core.insertion.linear_dp import LinearDPInsertion
+from repro.core.insertion.lower_bound import euclidean_insertion_lower_bound
+from repro.core.types import Request
+from repro.dispatch.base import Dispatcher, DispatcherConfig, DispatchOutcome
+
+INFINITY = math.inf
+
+
+class _GreedyDPBase(Dispatcher):
+    """Shared decision + planning machinery of GreedyDP / pruneGreedyDP."""
+
+    #: whether Lemma 8 pre-ordered pruning is applied in the planning phase
+    use_pruning: bool = False
+
+    def __init__(
+        self,
+        config: DispatcherConfig | None = None,
+        insertion: InsertionOperator | None = None,
+    ) -> None:
+        super().__init__(config)
+        self.insertion = insertion or LinearDPInsertion()
+
+    # ------------------------------------------------------------- dispatch
+
+    def dispatch(self, request: Request, now: float) -> DispatchOutcome:
+        assert self.fleet is not None and self.oracle is not None and self.instance is not None
+        self.sync_grid()
+        alpha = self.instance.objective.alpha
+
+        candidate_ids = self.candidate_worker_ids(request, now)
+        if not candidate_ids:
+            return DispatchOutcome(request=request, served=False, decision_rejected=True)
+
+        # ---------------- decision phase (Algorithm 4)
+        direct = self.oracle.distance(request.origin, request.destination)
+        lower_bounds: list[tuple[float, int]] = []
+        for worker_id in candidate_ids:
+            state = self.fleet.state_of(worker_id)
+            state.route.remember_direct_distance(request, direct)
+            bound = euclidean_insertion_lower_bound(state.route, request, self.oracle, direct)
+            if bound < INFINITY:
+                lower_bounds.append((bound, worker_id))
+
+        if not lower_bounds:
+            return DispatchOutcome(
+                request=request,
+                served=False,
+                candidates_considered=len(candidate_ids),
+                decision_rejected=True,
+            )
+        min_lower_bound = min(bound for bound, _ in lower_bounds)
+        if request.penalty < alpha * min_lower_bound:
+            return DispatchOutcome(
+                request=request,
+                served=False,
+                candidates_considered=len(candidate_ids),
+                decision_rejected=True,
+            )
+
+        # ---------------- planning phase (Algorithm 5, lines 5-11)
+        if self.use_pruning:
+            lower_bounds.sort(key=lambda item: item[0])
+
+        best_delta = INFINITY
+        best_worker_id: int | None = None
+        best_route = None
+        insertions = 0
+        for bound, worker_id in lower_bounds:
+            if self.use_pruning and best_delta < bound:
+                break  # Lemma 8: later candidates cannot beat the current best
+            state = self.fleet.state_of(worker_id)
+            result = self.insertion.best_insertion(state.route, request, self.oracle)
+            insertions += 1
+            if result.feasible and result.delta < best_delta - 1e-9:
+                best_delta = result.delta
+                best_worker_id = worker_id
+                best_route = state.route.with_insertion(
+                    request, result.pickup_index, result.dropoff_index, self.oracle
+                )
+
+        if best_worker_id is None or best_route is None:
+            return DispatchOutcome(
+                request=request,
+                served=False,
+                candidates_considered=len(candidate_ids),
+                insertions_evaluated=insertions,
+            )
+
+        if self.config.reject_unprofitable and alpha * best_delta > request.penalty:
+            return DispatchOutcome(
+                request=request,
+                served=False,
+                candidates_considered=len(candidate_ids),
+                insertions_evaluated=insertions,
+                decision_rejected=True,
+            )
+
+        state = self.fleet.state_of(best_worker_id)
+        state.adopt_route(best_route, request=request)
+        self.grid.update(best_worker_id, state.position)
+        return DispatchOutcome(
+            request=request,
+            served=True,
+            worker_id=best_worker_id,
+            increased_cost=best_delta,
+            candidates_considered=len(candidate_ids),
+            insertions_evaluated=insertions,
+        )
+
+
+class GreedyDP(_GreedyDPBase):
+    """GreedyDP: linear DP insertion over *all* candidates (no Lemma 8 pruning)."""
+
+    name = "GreedyDP"
+    use_pruning = False
+
+
+class PruneGreedyDP(_GreedyDPBase):
+    """pruneGreedyDP: decision phase + pre-ordered pruning + linear DP insertion."""
+
+    name = "pruneGreedyDP"
+    use_pruning = True

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the URPSM reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class RoadNetworkError(ReproError):
+    """Raised for malformed road networks (missing vertices, negative costs...)."""
+
+
+class DisconnectedError(RoadNetworkError):
+    """Raised when a shortest-path query targets an unreachable vertex."""
+
+
+class InfeasibleRouteError(ReproError):
+    """Raised when a route violates precedence, deadline or capacity constraints."""
+
+
+class DispatchError(ReproError):
+    """Raised for invalid dispatcher usage (e.g. unknown worker, duplicate request)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid scenario or experiment configuration."""

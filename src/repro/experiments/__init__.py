@@ -1,0 +1,71 @@
+"""Experiment harness reproducing every table and figure of the paper's evaluation."""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_ALGORITHMS,
+    PAPER_DEADLINE_MINUTES,
+    PAPER_GRID_KM,
+    PAPER_PENALTY_FACTORS,
+    PAPER_WORKER_CAPACITY,
+    PAPER_WORKER_COUNTS,
+    SCALES,
+    ScalePreset,
+)
+from repro.experiments.figures import (
+    FIGURES,
+    FigureResult,
+    figure3_workers,
+    figure4_capacity,
+    figure5_grid_size,
+    figure6_deadline,
+    figure7_penalty,
+)
+from repro.experiments.io import (
+    load_figure_json,
+    load_results_json,
+    save_figure_csv,
+    save_figure_json,
+    save_results_json,
+)
+from repro.experiments.reporting import (
+    figure_summary_rows,
+    format_figure,
+    format_results,
+    format_table,
+    render_series_chart,
+)
+from repro.experiments.runner import ScenarioRunner, SweepPoint
+from repro.experiments.tables import table4_datasets, table5_parameters
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_ALGORITHMS",
+    "PAPER_DEADLINE_MINUTES",
+    "PAPER_GRID_KM",
+    "PAPER_PENALTY_FACTORS",
+    "PAPER_WORKER_CAPACITY",
+    "PAPER_WORKER_COUNTS",
+    "SCALES",
+    "ScalePreset",
+    "FIGURES",
+    "FigureResult",
+    "figure3_workers",
+    "figure4_capacity",
+    "figure5_grid_size",
+    "figure6_deadline",
+    "figure7_penalty",
+    "figure_summary_rows",
+    "format_figure",
+    "format_results",
+    "format_table",
+    "render_series_chart",
+    "load_figure_json",
+    "load_results_json",
+    "save_figure_csv",
+    "save_figure_json",
+    "save_results_json",
+    "ScenarioRunner",
+    "SweepPoint",
+    "table4_datasets",
+    "table5_parameters",
+]

@@ -1,0 +1,129 @@
+"""Plain-text reporting of experiment results.
+
+The paper presents its evaluation as line plots (Figures 3-7); the benchmark
+harness prints the same series as aligned text tables so they can be eyeballed
+in a terminal or diffed between runs, and recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence  # noqa: F401 - Sequence used in signatures
+
+from repro.experiments.figures import FigureResult
+from repro.simulation.metrics import SimulationResult
+
+#: metrics plotted in every figure of the paper, in presentation order.
+FIGURE_METRICS = [
+    ("unified_cost", "Unified cost"),
+    ("served_rate", "Served rate"),
+    ("response_time_s", "Response time (s)"),
+]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(rendered[index]) for rendered in rendered_rows))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(value.ljust(width) for value, width in zip(rendered, widths))
+        for rendered in rendered_rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_results(results: Iterable[SimulationResult]) -> str:
+    """Render a flat comparison table of simulation results."""
+    rows = [result.as_row() for result in results]
+    columns = [
+        "algorithm",
+        "instance",
+        "unified_cost",
+        "served_rate",
+        "response_time_s",
+        "distance_queries",
+        "index_memory_bytes",
+    ]
+    return format_table(rows, columns)
+
+
+def format_figure(figure: FigureResult) -> str:
+    """Render one figure as per-city, per-metric series tables (paper layout)."""
+    blocks: list[str] = [f"== {figure.figure}: sweep over {figure.parameter} =="]
+    algorithms = figure.algorithms()
+    for city in figure.cities():
+        for metric, label in FIGURE_METRICS:
+            rows = []
+            values = [point.value for point in figure.points if point.city == city]
+            for algorithm in algorithms:
+                series = dict(figure.series(city, algorithm, metric))
+                row: dict[str, object] = {"algorithm": algorithm}
+                for value in values:
+                    row[str(value)] = series.get(value, float("nan"))
+                rows.append(row)
+            blocks.append(f"-- {city} / {label} --")
+            blocks.append(format_table(rows))
+    return "\n".join(blocks)
+
+
+def render_series_chart(
+    series: Mapping[str, Sequence[tuple[float | int | str, float]]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render one metric of several algorithms as horizontal ASCII bars.
+
+    Args:
+        series: mapping ``algorithm -> [(parameter value, metric value), ...]``
+            as produced by :meth:`FigureResult.series`.
+        width: width of the longest bar in characters.
+        title: optional heading line.
+
+    The chart uses one row per (algorithm, parameter value) pair and scales all
+    bars to the global maximum, which makes relative comparisons (the thing the
+    paper's figures convey) readable directly in a terminal or log file.
+    """
+    rows: list[tuple[str, float]] = []
+    for algorithm, points in series.items():
+        for value, metric in points:
+            rows.append((f"{algorithm} @ {value}", float(metric)))
+    if not rows:
+        return "(no data)"
+    maximum = max(metric for _, metric in rows)
+    scale = (width / maximum) if maximum > 0 else 0.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = [title] if title else []
+    for label, metric in rows:
+        bar = "#" * max(int(round(metric * scale)), 0)
+        lines.append(f"{label.ljust(label_width)} | {bar} {_format_value(metric)}")
+    return "\n".join(lines)
+
+
+def figure_summary_rows(figure: FigureResult) -> list[dict[str, object]]:
+    """Flatten a figure into one row per (city, value, algorithm) for EXPERIMENTS.md."""
+    rows: list[dict[str, object]] = []
+    for point in figure.points:
+        for result in point.results:
+            row = result.as_row()
+            row.update({"figure": figure.figure, "parameter": figure.parameter, "value": point.value,
+                        "city": point.city})
+            rows.append(row)
+    return rows

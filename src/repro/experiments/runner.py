@@ -1,0 +1,107 @@
+"""Experiment runner: evaluate several dispatchers on shared scenarios.
+
+The runner keeps the expensive artefacts (road network, distance oracle) shared
+across the algorithms being compared — the paper does the same by letting every
+algorithm use the same graph, shortest-path labels and LRU cache — and returns
+one :class:`~repro.simulation.metrics.SimulationResult` per (scenario,
+algorithm) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.core.instance import URPSMInstance
+from repro.dispatch import make_dispatcher
+from repro.dispatch.base import DispatcherConfig
+from repro.network.graph import RoadNetwork
+from repro.network.oracle import DistanceOracle
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.simulator import run_simulation
+from repro.workloads.scenarios import ScenarioConfig, build_instance, build_network, make_oracle
+
+
+@dataclass
+class SweepPoint:
+    """One point of a parameter sweep: a label, a scenario, and its results."""
+
+    parameter: str
+    value: float | int | str
+    city: str
+    results: list[SimulationResult] = field(default_factory=list)
+
+    def result_for(self, algorithm: str) -> SimulationResult | None:
+        """Result of ``algorithm`` at this point, if present."""
+        for result in self.results:
+            if result.algorithm == algorithm:
+                return result
+        return None
+
+
+class ScenarioRunner:
+    """Builds instances (caching the city) and runs algorithm comparisons."""
+
+    def __init__(self, dispatcher_config: DispatcherConfig | None = None) -> None:
+        self.dispatcher_config = dispatcher_config or DispatcherConfig()
+        self._network_cache: dict[tuple[str, int], RoadNetwork] = {}
+        self._oracle_cache: dict[tuple[str, int], DistanceOracle] = {}
+
+    # --------------------------------------------------------------- caches
+
+    def network_for(self, config: ScenarioConfig) -> RoadNetwork:
+        """Road network of the scenario's city, cached per (city, seed)."""
+        key = (config.city, config.seed)
+        if key not in self._network_cache:
+            self._network_cache[key] = build_network(config)
+        return self._network_cache[key]
+
+    def oracle_for(self, config: ScenarioConfig) -> DistanceOracle:
+        """Distance oracle over the scenario's network, cached per (city, seed)."""
+        key = (config.city, config.seed)
+        if key not in self._oracle_cache:
+            self._oracle_cache[key] = make_oracle(self.network_for(config), config)
+        return self._oracle_cache[key]
+
+    def instance_for(self, config: ScenarioConfig) -> URPSMInstance:
+        """Build the URPSM instance of ``config`` reusing cached network/oracle."""
+        return build_instance(config, network=self.network_for(config), oracle=self.oracle_for(config))
+
+    # ---------------------------------------------------------------- running
+
+    def compare(
+        self,
+        config: ScenarioConfig,
+        algorithms: Sequence[str],
+        grid_cell_metres: float | None = None,
+    ) -> list[SimulationResult]:
+        """Run every algorithm on a freshly built instance of ``config``."""
+        results: list[SimulationResult] = []
+        cell_metres = grid_cell_metres if grid_cell_metres is not None else config.grid_km * 1000.0
+        for algorithm in algorithms:
+            instance = self.instance_for(config)
+            dispatcher_config = replace(self.dispatcher_config, grid_cell_metres=cell_metres)
+            dispatcher = make_dispatcher(algorithm, dispatcher_config)
+            results.append(run_simulation(instance, dispatcher))
+        return results
+
+    def sweep(
+        self,
+        parameter: str,
+        values: Iterable[float | int | str],
+        base_config: ScenarioConfig,
+        algorithms: Sequence[str],
+    ) -> list[SweepPoint]:
+        """Sweep ``parameter`` over ``values`` and compare ``algorithms`` at each point.
+
+        ``parameter`` must be a field of :class:`ScenarioConfig` (e.g.
+        ``num_workers``, ``worker_capacity``, ``deadline_minutes``,
+        ``penalty_factor``, ``grid_km``).
+        """
+        points: list[SweepPoint] = []
+        for value in values:
+            config = base_config.with_overrides(**{parameter: value})
+            point = SweepPoint(parameter=parameter, value=value, city=config.city)
+            point.results = self.compare(config, algorithms)
+            points.append(point)
+        return points

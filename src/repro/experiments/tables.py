@@ -1,0 +1,72 @@
+"""Table reproductions: dataset statistics (Table 4) and parameter grid (Table 5)."""
+
+from __future__ import annotations
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_DEADLINE_MINUTES,
+    PAPER_DEFAULTS,
+    PAPER_GRID_KM,
+    PAPER_PENALTY_FACTORS,
+    PAPER_WORKER_CAPACITY,
+    PAPER_WORKER_COUNTS,
+)
+from repro.workloads.scenarios import dataset_statistics
+
+
+def table4_datasets(experiment: ExperimentConfig) -> list[dict[str, float]]:
+    """Table 4: #requests, #vertices, #edges of every dataset (synthetic stand-ins)."""
+    rows: list[dict[str, float]] = []
+    for city in experiment.cities:
+        config = experiment.base_scenario(city)
+        rows.append(dataset_statistics(config))
+    return rows
+
+
+def table5_parameters(experiment: ExperimentConfig) -> list[dict[str, object]]:
+    """Table 5: the swept parameter values with defaults (paper values + our scale)."""
+    preset = experiment.preset()
+    rows: list[dict[str, object]] = [
+        {
+            "parameter": "grid size g (km)",
+            "paper_values": PAPER_GRID_KM,
+            "paper_default": PAPER_DEFAULTS["grid_km"],
+            "our_values": experiment.grid_sweep(),
+        },
+        {
+            "parameter": "deadline e_r (min)",
+            "paper_values": PAPER_DEADLINE_MINUTES,
+            "paper_default": PAPER_DEFAULTS["deadline_minutes"],
+            "our_values": experiment.deadline_sweep(),
+        },
+        {
+            "parameter": "capacity K_w",
+            "paper_values": PAPER_WORKER_CAPACITY,
+            "paper_default": PAPER_DEFAULTS["worker_capacity"],
+            "our_values": experiment.capacity_sweep(),
+        },
+        {
+            "parameter": "weight alpha",
+            "paper_values": [1],
+            "paper_default": 1,
+            "our_values": [experiment.alpha],
+        },
+    ]
+    for city in experiment.cities:
+        rows.append(
+            {
+                "parameter": f"penalty p_r (x dis) [{city}]",
+                "paper_values": PAPER_PENALTY_FACTORS.get(city, []),
+                "paper_default": PAPER_DEFAULTS["penalty_factor"],
+                "our_values": experiment.penalty_sweep(city),
+            }
+        )
+        rows.append(
+            {
+                "parameter": f"number of workers |W| [{city}]",
+                "paper_values": PAPER_WORKER_COUNTS.get(city, []),
+                "paper_default": PAPER_WORKER_COUNTS.get(city, [0, 0, 0])[2],
+                "our_values": preset.worker_sweep(city),
+            }
+        )
+    return rows

@@ -1,0 +1,13 @@
+"""Spatial indexes: uniform worker grid and the T-share sorted-cell grid."""
+
+from repro.index.grid import Cell, GridGeometry, GridIndex, bulk_load
+from repro.index.tshare_grid import CellDistance, TShareGridIndex
+
+__all__ = [
+    "Cell",
+    "GridGeometry",
+    "GridIndex",
+    "bulk_load",
+    "CellDistance",
+    "TShareGridIndex",
+]

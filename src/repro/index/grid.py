@@ -1,0 +1,192 @@
+"""Uniform grid index over road-network vertices and workers.
+
+Every algorithm in the paper's evaluation builds a grid index over the city
+(Table 5 sweeps the grid size ``g`` from 1 km to 5 km). The index maps each
+vertex to a square cell of side ``g`` and maintains, per cell, the set of
+workers currently located there. Candidate filtering retrieves the workers in
+all cells intersecting a query disk (e.g. the region reachable before a pickup
+deadline).
+
+The index also reports an estimate of its memory footprint, which the paper
+compares across algorithms in Figure 5's discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.network.graph import RoadNetwork, Vertex
+from repro.utils.geometry import bounding_box
+
+Cell = tuple[int, int]
+"""Grid cell identifier (column, row)."""
+
+
+@dataclass(frozen=True)
+class GridGeometry:
+    """Geometry of a uniform grid covering a road network."""
+
+    min_x: float
+    min_y: float
+    cell_metres: float
+    columns: int
+    rows: int
+
+    def cell_of_point(self, x: float, y: float) -> Cell:
+        """Cell containing the point ``(x, y)`` (clamped to the grid extent)."""
+        column = int((x - self.min_x) // self.cell_metres)
+        row = int((y - self.min_y) // self.cell_metres)
+        column = min(max(column, 0), self.columns - 1)
+        row = min(max(row, 0), self.rows - 1)
+        return (column, row)
+
+    def cell_centre(self, cell: Cell) -> tuple[float, float]:
+        """Centre coordinates of ``cell`` in metres."""
+        column, row = cell
+        return (
+            self.min_x + (column + 0.5) * self.cell_metres,
+            self.min_y + (row + 0.5) * self.cell_metres,
+        )
+
+    def cells_within_radius(self, x: float, y: float, radius_metres: float) -> list[Cell]:
+        """All cells whose bounding box intersects the disk of the given radius."""
+        if radius_metres < 0:
+            return []
+        min_column = int((x - radius_metres - self.min_x) // self.cell_metres)
+        max_column = int((x + radius_metres - self.min_x) // self.cell_metres)
+        min_row = int((y - radius_metres - self.min_y) // self.cell_metres)
+        max_row = int((y + radius_metres - self.min_y) // self.cell_metres)
+        cells: list[Cell] = []
+        for column in range(max(min_column, 0), min(max_column, self.columns - 1) + 1):
+            for row in range(max(min_row, 0), min(max_row, self.rows - 1) + 1):
+                cells.append((column, row))
+        return cells
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells."""
+        return self.columns * self.rows
+
+
+class GridIndex:
+    """Grid index of movable objects (workers) positioned at network vertices.
+
+    Args:
+        network: road network providing vertex coordinates.
+        cell_metres: grid cell side length in metres (``g`` in the paper,
+            expressed there in kilometres).
+    """
+
+    def __init__(self, network: RoadNetwork, cell_metres: float) -> None:
+        if cell_metres <= 0:
+            raise ValueError(f"cell_metres must be positive, got {cell_metres}")
+        self.network = network
+        points = [network.coordinates(vertex) for vertex in network.vertices()]
+        min_x, min_y, max_x, max_y = bounding_box(points)
+        columns = max(1, int(math.ceil((max_x - min_x) / cell_metres)) or 1)
+        rows = max(1, int(math.ceil((max_y - min_y) / cell_metres)) or 1)
+        self.geometry = GridGeometry(
+            min_x=min_x, min_y=min_y, cell_metres=cell_metres, columns=columns, rows=rows
+        )
+        # cache vertex -> cell to avoid repeated float arithmetic
+        self._vertex_cell: dict[Vertex, Cell] = {}
+        for vertex in network.vertices():
+            point = network.coordinates(vertex)
+            self._vertex_cell[vertex] = self.geometry.cell_of_point(point.x, point.y)
+        self._members: dict[Cell, set[Hashable]] = defaultdict(set)
+        self._locations: dict[Hashable, Cell] = {}
+
+    # -------------------------------------------------------------- mutation
+
+    def insert(self, member: Hashable, vertex: Vertex) -> None:
+        """Insert ``member`` (e.g. a worker id) at ``vertex`` (moves it if present)."""
+        cell = self.cell_of_vertex(vertex)
+        previous = self._locations.get(member)
+        if previous == cell:
+            return
+        if previous is not None:
+            self._members[previous].discard(member)
+        self._members[cell].add(member)
+        self._locations[member] = cell
+
+    def remove(self, member: Hashable) -> None:
+        """Remove ``member`` from the index (no-op if absent)."""
+        cell = self._locations.pop(member, None)
+        if cell is not None:
+            self._members[cell].discard(member)
+
+    def update(self, member: Hashable, vertex: Vertex) -> None:
+        """Alias of :meth:`insert`; provided for readability at call sites."""
+        self.insert(member, vertex)
+
+    # ----------------------------------------------------------------- query
+
+    def cell_of_vertex(self, vertex: Vertex) -> Cell:
+        """Cell containing ``vertex``."""
+        cell = self._vertex_cell.get(vertex)
+        if cell is None:
+            point = self.network.coordinates(vertex)
+            cell = self.geometry.cell_of_point(point.x, point.y)
+            self._vertex_cell[vertex] = cell
+        return cell
+
+    def members_in_cell(self, cell: Cell) -> set[Hashable]:
+        """Members currently registered in ``cell``."""
+        return set(self._members.get(cell, ()))
+
+    def members_near_vertex(self, vertex: Vertex, radius_metres: float) -> list[Hashable]:
+        """Members in every cell intersecting the disk around ``vertex``.
+
+        The disk is in Euclidean metres, so with a radius derived from a time
+        budget times the maximum speed the result is a superset of the members
+        actually reachable within the budget — no candidate is lost.
+        """
+        point = self.network.coordinates(vertex)
+        members: list[Hashable] = []
+        for cell in self.geometry.cells_within_radius(point.x, point.y, radius_metres):
+            members.extend(self._members.get(cell, ()))
+        return members
+
+    def all_members(self) -> list[Hashable]:
+        """Every member currently in the index."""
+        return list(self._locations)
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    # ------------------------------------------------------------ statistics
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough memory footprint of the index payload in bytes.
+
+        Counts occupied cells and memberships with fixed per-entry costs, which
+        is the comparison the paper makes (its other algorithms store "only the
+        IDs of workers in the grid").
+        """
+        occupied_cells = sum(1 for members in self._members.values() if members)
+        memberships = sum(len(members) for members in self._members.values())
+        bytes_per_cell = 64
+        bytes_per_membership = 8
+        bytes_per_location = 16
+        return (
+            occupied_cells * bytes_per_cell
+            + memberships * bytes_per_membership
+            + len(self._locations) * bytes_per_location
+        )
+
+    def occupancy_histogram(self) -> dict[int, int]:
+        """Histogram ``members_per_cell -> number_of_cells`` over occupied cells."""
+        histogram: dict[int, int] = defaultdict(int)
+        for members in self._members.values():
+            if members:
+                histogram[len(members)] += 1
+        return dict(histogram)
+
+
+def bulk_load(index: GridIndex, positions: Iterable[tuple[Hashable, Vertex]]) -> None:
+    """Insert many ``(member, vertex)`` pairs into ``index``."""
+    for member, vertex in positions:
+        index.insert(member, vertex)

@@ -1,0 +1,49 @@
+"""Road-network substrate: graph model, shortest paths, hub labels, oracle, generators."""
+
+from repro.network.cache import CacheStatistics, LRUCache
+from repro.network.generators import (
+    cycle_network,
+    grid_city,
+    random_geometric_city,
+    ring_radial_city,
+)
+from repro.network.graph import Edge, RoadNetwork, Vertex, connected_components
+from repro.network.hub_labeling import HubLabels, build_hub_labels
+from repro.network.io import load_network, network_from_dict, network_to_dict, save_network
+from repro.network.landmarks import LandmarkIndex, build_landmark_index
+from repro.network.oracle import DistanceOracle, OracleCounters
+from repro.network.shortest_path import (
+    bidirectional_dijkstra,
+    dijkstra,
+    shortest_distance,
+    shortest_path,
+    single_source_distances,
+)
+
+__all__ = [
+    "CacheStatistics",
+    "LRUCache",
+    "cycle_network",
+    "grid_city",
+    "random_geometric_city",
+    "ring_radial_city",
+    "Edge",
+    "RoadNetwork",
+    "Vertex",
+    "connected_components",
+    "HubLabels",
+    "build_hub_labels",
+    "load_network",
+    "network_from_dict",
+    "network_to_dict",
+    "save_network",
+    "LandmarkIndex",
+    "build_landmark_index",
+    "DistanceOracle",
+    "OracleCounters",
+    "bidirectional_dijkstra",
+    "dijkstra",
+    "shortest_distance",
+    "shortest_path",
+    "single_source_distances",
+]

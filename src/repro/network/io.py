@@ -1,0 +1,74 @@
+"""Serialisation of road networks to and from JSON.
+
+The paper loads OpenStreetMap extracts via Geofabrik/Osmconvert; the
+reproduction persists its synthetic networks in a small JSON schema so that
+experiments can cache generated cities and tests can ship tiny fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import RoadNetworkError
+from repro.network.graph import RoadNetwork
+from repro.utils.geometry import Point
+
+SCHEMA_VERSION = 1
+
+
+def network_to_dict(network: RoadNetwork) -> dict[str, Any]:
+    """Serialise ``network`` into a JSON-compatible dictionary."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": network.name,
+        "vertices": [
+            {"id": vertex, "x": network.coordinates(vertex).x, "y": network.coordinates(vertex).y}
+            for vertex in sorted(network.vertices())
+        ],
+        "edges": [
+            {
+                "u": edge.u,
+                "v": edge.v,
+                "length": edge.length,
+                "speed": edge.speed,
+                "road_class": edge.road_class,
+            }
+            for edge in sorted(network.edges(), key=lambda e: (e.u, e.v))
+        ],
+    }
+
+
+def network_from_dict(payload: dict[str, Any]) -> RoadNetwork:
+    """Deserialise a dictionary produced by :func:`network_to_dict`."""
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise RoadNetworkError(f"unsupported road-network schema version: {version!r}")
+    network = RoadNetwork(name=payload.get("name", "road-network"))
+    for vertex in payload.get("vertices", []):
+        network.add_vertex(int(vertex["id"]), Point(float(vertex["x"]), float(vertex["y"])))
+    for edge in payload.get("edges", []):
+        network.add_edge(
+            int(edge["u"]),
+            int(edge["v"]),
+            length=float(edge["length"]),
+            speed=float(edge["speed"]),
+            road_class=str(edge.get("road_class", "residential")),
+        )
+    return network
+
+
+def save_network(network: RoadNetwork, path: str | Path) -> None:
+    """Write ``network`` to ``path`` as JSON."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", encoding="utf-8") as handle:
+        json.dump(network_to_dict(network), handle, indent=2, sort_keys=True)
+
+
+def load_network(path: str | Path) -> RoadNetwork:
+    """Read a network previously written by :func:`save_network`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return network_from_dict(payload)

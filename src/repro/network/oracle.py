@@ -1,0 +1,211 @@
+"""The distance oracle shared by every algorithm in the reproduction.
+
+The paper (Section 4.2) assumes that a shortest-distance query takes O(1) time,
+backed by a hub-label index plus an LRU cache; all compared algorithms share
+the same oracle so that effectiveness/efficiency comparisons are fair. The
+:class:`DistanceOracle` mirrors that setup:
+
+* **exact distances** come from (in order of preference) the LRU cache, the
+  optional hub-label index, or an on-the-fly bidirectional Dijkstra whose
+  result is cached;
+* **exact paths** (vertex sequences) are needed by the simulator to move
+  workers along their planned routes; they are cached separately;
+* **admissible lower bounds** (Euclidean distance divided by the maximum
+  network speed, optionally sharpened by landmark bounds) power the decision
+  phase of ``pruneGreedyDP`` (Lemma 7) without spending exact queries.
+
+The oracle also counts exact queries. The paper reports "tens of billions of
+shortest distance queries saved" by the pruning strategy of Lemma 8; our
+benchmarks report the same counter deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.cache import LRUCache
+from repro.network.graph import RoadNetwork, Vertex
+from repro.network.hub_labeling import HubLabels, build_hub_labels
+from repro.network.landmarks import LandmarkIndex
+from repro.network.shortest_path import bidirectional_dijkstra, single_source_distances
+
+
+@dataclass
+class OracleCounters:
+    """Counters describing how the oracle has been used."""
+
+    distance_queries: int = 0
+    path_queries: int = 0
+    lower_bound_queries: int = 0
+    dijkstra_runs: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "distance_queries": self.distance_queries,
+            "path_queries": self.path_queries,
+            "lower_bound_queries": self.lower_bound_queries,
+            "dijkstra_runs": self.dijkstra_runs,
+        }
+
+
+class DistanceOracle:
+    """Exact shortest distances, shortest paths and admissible lower bounds.
+
+    Args:
+        network: the road network to answer queries on.
+        use_hub_labels: build a pruned 2-hop labelling up front (equivalent to
+            ``precompute="hub_labels"``).
+        precompute: acceleration structure built eagerly — ``None`` (cache +
+            Dijkstra only), ``"hub_labels"`` (2-hop labels), or ``"apsp"``
+            (dense all-pairs matrix; the fastest choice for networks up to a
+            few thousand vertices, which is what the paper's O(1)-query
+            assumption models).
+        cache_size: capacity of the distance LRU cache.
+        path_cache_size: capacity of the path LRU cache.
+        landmark_index: optional :class:`LandmarkIndex` to sharpen lower bounds.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        use_hub_labels: bool = False,
+        precompute: str | None = None,
+        cache_size: int = 200_000,
+        path_cache_size: int = 20_000,
+        landmark_index: LandmarkIndex | None = None,
+    ) -> None:
+        self.network = network
+        self.counters = OracleCounters()
+        self._distance_cache: LRUCache[tuple[Vertex, Vertex], float] = LRUCache(cache_size)
+        self._path_cache: LRUCache[tuple[Vertex, Vertex], tuple[Vertex, ...]] = LRUCache(
+            path_cache_size
+        )
+        if precompute is None and use_hub_labels:
+            precompute = "hub_labels"
+        if precompute not in (None, "hub_labels", "apsp"):
+            raise ValueError(f"unknown precompute mode {precompute!r}")
+        self._hub_labels: HubLabels | None = None
+        self._apsp: np.ndarray | None = None
+        self._vertex_index: dict[Vertex, int] | None = None
+        if precompute == "hub_labels":
+            self._hub_labels = build_hub_labels(network)
+        elif precompute == "apsp":
+            self._build_apsp()
+        self._landmarks = landmark_index
+        # pre-computed constant for Euclidean time bounds
+        self._max_speed = network.max_speed
+
+    def _build_apsp(self) -> None:
+        """Precompute the dense all-pairs shortest-distance matrix."""
+        vertices = sorted(self.network.vertices())
+        index = {vertex: position for position, vertex in enumerate(vertices)}
+        matrix = np.full((len(vertices), len(vertices)), np.inf, dtype=np.float64)
+        for vertex in vertices:
+            row = index[vertex]
+            for target, cost in single_source_distances(self.network, vertex).items():
+                matrix[row, index[target]] = cost
+        self._apsp = matrix
+        self._vertex_index = index
+
+    # ----------------------------------------------------------------- exact
+
+    def distance(self, u: Vertex, v: Vertex) -> float:
+        """Exact shortest travel time (seconds) between vertices ``u`` and ``v``.
+
+        Counted as one shortest-distance query regardless of cache hits, which
+        mirrors how the paper counts algorithm-issued queries.
+        """
+        self.counters.distance_queries += 1
+        if u == v:
+            return 0.0
+        if self._apsp is not None and self._vertex_index is not None:
+            return float(self._apsp[self._vertex_index[u], self._vertex_index[v]])
+        key = (u, v) if u <= v else (v, u)
+        cached = self._distance_cache.get(key)
+        if cached is not None:
+            return cached
+        if self._hub_labels is not None:
+            result = self._hub_labels.query(u, v)
+        else:
+            result = self._run_dijkstra(key[0], key[1])
+        self._distance_cache.put(key, result)
+        return result
+
+    def path(self, u: Vertex, v: Vertex) -> list[Vertex]:
+        """Exact shortest path (vertex sequence) from ``u`` to ``v``."""
+        self.counters.path_queries += 1
+        if u == v:
+            return [u]
+        key = (u, v)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return list(cached)
+        cost, path = bidirectional_dijkstra(self.network, u, v)
+        self.counters.dijkstra_runs += 1
+        self._path_cache.put(key, tuple(path))
+        # opportunistically seed the distance cache
+        distance_key = (u, v) if u <= v else (v, u)
+        self._distance_cache.put(distance_key, cost)
+        return path
+
+    def _run_dijkstra(self, u: Vertex, v: Vertex) -> float:
+        cost, path = bidirectional_dijkstra(self.network, u, v)
+        self.counters.dijkstra_runs += 1
+        self._path_cache.put((u, v), tuple(path))
+        return cost
+
+    # ---------------------------------------------------------- lower bounds
+
+    def lower_bound(self, u: Vertex, v: Vertex) -> float:
+        """Admissible lower bound on the travel time between ``u`` and ``v``.
+
+        Uses the Euclidean distance divided by the maximum network speed —
+        never larger than the true shortest travel time because no edge is
+        shorter than the straight line between its endpoints nor faster than
+        the maximum speed. If a landmark index is attached, the tighter of the
+        two admissible bounds is returned.
+
+        Lower-bound queries are counted separately and deliberately **not** as
+        exact distance queries (Section 5.1 stresses that the decision phase
+        needs only a single exact query per request).
+        """
+        self.counters.lower_bound_queries += 1
+        if u == v:
+            return 0.0
+        euclidean_metres = self.network.euclidean(u, v)
+        bound = euclidean_metres / self._max_speed
+        if self._landmarks is not None:
+            bound = max(bound, self._landmarks.lower_bound(u, v))
+        return bound
+
+    def euclidean_metres(self, u: Vertex, v: Vertex) -> float:
+        """Straight-line distance in metres (not counted as an exact query)."""
+        return self.network.euclidean(u, v)
+
+    # ------------------------------------------------------------- management
+
+    @property
+    def has_hub_labels(self) -> bool:
+        """Whether a hub-label index is attached."""
+        return self._hub_labels is not None
+
+    @property
+    def hub_labels(self) -> HubLabels | None:
+        """The attached hub-label index, if any."""
+        return self._hub_labels
+
+    def cache_statistics(self) -> dict[str, float]:
+        """Hit rates and sizes of the distance/path caches."""
+        return {
+            "distance_cache_size": float(len(self._distance_cache)),
+            "distance_cache_hit_rate": self._distance_cache.statistics.hit_rate,
+            "path_cache_size": float(len(self._path_cache)),
+            "path_cache_hit_rate": self._path_cache.statistics.hit_rate,
+        }
+
+    def reset_counters(self) -> None:
+        """Zero the oracle counters (caches keep their contents)."""
+        self.counters = OracleCounters()

@@ -1,0 +1,183 @@
+"""Exact shortest-path algorithms on :class:`~repro.network.graph.RoadNetwork`.
+
+The paper assumes an O(1) shortest-distance oracle backed by hub labelling [9].
+This module provides the exact reference algorithms the oracle builds upon:
+
+* :func:`dijkstra` — single-source shortest distances (optionally bounded),
+* :func:`bidirectional_dijkstra` — point-to-point distance and path,
+* :func:`shortest_path` — point-to-point vertex sequence,
+* :func:`single_source_distances` — convenience wrapper returning a dict.
+
+All costs are travel times in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable
+
+from repro.exceptions import DisconnectedError
+from repro.network.graph import RoadNetwork, Vertex
+
+INFINITY = math.inf
+
+
+def dijkstra(
+    network: RoadNetwork,
+    source: Vertex,
+    targets: Iterable[Vertex] | None = None,
+    max_cost: float = INFINITY,
+) -> dict[Vertex, float]:
+    """Single-source Dijkstra.
+
+    Args:
+        network: the road network.
+        source: start vertex.
+        targets: optional set of targets; the search stops once all of them
+            are settled (or proven unreachable within ``max_cost``).
+        max_cost: do not settle vertices farther than this cost.
+
+    Returns:
+        Mapping ``vertex -> shortest travel time`` for every settled vertex.
+    """
+    remaining: set[Vertex] | None = set(targets) if targets is not None else None
+    distances: dict[Vertex, float] = {source: 0.0}
+    settled: set[Vertex] = set()
+    heap: list[tuple[float, Vertex]] = [(0.0, source)]
+    while heap:
+        cost, vertex = heapq.heappop(heap)
+        if vertex in settled:
+            continue
+        if cost > max_cost:
+            break
+        settled.add(vertex)
+        if remaining is not None:
+            remaining.discard(vertex)
+            if not remaining:
+                break
+        for neighbour, edge_cost in network.neighbours(vertex).items():
+            candidate = cost + edge_cost
+            if candidate < distances.get(neighbour, INFINITY) and candidate <= max_cost:
+                distances[neighbour] = candidate
+                heapq.heappush(heap, (candidate, neighbour))
+    return {vertex: cost for vertex, cost in distances.items() if vertex in settled}
+
+
+def single_source_distances(network: RoadNetwork, source: Vertex) -> dict[Vertex, float]:
+    """Shortest travel time from ``source`` to every reachable vertex."""
+    return dijkstra(network, source)
+
+
+def bidirectional_dijkstra(
+    network: RoadNetwork, source: Vertex, target: Vertex
+) -> tuple[float, list[Vertex]]:
+    """Point-to-point shortest path via bidirectional Dijkstra.
+
+    Returns:
+        ``(cost, path)`` where ``path`` is the vertex sequence from ``source``
+        to ``target`` inclusive.
+
+    Raises:
+        DisconnectedError: if no path exists.
+    """
+    if source == target:
+        return 0.0, [source]
+
+    dist_forward: dict[Vertex, float] = {source: 0.0}
+    dist_backward: dict[Vertex, float] = {target: 0.0}
+    parent_forward: dict[Vertex, Vertex] = {}
+    parent_backward: dict[Vertex, Vertex] = {}
+    settled_forward: set[Vertex] = set()
+    settled_backward: set[Vertex] = set()
+    heap_forward: list[tuple[float, Vertex]] = [(0.0, source)]
+    heap_backward: list[tuple[float, Vertex]] = [(0.0, target)]
+
+    best_cost = INFINITY
+    meeting_vertex: Vertex | None = None
+
+    def relax(
+        heap: list[tuple[float, Vertex]],
+        distances: dict[Vertex, float],
+        parents: dict[Vertex, Vertex],
+        settled: set[Vertex],
+        other_distances: dict[Vertex, float],
+    ) -> None:
+        nonlocal best_cost, meeting_vertex
+        cost, vertex = heapq.heappop(heap)
+        if vertex in settled:
+            return
+        settled.add(vertex)
+        for neighbour, edge_cost in network.neighbours(vertex).items():
+            candidate = cost + edge_cost
+            if candidate < distances.get(neighbour, INFINITY):
+                distances[neighbour] = candidate
+                parents[neighbour] = vertex
+                heapq.heappush(heap, (candidate, neighbour))
+            other = other_distances.get(neighbour)
+            if other is not None and candidate + other < best_cost:
+                best_cost = candidate + other
+                meeting_vertex = neighbour
+
+    while heap_forward and heap_backward:
+        top_forward = heap_forward[0][0]
+        top_backward = heap_backward[0][0]
+        if top_forward + top_backward >= best_cost:
+            break
+        if top_forward <= top_backward:
+            relax(heap_forward, dist_forward, parent_forward, settled_forward, dist_backward)
+        else:
+            relax(heap_backward, dist_backward, parent_backward, settled_backward, dist_forward)
+
+    if meeting_vertex is None:
+        raise DisconnectedError(f"no path between {source} and {target}")
+
+    forward_path = _unwind(parent_forward, source, meeting_vertex)
+    backward_path = _unwind(parent_backward, target, meeting_vertex)
+    backward_path.reverse()
+    return best_cost, forward_path + backward_path[1:]
+
+
+def _unwind(parents: dict[Vertex, Vertex], root: Vertex, leaf: Vertex) -> list[Vertex]:
+    """Rebuild the path ``root -> ... -> leaf`` from a parent map."""
+    path = [leaf]
+    vertex = leaf
+    while vertex != root:
+        vertex = parents[vertex]
+        path.append(vertex)
+    path.reverse()
+    return path
+
+
+def shortest_path(network: RoadNetwork, source: Vertex, target: Vertex) -> list[Vertex]:
+    """Vertex sequence of the shortest path from ``source`` to ``target``.
+
+    Raises:
+        DisconnectedError: if no path exists.
+    """
+    _, path = bidirectional_dijkstra(network, source, target)
+    return path
+
+
+def shortest_distance(network: RoadNetwork, source: Vertex, target: Vertex) -> float:
+    """Shortest travel time between two vertices.
+
+    Raises:
+        DisconnectedError: if no path exists.
+    """
+    cost, _ = bidirectional_dijkstra(network, source, target)
+    return cost
+
+
+def path_cost(network: RoadNetwork, path: list[Vertex]) -> float:
+    """Total travel time of a concrete vertex path."""
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        total += network.edge_cost(u, v)
+    return total
+
+
+def eccentricity(network: RoadNetwork, source: Vertex) -> float:
+    """Largest finite shortest-path cost from ``source`` (graph eccentricity)."""
+    distances = single_source_distances(network, source)
+    return max(distances.values()) if distances else 0.0

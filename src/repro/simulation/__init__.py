@@ -1,0 +1,15 @@
+"""Dynamic simulation of the URPSM setting: fleet state, simulator, metrics."""
+
+from repro.simulation.fleet import FleetState, ServiceRecord, WorkerState
+from repro.simulation.metrics import MetricsCollector, SimulationResult
+from repro.simulation.simulator import Simulator, run_simulation
+
+__all__ = [
+    "FleetState",
+    "ServiceRecord",
+    "WorkerState",
+    "MetricsCollector",
+    "SimulationResult",
+    "Simulator",
+    "run_simulation",
+]

@@ -1,0 +1,226 @@
+"""Fleet state: per-worker position, planned route and execution progress.
+
+The dynamic simulator advances every worker along its planned route between
+dispatch events ("when a worker is serving a request, he/she follows the
+planned route and moves to the destination", Section 6.1). A worker's position
+is always snapped to the last road-network vertex it passed on the concrete
+shortest path towards its next stop, so insertion operators always work with
+graph vertices and exact distances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.route import Route, empty_route
+from repro.core.types import Request, StopKind, Worker
+from repro.exceptions import DispatchError
+from repro.network.graph import Vertex
+from repro.network.oracle import DistanceOracle
+
+INFINITY = math.inf
+
+
+@dataclass
+class ServiceRecord:
+    """Completion record of one served request."""
+
+    request: Request
+    worker_id: int
+    pickup_time: float | None = None
+    dropoff_time: float | None = None
+
+    @property
+    def completed(self) -> bool:
+        """Whether the request has been delivered."""
+        return self.dropoff_time is not None
+
+    @property
+    def on_time(self) -> bool:
+        """Whether the delivery met the deadline (False while still in progress)."""
+        return self.dropoff_time is not None and self.dropoff_time <= self.request.deadline + 1e-6
+
+
+class WorkerState:
+    """Execution state of one worker."""
+
+    def __init__(self, worker: Worker, oracle: DistanceOracle) -> None:
+        self.worker = worker
+        self._oracle = oracle
+        self.route: Route = empty_route(worker, start_time=0.0)
+        self.route.refresh(oracle)
+        self.travelled_cost: float = 0.0
+        self.assigned_requests: dict[int, ServiceRecord] = {}
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def position(self) -> Vertex:
+        """Vertex the worker currently occupies (last vertex passed)."""
+        return self.route.origin
+
+    @property
+    def position_time(self) -> float:
+        """Time at which the worker was at :attr:`position`."""
+        return self.route.start_time
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether the worker has no pending stop."""
+        return self.route.is_empty
+
+    @property
+    def pending_stops(self) -> int:
+        """Number of pending stops in the planned route."""
+        return self.route.num_stops
+
+    # -------------------------------------------------------------- planning
+
+    def adopt_route(self, route: Route, request: Request | None = None) -> None:
+        """Replace the planned route (after a successful insertion).
+
+        Args:
+            route: the new route; must belong to the same worker.
+            request: the newly inserted request, if any, so a service record is
+                opened for it.
+        """
+        if route.worker.id != self.worker.id:
+            raise DispatchError(
+                f"route of worker {route.worker.id} assigned to worker {self.worker.id}"
+            )
+        self.route = route
+        if len(route.arr) != route.num_stops + 1:
+            route.refresh(self._oracle)
+        if request is not None:
+            if request.id in self.assigned_requests:
+                raise DispatchError(f"request {request.id} assigned twice to worker {self.worker.id}")
+            self.assigned_requests[request.id] = ServiceRecord(
+                request=request, worker_id=self.worker.id
+            )
+
+    # ------------------------------------------------------------- execution
+
+    def advance_to(self, now: float) -> list[ServiceRecord]:
+        """Move the worker along its planned route until time ``now``.
+
+        Completed stops update pickup/drop-off times of the corresponding
+        service records; the travelled cost is accumulated exactly. Returns the
+        service records completed (delivered) during this advance.
+        """
+        completed: list[ServiceRecord] = []
+        oracle = self._oracle
+        while True:
+            route = self.route
+            if route.is_empty:
+                # idle workers wait in place; their clock still moves forward
+                if now > route.start_time:
+                    route.start_time = now
+                    route.refresh(oracle)
+                break
+            if len(route.arr) != route.num_stops + 1:
+                route.refresh(oracle)
+            next_arrival = route.arr[1]
+            if next_arrival <= now + 1e-9:
+                # the worker reaches the next stop
+                stop = route.stops[0]
+                leg_cost = next_arrival - route.arr[0]
+                self.travelled_cost += max(leg_cost, 0.0)
+                record = self.assigned_requests.get(stop.request.id)
+                if record is not None:
+                    if stop.kind is StopKind.PICKUP:
+                        record.pickup_time = next_arrival
+                    else:
+                        record.dropoff_time = next_arrival
+                        completed.append(record)
+                self.route = Route(
+                    worker=self.worker,
+                    origin=stop.vertex,
+                    start_time=next_arrival,
+                    stops=route.stops[1:],
+                    _direct_distances=dict(route._direct_distances),
+                )
+                self.route.refresh(oracle)
+                continue
+            # partially advance along the concrete shortest path to the next stop
+            budget = now - route.arr[0]
+            if budget <= 1e-9:
+                break
+            path = oracle.path(route.origin, route.stops[0].vertex)
+            moved_cost = 0.0
+            position = route.origin
+            for u, v in zip(path, path[1:]):
+                edge_cost = oracle.network.edge_cost(u, v)
+                if moved_cost + edge_cost > budget + 1e-9:
+                    break
+                moved_cost += edge_cost
+                position = v
+            if position != route.origin:
+                self.travelled_cost += moved_cost
+                self.route = Route(
+                    worker=self.worker,
+                    origin=position,
+                    start_time=route.arr[0] + moved_cost,
+                    stops=list(route.stops),
+                    _direct_distances=dict(route._direct_distances),
+                )
+                self.route.refresh(oracle)
+            break
+        return completed
+
+    def finish_route(self) -> list[ServiceRecord]:
+        """Complete every pending stop (used at the end of the simulation)."""
+        return self.advance_to(INFINITY)
+
+    # -------------------------------------------------------------- metrics
+
+    def total_cost(self) -> float:
+        """Travelled cost so far plus the remaining planned cost ``D(S_w)``."""
+        return self.travelled_cost + self.route.planned_cost(self._oracle)
+
+
+class FleetState:
+    """The collection of all worker states plus convenience accessors."""
+
+    def __init__(self, workers: list[Worker], oracle: DistanceOracle) -> None:
+        if not workers:
+            raise DispatchError("a fleet needs at least one worker")
+        self.oracle = oracle
+        self.states: dict[int, WorkerState] = {
+            worker.id: WorkerState(worker, oracle) for worker in workers
+        }
+
+    def __iter__(self):
+        return iter(self.states.values())
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def state_of(self, worker_id: int) -> WorkerState:
+        """State of the worker with identifier ``worker_id``."""
+        try:
+            return self.states[worker_id]
+        except KeyError as exc:
+            raise DispatchError(f"unknown worker {worker_id}") from exc
+
+    def advance_all(self, now: float) -> list[ServiceRecord]:
+        """Advance every worker to time ``now``; returns completed deliveries."""
+        completed: list[ServiceRecord] = []
+        for state in self.states.values():
+            completed.extend(state.advance_to(now))
+        return completed
+
+    def finish_all(self) -> list[ServiceRecord]:
+        """Complete every pending route at the end of the simulation."""
+        completed: list[ServiceRecord] = []
+        for state in self.states.values():
+            completed.extend(state.finish_route())
+        return completed
+
+    def total_travel_cost(self) -> float:
+        """Sum of travelled + planned costs over the fleet (``sum_w D(S_w)``)."""
+        return sum(state.total_cost() for state in self.states.values())
+
+    def positions(self) -> dict[int, int]:
+        """Current vertex of every worker, keyed by worker id."""
+        return {worker_id: state.position for worker_id, state in self.states.items()}

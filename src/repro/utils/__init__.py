@@ -1,0 +1,25 @@
+"""Shared utilities: geometry helpers, deterministic RNG plumbing, validation and timing."""
+
+from repro.utils.geometry import Point, euclidean, manhattan, midpoint
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timer import Stopwatch
+from repro.utils.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "Point",
+    "euclidean",
+    "manhattan",
+    "midpoint",
+    "make_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "require",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+]

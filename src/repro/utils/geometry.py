@@ -1,0 +1,85 @@
+"""Planar geometry helpers used by the road-network model and spatial indexes.
+
+The paper works on city road networks whose vertices carry latitude/longitude
+coordinates. For the synthetic substitute networks we use planar coordinates in
+metres, which keeps Euclidean distances directly comparable to edge lengths and
+avoids geodesic corrections. The only property the algorithms rely on is that
+the straight-line distance never exceeds the network shortest-path length, which
+holds by construction in :mod:`repro.network.generators`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the plane, in metres.
+
+    Attributes:
+        x: horizontal coordinate in metres.
+        y: vertical coordinate in metres.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_to(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other`` in metres."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in metres."""
+    return a.distance_to(b)
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """Manhattan distance between two points in metres."""
+    return a.manhattan_to(b)
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Midpoint of the segment ``a``–``b``."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def bounding_box(points: Iterable[Point]) -> tuple[float, float, float, float]:
+    """Axis-aligned bounding box ``(min_x, min_y, max_x, max_y)`` of ``points``.
+
+    Raises:
+        ValueError: if ``points`` is empty.
+    """
+    iterator = iter(points)
+    try:
+        first = next(iterator)
+    except StopIteration as exc:
+        raise ValueError("bounding_box() requires at least one point") from exc
+    min_x = max_x = first.x
+    min_y = max_y = first.y
+    for point in iterator:
+        min_x = min(min_x, point.x)
+        max_x = max(max_x, point.x)
+        min_y = min(min_y, point.y)
+        max_y = max(max_y, point.y)
+    return (min_x, min_y, max_x, max_y)
+
+
+def interpolate(a: Point, b: Point, fraction: float) -> Point:
+    """Point at ``fraction`` of the way from ``a`` to ``b`` (0 → a, 1 → b)."""
+    return Point(a.x + (b.x - a.x) * fraction, a.y + (b.y - a.y) * fraction)

@@ -1,0 +1,65 @@
+"""Lightweight wall-clock timing used for the response-time metric.
+
+The paper reports *response time* as the average wall-clock time the platform
+needs to process one request. The simulator wraps every dispatcher call in a
+:class:`Stopwatch` and aggregates the samples in
+:class:`repro.simulation.metrics.MetricsCollector`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with context-manager support.
+
+    Example:
+        >>> watch = Stopwatch()
+        >>> with watch:
+        ...     _ = sum(range(1000))
+        >>> watch.total_seconds >= 0.0
+        True
+    """
+
+    total_seconds: float = 0.0
+    laps: int = 0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        """Start a lap; raises if a lap is already running."""
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the current lap and return its duration in seconds."""
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch is not running")
+        elapsed = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.total_seconds += elapsed
+        self.laps += 1
+        return elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average lap duration in seconds (0.0 if no lap has finished)."""
+        if self.laps == 0:
+            return 0.0
+        return self.total_seconds / self.laps
+
+    def reset(self) -> None:
+        """Discard all accumulated laps."""
+        self.total_seconds = 0.0
+        self.laps = 0
+        self._started_at = None

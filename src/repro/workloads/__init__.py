@@ -1,0 +1,44 @@
+"""Synthetic workloads: demand distributions, request streams, fleets, scenarios."""
+
+from repro.workloads.distributions import (
+    HotspotModel,
+    NYC_PASSENGER_COUNT_DISTRIBUTION,
+    RushHourProfile,
+    sample_request_capacity,
+    sample_worker_capacity,
+)
+from repro.workloads.requests import (
+    RequestGeneratorConfig,
+    generate_requests,
+    poisson_request_stream,
+)
+from repro.workloads.scenarios import (
+    CITY_BUILDERS,
+    ScenarioConfig,
+    build_instance,
+    build_network,
+    dataset_statistics,
+    make_oracle,
+    paper_default_scenario,
+)
+from repro.workloads.workers import WorkerGeneratorConfig, generate_workers
+
+__all__ = [
+    "HotspotModel",
+    "NYC_PASSENGER_COUNT_DISTRIBUTION",
+    "RushHourProfile",
+    "sample_request_capacity",
+    "sample_worker_capacity",
+    "RequestGeneratorConfig",
+    "generate_requests",
+    "poisson_request_stream",
+    "CITY_BUILDERS",
+    "ScenarioConfig",
+    "build_instance",
+    "build_network",
+    "dataset_statistics",
+    "make_oracle",
+    "paper_default_scenario",
+    "WorkerGeneratorConfig",
+    "generate_workers",
+]

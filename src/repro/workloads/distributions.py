@@ -1,0 +1,155 @@
+"""Spatial and temporal distributions used by the synthetic workload generators.
+
+The real datasets of the paper (NYC TLC and Didi Chengdu) exhibit two key
+properties the algorithms are sensitive to:
+
+* **spatial concentration** — pickups and drop-offs cluster around a few
+  hotspots (business districts, stations), so routes overlap and ride sharing
+  is actually possible;
+* **temporal peaks** — request rates surge during morning and evening rush
+  hours, stressing the platform when the fleet is busiest.
+
+Both are modelled here: a mixture-of-Gaussians hotspot sampler snapped to the
+nearest road vertex, and a piecewise-constant rush-hour arrival process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.graph import RoadNetwork, Vertex
+from repro.utils.geometry import bounding_box
+
+
+@dataclass
+class HotspotModel:
+    """Mixture-of-Gaussians sampler over the vertices of a road network.
+
+    Attributes:
+        network: the road network whose vertices are sampled.
+        num_hotspots: number of Gaussian components.
+        spread_fraction: standard deviation of each component as a fraction of
+            the network's bounding-box diagonal.
+        uniform_share: probability of drawing a uniformly random vertex instead
+            of a hotspot-centred one (models background traffic).
+    """
+
+    network: RoadNetwork
+    num_hotspots: int = 5
+    spread_fraction: float = 0.08
+    uniform_share: float = 0.25
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    def __post_init__(self) -> None:
+        self._vertices = np.array(sorted(self.network.vertices()), dtype=np.int64)
+        coordinates = [self.network.coordinates(int(v)) for v in self._vertices]
+        self._xs = np.array([point.x for point in coordinates])
+        self._ys = np.array([point.y for point in coordinates])
+        min_x, min_y, max_x, max_y = bounding_box(coordinates)
+        diagonal = float(np.hypot(max_x - min_x, max_y - min_y))
+        self._sigma = max(self.spread_fraction * diagonal, 1.0)
+        centre_indices = self.rng.choice(len(self._vertices), size=self.num_hotspots, replace=False)
+        self._centres = [(self._xs[i], self._ys[i]) for i in centre_indices]
+        # hotspot popularity follows a heavy-tailed (Zipf-like) profile
+        weights = 1.0 / np.arange(1, self.num_hotspots + 1, dtype=float)
+        self._weights = weights / weights.sum()
+
+    def sample_vertex(self) -> Vertex:
+        """Draw one vertex: either uniform background traffic or near a hotspot."""
+        if self.rng.random() < self.uniform_share:
+            return int(self._vertices[int(self.rng.integers(len(self._vertices)))])
+        centre_index = int(self.rng.choice(self.num_hotspots, p=self._weights))
+        cx, cy = self._centres[centre_index]
+        x = cx + self.rng.normal(0.0, self._sigma)
+        y = cy + self.rng.normal(0.0, self._sigma)
+        return self._nearest_vertex(x, y)
+
+    def sample_pair(self) -> tuple[Vertex, Vertex]:
+        """Draw an (origin, destination) pair with distinct endpoints."""
+        origin = self.sample_vertex()
+        destination = self.sample_vertex()
+        attempts = 0
+        while destination == origin and attempts < 10:
+            destination = self.sample_vertex()
+            attempts += 1
+        if destination == origin:
+            # fall back to any other vertex to keep the pair non-degenerate
+            offset = int(self.rng.integers(1, len(self._vertices)))
+            destination = int(self._vertices[(int(np.searchsorted(self._vertices, origin)) + offset) % len(self._vertices)])
+        return origin, destination
+
+    def _nearest_vertex(self, x: float, y: float) -> Vertex:
+        distances = (self._xs - x) ** 2 + (self._ys - y) ** 2
+        return int(self._vertices[int(np.argmin(distances))])
+
+
+@dataclass
+class RushHourProfile:
+    """Piecewise-constant arrival-rate profile over the simulation horizon.
+
+    The default profile has a morning peak around 1/3 of the horizon and a
+    stronger evening peak around 3/4 of the horizon, mimicking citywide taxi
+    demand curves.
+    """
+
+    horizon_seconds: float
+    base_rate: float = 1.0
+    morning_peak: float = 2.5
+    evening_peak: float = 3.0
+
+    def rate_at(self, fraction: float) -> float:
+        """Relative arrival rate at ``fraction`` of the horizon (0..1)."""
+        morning = self.morning_peak * np.exp(-((fraction - 0.33) ** 2) / (2 * 0.06**2))
+        evening = self.evening_peak * np.exp(-((fraction - 0.75) ** 2) / (2 * 0.08**2))
+        return float(self.base_rate + morning + evening)
+
+    def sample_release_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` sorted release times following the profile.
+
+        Uses inverse-transform sampling on a discretised version of the rate
+        curve, which is accurate enough for workload generation.
+        """
+        if count <= 0:
+            return np.array([], dtype=float)
+        grid = np.linspace(0.0, 1.0, 512)
+        rates = np.array([self.rate_at(fraction) for fraction in grid])
+        cumulative = np.cumsum(rates)
+        cumulative = cumulative / cumulative[-1]
+        draws = rng.random(count)
+        fractions = np.interp(draws, cumulative, grid)
+        times = np.sort(fractions) * self.horizon_seconds
+        return times
+
+
+# Empirical passenger-count distribution of NYC yellow-taxi trips (rounded);
+# used to draw request capacities K_r for both cities, as the paper generates
+# Chengdu's K_r from NYC's distribution.
+NYC_PASSENGER_COUNT_DISTRIBUTION: dict[int, float] = {
+    1: 0.72,
+    2: 0.14,
+    3: 0.04,
+    4: 0.02,
+    5: 0.05,
+    6: 0.03,
+}
+
+
+def sample_request_capacity(rng: np.random.Generator) -> int:
+    """Draw a request capacity ``K_r`` from the NYC passenger-count distribution."""
+    values = list(NYC_PASSENGER_COUNT_DISTRIBUTION)
+    probabilities = np.array(list(NYC_PASSENGER_COUNT_DISTRIBUTION.values()))
+    probabilities = probabilities / probabilities.sum()
+    return int(rng.choice(values, p=probabilities))
+
+
+def sample_worker_capacity(rng: np.random.Generator, nominal: int) -> int:
+    """Draw a worker capacity ``K_w`` ~ Gaussian around the nominal value (>= 1).
+
+    Table 5 notes that worker capacities are generated with a Gaussian
+    distribution centred on the configured value because neither dataset
+    records vehicle capacities.
+    """
+    value = int(round(rng.normal(loc=nominal, scale=1.0)))
+    return max(value, 1)

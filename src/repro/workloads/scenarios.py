@@ -1,0 +1,174 @@
+"""Scenario construction: city + fleet + request stream -> URPSM instance.
+
+A :class:`ScenarioConfig` captures every knob of Table 5 (grid size, deadline,
+worker capacity, penalty factor, alpha, fleet size) plus the scale of the
+synthetic city. :func:`build_instance` turns a config into a ready-to-simulate
+:class:`~repro.core.instance.URPSMInstance`; :func:`dataset_statistics`
+reproduces the Table 4 dataset summary for the synthetic stand-ins.
+
+Two named cities are provided:
+
+* ``nyc-like`` — larger Manhattan-style grid (stand-in for the NYC dataset);
+* ``chengdu-like`` — smaller ring-radial city (stand-in for Chengdu).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.instance import URPSMInstance
+from repro.core.objective import ObjectiveConfig, PenaltyPolicy
+from repro.exceptions import ConfigurationError
+from repro.network.generators import grid_city, random_geometric_city, ring_radial_city
+from repro.network.graph import RoadNetwork
+from repro.network.oracle import DistanceOracle
+from repro.utils.rng import derive_seed
+from repro.workloads.requests import RequestGeneratorConfig, generate_requests
+from repro.workloads.workers import WorkerGeneratorConfig, generate_workers
+
+CITY_BUILDERS = {
+    "nyc-like": lambda seed: grid_city(rows=36, columns=36, block_metres=280.0, seed=seed,
+                                       name="nyc-like"),
+    "chengdu-like": lambda seed: ring_radial_city(rings=8, radials=24, ring_spacing_metres=700.0,
+                                                  seed=seed, name="chengdu-like"),
+    "small-grid": lambda seed: grid_city(rows=12, columns=12, block_metres=250.0, seed=seed,
+                                         name="small-grid"),
+    "random": lambda seed: random_geometric_city(num_vertices=250, seed=seed, name="random"),
+}
+"""Named synthetic cities available to scenarios."""
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Full description of one experimental scenario (Table 5 parameters).
+
+    Attributes:
+        city: one of :data:`CITY_BUILDERS`.
+        num_workers: fleet size ``|W|``.
+        num_requests: number of requests ``|R|``.
+        worker_capacity: nominal worker capacity ``K_w``.
+        deadline_minutes: service window ``e_r - t_r`` in minutes.
+        penalty_factor: ``p_r = penalty_factor * dis(o_r, d_r)``.
+        alpha: weight of the travel cost in the unified objective.
+        grid_km: grid-index cell size ``g`` in kilometres.
+        horizon_hours: length of the simulated day.
+        seed: master seed; all generator seeds derive from it.
+        use_hub_labels: force hub labels as the oracle accelerator.
+        oracle_precompute: oracle acceleration mode — ``"auto"`` (dense
+            all-pairs table for networks up to a few thousand vertices, hub
+            labels otherwise), ``"apsp"``, ``"hub_labels"`` or ``"none"``.
+    """
+
+    city: str = "chengdu-like"
+    num_workers: int = 100
+    num_requests: int = 1500
+    worker_capacity: int = 4
+    deadline_minutes: float = 10.0
+    penalty_factor: float = 10.0
+    alpha: float = 1.0
+    grid_km: float = 2.0
+    horizon_hours: float = 4.0
+    seed: int = 2018
+    use_hub_labels: bool = False
+    oracle_precompute: str = "auto"
+
+    def with_overrides(self, **kwargs) -> "ScenarioConfig":
+        """Return a copy with the given fields replaced (sweep helper)."""
+        return replace(self, **kwargs)
+
+    def objective(self) -> ObjectiveConfig:
+        """The objective configuration implied by ``alpha`` / ``penalty_factor``."""
+        return ObjectiveConfig(
+            alpha=self.alpha,
+            penalty_policy=PenaltyPolicy.PROPORTIONAL,
+            penalty_value=self.penalty_factor,
+        )
+
+
+def paper_default_scenario(city: str = "chengdu-like", **overrides) -> ScenarioConfig:
+    """The Table 5 defaults scaled to a laptop-sized synthetic city."""
+    config = ScenarioConfig(city=city)
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def build_network(config: ScenarioConfig) -> RoadNetwork:
+    """Build (deterministically) the synthetic city of ``config``."""
+    try:
+        builder = CITY_BUILDERS[config.city]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown city {config.city!r}; available: {sorted(CITY_BUILDERS)}"
+        ) from exc
+    return builder(derive_seed(config.seed, "city", config.city))
+
+
+def make_oracle(network: RoadNetwork, config: ScenarioConfig) -> DistanceOracle:
+    """Build the distance oracle for ``config``, choosing the accelerator.
+
+    ``"auto"`` picks a dense all-pairs table for networks of up to a few
+    thousand vertices (the regime of the synthetic cities) and falls back to
+    hub labels beyond that; the paper similarly assumes an effectively O(1)
+    shortest-distance oracle (hub labelling + LRU cache).
+    """
+    mode = "hub_labels" if config.use_hub_labels else config.oracle_precompute
+    if mode == "auto":
+        mode = "apsp" if network.num_vertices <= 4000 else "hub_labels"
+    if mode == "none":
+        return DistanceOracle(network)
+    return DistanceOracle(network, precompute=mode)
+
+
+def build_instance(
+    config: ScenarioConfig, network: RoadNetwork | None = None, oracle: DistanceOracle | None = None
+) -> URPSMInstance:
+    """Materialise the scenario into a :class:`URPSMInstance`.
+
+    Passing a pre-built ``network``/``oracle`` lets parameter sweeps reuse the
+    expensive city construction across configurations.
+    """
+    if network is None:
+        network = build_network(config)
+    if oracle is None:
+        oracle = make_oracle(network, config)
+    objective = config.objective()
+
+    workers = generate_workers(
+        network,
+        WorkerGeneratorConfig(
+            count=config.num_workers,
+            nominal_capacity=config.worker_capacity,
+            seed=derive_seed(config.seed, "workers"),
+        ),
+    )
+    requests = generate_requests(
+        network,
+        oracle,
+        objective,
+        RequestGeneratorConfig(
+            count=config.num_requests,
+            horizon_seconds=config.horizon_hours * 3600.0,
+            deadline_seconds=config.deadline_minutes * 60.0,
+            seed=derive_seed(config.seed, "requests"),
+        ),
+    )
+    instance = URPSMInstance(
+        network=network,
+        oracle=oracle,
+        workers=workers,
+        requests=requests,
+        objective=objective,
+        name=f"{config.city}-W{config.num_workers}-R{config.num_requests}",
+    )
+    instance.validate()
+    return instance
+
+
+def dataset_statistics(config: ScenarioConfig) -> dict[str, float]:
+    """Table 4 style statistics (#requests, #vertices, #edges) for a scenario."""
+    network = build_network(config)
+    return {
+        "dataset": config.city,
+        "requests": float(config.num_requests),
+        "vertices": float(network.num_vertices),
+        "edges": float(network.num_edges),
+    }

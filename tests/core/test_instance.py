@@ -1,0 +1,64 @@
+"""Tests for URPSM instance validation and statistics."""
+
+import pytest
+
+from repro.core.instance import URPSMInstance
+from repro.core.objective import paper_default_objective
+from repro.exceptions import ConfigurationError
+from tests.conftest import make_request, make_worker
+
+
+def _instance(network, oracle, workers=None, requests=None):
+    return URPSMInstance(
+        network=network,
+        oracle=oracle,
+        workers=workers if workers is not None else [make_worker(0, 0), make_worker(1, 3)],
+        requests=requests if requests is not None else [make_request(0, 1, 4, release=0.0)],
+        objective=paper_default_objective(),
+        name="test-instance",
+    )
+
+
+class TestValidation:
+    def test_valid_instance_passes(self, line_network, line_oracle):
+        _instance(line_network, line_oracle).validate()
+
+    def test_empty_fleet_rejected(self, line_network, line_oracle):
+        with pytest.raises(ConfigurationError, match="at least one worker"):
+            _instance(line_network, line_oracle, workers=[]).validate()
+
+    def test_duplicate_worker_ids_rejected(self, line_network, line_oracle):
+        workers = [make_worker(7, 0), make_worker(7, 1)]
+        with pytest.raises(ConfigurationError, match="duplicate worker"):
+            _instance(line_network, line_oracle, workers=workers).validate()
+
+    def test_duplicate_request_ids_rejected(self, line_network, line_oracle):
+        requests = [make_request(5, 0, 1), make_request(5, 1, 2)]
+        with pytest.raises(ConfigurationError, match="duplicate request"):
+            _instance(line_network, line_oracle, requests=requests).validate()
+
+    def test_unknown_vertex_rejected(self, line_network, line_oracle):
+        requests = [make_request(0, 0, 999)]
+        with pytest.raises(ConfigurationError, match="unknown destination"):
+            _instance(line_network, line_oracle, requests=requests).validate()
+
+    def test_unknown_worker_location_rejected(self, line_network, line_oracle):
+        workers = [make_worker(0, 999)]
+        with pytest.raises(ConfigurationError, match="unknown vertex"):
+            _instance(line_network, line_oracle, workers=workers).validate()
+
+    def test_unsorted_requests_rejected(self, line_network, line_oracle):
+        requests = [make_request(0, 0, 1, release=100.0), make_request(1, 1, 2, release=5.0)]
+        with pytest.raises(ConfigurationError, match="sorted by release time"):
+            _instance(line_network, line_oracle, requests=requests).validate()
+
+
+class TestStatistics:
+    def test_statistics_contain_counts(self, line_network, line_oracle):
+        instance = _instance(line_network, line_oracle)
+        stats = instance.statistics()
+        assert stats["workers"] == 2.0
+        assert stats["requests"] == 1.0
+        assert stats["vertices"] == float(line_network.num_vertices)
+        assert instance.num_workers == 2
+        assert instance.num_requests == 1

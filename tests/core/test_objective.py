@@ -1,0 +1,94 @@
+"""Tests for the unified objective and its special-case reductions (Section 3.2)."""
+
+import math
+
+import pytest
+
+from repro.core.objective import (
+    ObjectiveConfig,
+    PenaltyPolicy,
+    max_revenue_objective,
+    max_served_requests_objective,
+    min_total_distance_objective,
+    paper_default_objective,
+    platform_revenue,
+    unified_cost,
+)
+from tests.conftest import make_request
+
+
+class TestObjectiveConfig:
+    def test_proportional_penalty(self):
+        config = ObjectiveConfig(alpha=1.0, penalty_policy=PenaltyPolicy.PROPORTIONAL,
+                                 penalty_value=10.0)
+        assert config.penalty_for(42.0) == pytest.approx(420.0)
+
+    def test_fixed_penalty(self):
+        config = ObjectiveConfig(alpha=0.0, penalty_policy=PenaltyPolicy.FIXED, penalty_value=1.0)
+        assert config.penalty_for(42.0) == 1.0
+
+    def test_infinite_penalty(self):
+        config = ObjectiveConfig(alpha=1.0, penalty_policy=PenaltyPolicy.INFINITE)
+        assert config.penalty_for(42.0) == math.inf
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectiveConfig(alpha=-0.5)
+
+
+class TestPresets:
+    def test_min_total_distance_preset(self):
+        config = min_total_distance_objective()
+        assert config.alpha == 1.0
+        assert config.penalty_for(5.0) == math.inf
+
+    def test_max_served_requests_preset(self):
+        config = max_served_requests_objective()
+        assert config.alpha == 0.0
+        assert config.penalty_for(5.0) == 1.0
+
+    def test_max_revenue_preset(self):
+        config = max_revenue_objective(worker_cost_per_second=2.0, fare_per_second=5.0)
+        assert config.alpha == 2.0
+        assert config.penalty_for(10.0) == pytest.approx(50.0)
+
+    def test_paper_default(self):
+        config = paper_default_objective()
+        assert config.alpha == 1.0
+        assert config.penalty_for(3.0) == pytest.approx(30.0)
+
+
+class TestUnifiedCost:
+    def test_unified_cost_combines_distance_and_penalties(self):
+        rejected = [make_request(1, 0, 1, penalty=10.0), make_request(2, 0, 1, penalty=5.0)]
+        assert unified_cost(100.0, rejected, alpha=2.0) == pytest.approx(215.0)
+
+    def test_unified_cost_with_alpha_zero_counts_only_penalties(self):
+        rejected = [make_request(1, 0, 1, penalty=1.0)] * 3
+        assert unified_cost(1e9, rejected, alpha=0.0) == pytest.approx(3.0)
+
+    def test_unified_cost_no_rejections(self):
+        assert unified_cost(50.0, [], alpha=1.0) == pytest.approx(50.0)
+
+
+class TestRevenueEquivalence:
+    def test_revenue_plus_unified_cost_is_constant(self):
+        """Eq. (4): revenue = c_r * sum dis(o,d) - UC, for alpha=c_w, p_r=c_r*dis."""
+        worker_cost, fare = 1.5, 4.0
+        config = max_revenue_objective(worker_cost, fare)
+        direct = {1: 30.0, 2: 50.0, 3: 20.0}
+        total_direct = sum(direct.values())
+
+        # plan A: serve requests 1 and 2, reject 3; travel cost 120
+        rejected_a = [make_request(3, 0, 1, penalty=config.penalty_for(direct[3]))]
+        uc_a = unified_cost(120.0, rejected_a, alpha=config.alpha)
+        revenue_a = platform_revenue(120.0, [direct[1], direct[2]], worker_cost, fare)
+        assert revenue_a == pytest.approx(fare * total_direct - uc_a)
+
+        # plan B: serve everything; travel cost 160
+        uc_b = unified_cost(160.0, [], alpha=config.alpha)
+        revenue_b = platform_revenue(160.0, list(direct.values()), worker_cost, fare)
+        assert revenue_b == pytest.approx(fare * total_direct - uc_b)
+
+        # the plan with smaller unified cost has larger revenue
+        assert (uc_a < uc_b) == (revenue_a > revenue_b)

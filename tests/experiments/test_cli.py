@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.algorithm == "pruneGreedyDP"
+        assert args.city == "chengdu-like"
+
+    def test_figure_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "figure99"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--algorithm", "magic"])
+
+
+class TestCommands:
+    def test_simulate_runs(self, capsys):
+        exit_code = main([
+            "simulate", "--city", "small-grid", "--workers", "6", "--requests", "20",
+            "--algorithm", "GreedyDP", "--seed", "3",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "GreedyDP" in captured
+        assert "unified_cost" in captured
+
+    def test_compare_runs(self, capsys):
+        exit_code = main([
+            "compare", "--city", "small-grid", "--workers", "6", "--requests", "15",
+            "--algorithms", "pruneGreedyDP", "tshare", "--seed", "3",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "pruneGreedyDP" in captured and "tshare" in captured
+
+    def test_datasets_prints_tables(self, capsys):
+        exit_code = main(["datasets", "--scale", "tiny"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 4" in captured and "Table 5" in captured
+
+    def test_figure_with_json_output(self, capsys, tmp_path):
+        output = tmp_path / "fig3.json"
+        exit_code = main([
+            "figure", "figure3", "--scale", "tiny", "--cities", "small-grid",
+            "--algorithms", "pruneGreedyDP", "--output", str(output),
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "figure3" in captured
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["figure"] == "figure3"
+        assert len(payload["points"]) == 5
+
+    def test_figure_with_markdown_output(self, capsys, tmp_path):
+        output = tmp_path / "fig3.md"
+        exit_code = main([
+            "figure", "figure3", "--scale", "tiny", "--cities", "small-grid",
+            "--algorithms", "GreedyDP", "--output", str(output),
+        ])
+        capsys.readouterr()
+        assert exit_code == 0
+        assert "GreedyDP" in output.read_text(encoding="utf-8")

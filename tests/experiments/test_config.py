@@ -1,0 +1,60 @@
+"""Tests for the experiment configuration and scale presets."""
+
+import pytest
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_ALGORITHMS,
+    PAPER_DEADLINE_MINUTES,
+    PAPER_GRID_KM,
+    PAPER_PENALTY_FACTORS,
+    PAPER_WORKER_CAPACITY,
+    SCALES,
+)
+
+
+class TestPaperGrid:
+    def test_paper_sweeps_match_table5(self):
+        assert PAPER_GRID_KM == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert PAPER_DEADLINE_MINUTES == [5.0, 10.0, 15.0, 20.0, 25.0]
+        assert PAPER_WORKER_CAPACITY == [3, 4, 6, 10, 20]
+        assert PAPER_PENALTY_FACTORS["chengdu-like"] == [2.0, 5.0, 10.0, 20.0, 30.0]
+        assert PAPER_PENALTY_FACTORS["nyc-like"] == [10.0, 20.0, 30.0, 40.0, 50.0]
+
+    def test_all_five_algorithms_compared(self):
+        assert set(PAPER_ALGORITHMS) == {"tshare", "kinetic", "pruneGreedyDP", "batch", "GreedyDP"}
+
+
+class TestExperimentConfig:
+    def test_base_scenario_uses_table5_defaults(self):
+        experiment = ExperimentConfig(scale="tiny")
+        scenario = experiment.base_scenario("chengdu-like")
+        assert scenario.grid_km == 2.0
+        assert scenario.deadline_minutes == 10.0
+        assert scenario.worker_capacity == 4
+        assert scenario.penalty_factor == 10.0
+        assert scenario.alpha == 1.0
+
+    def test_scales_define_every_city(self):
+        for preset in SCALES.values():
+            for city in ("chengdu-like", "nyc-like"):
+                assert city in preset.requests
+                assert len(preset.worker_sweep(city)) == 5
+                assert city in preset.default_workers
+
+    def test_nyc_scaled_larger_than_chengdu(self):
+        preset = SCALES["small"]
+        assert preset.requests["nyc-like"] > preset.requests["chengdu-like"]
+        assert preset.default_workers["nyc-like"] > preset.default_workers["chengdu-like"]
+
+    def test_sweep_accessors(self):
+        experiment = ExperimentConfig(scale="tiny")
+        assert len(experiment.worker_sweep("nyc-like")) == 5
+        assert experiment.capacity_sweep() == PAPER_WORKER_CAPACITY
+        assert experiment.grid_sweep() == PAPER_GRID_KM
+        assert experiment.deadline_sweep() == PAPER_DEADLINE_MINUTES
+        assert experiment.penalty_sweep("nyc-like") == PAPER_PENALTY_FACTORS["nyc-like"]
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            ExperimentConfig(scale="galactic").preset()

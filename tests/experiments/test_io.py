@@ -1,0 +1,104 @@
+"""Tests for result/figure serialisation (JSON, CSV, Markdown)."""
+
+import json
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.io import (
+    figure_from_dict,
+    figure_to_dict,
+    figure_to_markdown,
+    load_figure_json,
+    load_results_json,
+    result_from_dict,
+    result_to_dict,
+    save_figure_csv,
+    save_figure_json,
+    save_results_json,
+)
+from repro.experiments.runner import SweepPoint
+from repro.simulation.metrics import SimulationResult
+
+
+def _result(algorithm="pruneGreedyDP", unified=123.0, served=40, total=50):
+    return SimulationResult(
+        algorithm=algorithm,
+        instance_name="unit-test",
+        alpha=1.0,
+        total_requests=total,
+        served_requests=served,
+        rejected_requests=total - served,
+        total_travel_cost=100.0,
+        total_penalty=23.0,
+        unified_cost=unified,
+        total_dispatch_seconds=0.5,
+        distance_queries=999,
+    )
+
+
+def _figure():
+    figure = FigureResult(figure="figure3", parameter="num_workers")
+    for value in (10, 20):
+        point = SweepPoint(parameter="num_workers", value=value, city="chengdu-like")
+        point.results = [_result("pruneGreedyDP", unified=100.0 / value), _result("tshare", unified=200.0 / value)]
+        figure.points.append(point)
+    return figure
+
+
+class TestResultSerialisation:
+    def test_round_trip_preserves_fields(self):
+        original = _result()
+        restored = result_from_dict(result_to_dict(original))
+        assert restored.algorithm == original.algorithm
+        assert restored.unified_cost == original.unified_cost
+        assert restored.served_rate == pytest.approx(original.served_rate)
+        assert restored.distance_queries == original.distance_queries
+
+    def test_save_and_load_json(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_results_json([_result(), _result("tshare")], path)
+        restored = load_results_json(path)
+        assert [result.algorithm for result in restored] == ["pruneGreedyDP", "tshare"]
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "results.json"
+        path.write_text(json.dumps({"schema_version": 99, "results": []}), encoding="utf-8")
+        with pytest.raises(ValueError, match="schema"):
+            load_results_json(path)
+
+
+class TestFigureSerialisation:
+    def test_dict_round_trip(self):
+        figure = _figure()
+        restored = figure_from_dict(figure_to_dict(figure))
+        assert restored.figure == "figure3"
+        assert [point.value for point in restored.points] == [10, 20]
+        assert restored.series("chengdu-like", "pruneGreedyDP", "unified_cost") == [
+            (10, pytest.approx(10.0)),
+            (20, pytest.approx(5.0)),
+        ]
+
+    def test_json_file_round_trip(self, tmp_path):
+        path = tmp_path / "figure.json"
+        save_figure_json(_figure(), path)
+        restored = load_figure_json(path)
+        assert restored.parameter == "num_workers"
+        assert len(restored.points) == 2
+
+    def test_csv_export(self, tmp_path):
+        path = tmp_path / "figure.csv"
+        save_figure_csv(_figure(), path)
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        assert len(lines) == 1 + 4  # header + 2 points x 2 algorithms
+        assert "algorithm" in lines[0]
+
+    def test_markdown_rendering(self):
+        text = figure_to_markdown(_figure())
+        assert "figure3" in text
+        assert "| pruneGreedyDP |" in text
+        assert "Unified cost" in text
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            figure_from_dict({"schema_version": 42, "figure": "x", "parameter": "y"})

@@ -1,0 +1,36 @@
+"""Tests for the ASCII series chart renderer."""
+
+from repro.experiments.reporting import render_series_chart
+
+
+class TestRenderSeriesChart:
+    def test_renders_one_row_per_point(self):
+        chart = render_series_chart(
+            {"pruneGreedyDP": [(10, 5.0), (20, 2.5)], "tshare": [(10, 10.0)]},
+            width=20,
+            title="unified cost",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "unified cost"
+        assert len(lines) == 4
+        assert any("pruneGreedyDP @ 10" in line for line in lines)
+
+    def test_bars_scale_to_maximum(self):
+        chart = render_series_chart({"a": [(1, 10.0)], "b": [(1, 5.0)]}, width=10)
+        lines = chart.splitlines()
+        bar_a = lines[0].split("|")[1].count("#")
+        bar_b = lines[1].split("|")[1].count("#")
+        assert bar_a == 10
+        assert bar_b == 5
+
+    def test_empty_series(self):
+        assert render_series_chart({}) == "(no data)"
+
+    def test_all_zero_values(self):
+        chart = render_series_chart({"a": [(1, 0.0), (2, 0.0)]}, width=10)
+        assert "#" not in chart
+
+    def test_labels_aligned(self):
+        chart = render_series_chart({"long-algorithm-name": [(1, 1.0)], "x": [(1, 1.0)]})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")

@@ -1,0 +1,120 @@
+"""Tests for the experiment runner, figure harness, tables and reporting.
+
+These run at the ``tiny`` scale on the smallest synthetic city so the whole
+module stays fast while exercising the full sweep machinery end to end.
+"""
+
+import math
+
+import pytest
+
+from repro.dispatch.base import DispatcherConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FIGURES, figure3_workers, figure6_deadline
+from repro.experiments.reporting import (
+    figure_summary_rows,
+    format_figure,
+    format_results,
+    format_table,
+)
+from repro.experiments.runner import ScenarioRunner
+from repro.experiments.tables import table4_datasets, table5_parameters
+from repro.workloads.scenarios import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return ExperimentConfig(
+        cities=("small-grid",),
+        algorithms=("pruneGreedyDP", "GreedyDP"),
+        scale="tiny",
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ScenarioRunner(DispatcherConfig())
+
+
+class TestScenarioRunner:
+    def test_compare_returns_one_result_per_algorithm(self, runner):
+        config = ScenarioConfig(city="small-grid", num_workers=6, num_requests=25, seed=5)
+        results = runner.compare(config, ["pruneGreedyDP", "tshare"])
+        assert [result.algorithm for result in results] == ["pruneGreedyDP", "tshare"]
+        for result in results:
+            assert result.total_requests == 25
+
+    def test_network_cache_reused(self, runner):
+        config = ScenarioConfig(city="small-grid", num_workers=6, num_requests=10, seed=5)
+        assert runner.network_for(config) is runner.network_for(config.with_overrides(num_workers=9))
+
+    def test_sweep_produces_one_point_per_value(self, runner):
+        base = ScenarioConfig(city="small-grid", num_workers=6, num_requests=20, seed=5)
+        points = runner.sweep("num_workers", [4, 8], base, ["pruneGreedyDP"])
+        assert [point.value for point in points] == [4, 8]
+        assert all(point.parameter == "num_workers" for point in points)
+        assert all(point.result_for("pruneGreedyDP") is not None for point in points)
+        assert points[0].result_for("missing") is None
+
+
+class TestFigures:
+    def test_registry_covers_figures_3_to_7(self):
+        assert set(FIGURES) == {"figure3", "figure4", "figure5", "figure6", "figure7"}
+
+    def test_figure3_series_shapes(self, experiment, runner):
+        figure = figure3_workers(experiment, runner)
+        assert figure.parameter == "num_workers"
+        assert figure.cities() == ["small-grid"]
+        assert set(figure.algorithms()) == {"pruneGreedyDP", "GreedyDP"}
+        series = figure.series("small-grid", "pruneGreedyDP", "unified_cost")
+        assert len(series) == 5
+        assert all(math.isfinite(value) for _, value in series)
+
+    def test_more_workers_do_not_increase_unified_cost(self, experiment, runner):
+        figure = figure3_workers(experiment, runner)
+        series = figure.series("small-grid", "pruneGreedyDP", "unified_cost")
+        values = [value for _, value in series]
+        assert values[-1] <= values[0] * 1.05  # small tolerance for tie-breaking noise
+
+    def test_figure6_longer_deadline_serves_more(self, experiment, runner):
+        figure = figure6_deadline(experiment, runner)
+        served = figure.series("small-grid", "pruneGreedyDP", "served_rate")
+        values = [value for _, value in served]
+        assert values[-1] >= values[0]
+
+
+class TestTablesAndReporting:
+    def test_table4_rows(self, experiment):
+        rows = table4_datasets(experiment)
+        assert len(rows) == 1
+        assert rows[0]["dataset"] == "small-grid"
+        assert rows[0]["vertices"] > 0
+
+    def test_table5_rows_include_all_parameters(self, experiment):
+        rows = table5_parameters(experiment)
+        names = {row["parameter"] for row in rows}
+        assert any("grid size" in name for name in names)
+        assert any("deadline" in name for name in names)
+        assert any("capacity" in name for name in names)
+        assert any("penalty" in name for name in names)
+        assert any("workers" in name for name in names)
+
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_figure_and_results(self, experiment, runner):
+        figure = figure3_workers(experiment, runner)
+        text = format_figure(figure)
+        assert "Unified cost" in text and "Served rate" in text
+        point = figure.points[0]
+        assert "pruneGreedyDP" in format_results(point.results)
+        rows = figure_summary_rows(figure)
+        assert len(rows) == len(figure.points) * 2
+        assert {"figure", "value", "city"} <= set(rows[0])

@@ -1,0 +1,65 @@
+"""Tests for the T-share grid index with sorted cell lists."""
+
+import pytest
+
+from repro.index.grid import GridIndex
+from repro.index.tshare_grid import TShareGridIndex
+from repro.network.generators import grid_city
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_city(rows=6, columns=6, block_metres=250.0, removed_block_fraction=0.0, seed=1)
+
+
+@pytest.fixture()
+def index(network):
+    return TShareGridIndex(network, cell_metres=500.0, average_speed=10.0)
+
+
+class TestSortedSearch:
+    def test_reachable_cells_sorted_by_time(self, index):
+        vertices = sorted(index.network.vertices())
+        cells = index.cells_reachable_within(vertices[0], budget_seconds=100.0)
+        assert cells, "origin cell itself must be reachable"
+        assert cells[0] == index.cell_of_vertex(vertices[0])
+
+    def test_budget_zero_still_includes_origin_cell(self, index):
+        vertices = sorted(index.network.vertices())
+        cells = index.cells_reachable_within(vertices[0], budget_seconds=0.0)
+        assert index.cell_of_vertex(vertices[0]) in cells
+
+    def test_larger_budget_reaches_more_cells(self, index):
+        vertices = sorted(index.network.vertices())
+        small = index.cells_reachable_within(vertices[0], budget_seconds=30.0)
+        large = index.cells_reachable_within(vertices[0], budget_seconds=300.0)
+        assert len(large) >= len(small)
+        assert set(small) <= set(large)
+
+    def test_candidate_workers_limited_by_budget(self, index, network):
+        vertices = sorted(network.vertices())
+        index.insert("near", vertices[0])
+        index.insert("far", vertices[-1])
+        candidates = index.candidate_workers(vertices[0], budget_seconds=30.0)
+        assert "near" in candidates
+        assert "far" not in candidates
+
+    def test_single_side_search_can_miss_workers(self, index, network):
+        """The lossy behaviour the paper attributes to tshare's searching step."""
+        vertices = sorted(network.vertices())
+        index.insert("far", vertices[-1])
+        candidates = index.candidate_workers(vertices[0], budget_seconds=10.0)
+        assert candidates == []
+
+    def test_invalid_speed_rejected(self, network):
+        with pytest.raises(ValueError):
+            TShareGridIndex(network, cell_metres=500.0, average_speed=0.0)
+
+
+class TestMemory:
+    def test_memory_larger_than_plain_grid(self, index, network):
+        plain = GridIndex(network, cell_metres=500.0)
+        for member in range(10):
+            plain.insert(member, member)
+            index.insert(member, member)
+        assert index.memory_estimate_bytes() > plain.memory_estimate_bytes()

@@ -1,0 +1,75 @@
+"""Tests for the LRU cache used by the distance oracle."""
+
+import pytest
+
+from repro.network.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_put_and_get(self):
+        cache: LRUCache[str, int] = LRUCache(capacity=3)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert len(cache) == 1
+
+    def test_missing_key_returns_none(self):
+        cache: LRUCache[str, int] = LRUCache(capacity=3)
+        assert cache.get("missing") is None
+
+    def test_eviction_of_least_recently_used(self):
+        cache: LRUCache[str, int] = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a"
+        cache.put("c", 3)       # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.statistics.evictions == 1
+
+    def test_update_existing_key_does_not_evict(self):
+        cache: LRUCache[str, int] = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+
+    def test_statistics_track_hits_and_misses(self):
+        cache: LRUCache[str, int] = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("nope")
+        assert cache.statistics.hits == 1
+        assert cache.statistics.misses == 1
+        assert cache.statistics.hit_rate == pytest.approx(0.5)
+        assert cache.statistics.lookups == 2
+
+    def test_hit_rate_zero_when_unused(self):
+        cache: LRUCache[str, int] = LRUCache(capacity=2)
+        assert cache.statistics.hit_rate == 0.0
+
+    def test_clear_preserves_statistics(self):
+        cache: LRUCache[str, int] = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.statistics.hits == 1
+
+    def test_reset_statistics(self):
+        cache: LRUCache[str, int] = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.reset_statistics()
+        assert cache.statistics.hits == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+    def test_contains(self):
+        cache: LRUCache[str, int] = LRUCache(capacity=2)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "b" not in cache

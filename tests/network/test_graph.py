@@ -1,0 +1,119 @@
+"""Tests for the road-network graph model."""
+
+import pytest
+
+from repro.exceptions import RoadNetworkError
+from repro.network.graph import RoadNetwork, connected_components, induced_subnetwork
+from repro.utils.geometry import Point
+
+
+def build_triangle() -> RoadNetwork:
+    network = RoadNetwork(name="triangle")
+    network.add_vertex(0, Point(0.0, 0.0))
+    network.add_vertex(1, Point(300.0, 0.0))
+    network.add_vertex(2, Point(0.0, 400.0))
+    network.add_edge(0, 1, speed=10.0)
+    network.add_edge(1, 2, speed=10.0)
+    network.add_edge(0, 2, speed=10.0)
+    return network
+
+
+class TestConstruction:
+    def test_vertex_and_edge_counts(self):
+        network = build_triangle()
+        assert network.num_vertices == 3
+        assert network.num_edges == 3
+
+    def test_edge_cost_is_length_over_speed(self):
+        network = build_triangle()
+        assert network.edge_cost(0, 1) == pytest.approx(30.0)
+        assert network.edge_cost(1, 0) == pytest.approx(30.0)
+
+    def test_default_length_is_euclidean(self):
+        network = build_triangle()
+        assert network.edge(1, 2).length == pytest.approx(500.0)
+
+    def test_self_loop_rejected(self):
+        network = build_triangle()
+        with pytest.raises(RoadNetworkError, match="self-loop"):
+            network.add_edge(0, 0)
+
+    def test_unknown_endpoint_rejected(self):
+        network = build_triangle()
+        with pytest.raises(RoadNetworkError, match="both endpoints"):
+            network.add_edge(0, 99)
+
+    def test_length_below_euclidean_rejected(self):
+        network = build_triangle()
+        network.add_vertex(3, Point(1000.0, 0.0))
+        with pytest.raises(RoadNetworkError, match="straight-line"):
+            network.add_edge(0, 3, length=500.0)
+
+    def test_non_positive_speed_rejected(self):
+        network = build_triangle()
+        with pytest.raises(RoadNetworkError, match="speed"):
+            network.add_edge(0, 1, speed=0.0)
+
+    def test_moving_a_vertex_rejected(self):
+        network = build_triangle()
+        with pytest.raises(RoadNetworkError, match="cannot move"):
+            network.add_vertex(0, Point(5.0, 5.0))
+
+    def test_parallel_edge_keeps_cheaper_cost(self):
+        network = build_triangle()
+        network.add_edge(0, 1, length=600.0, speed=10.0)  # worse than existing 300 m
+        assert network.edge_cost(0, 1) == pytest.approx(30.0)
+
+    def test_unknown_vertex_queries_raise(self):
+        network = build_triangle()
+        with pytest.raises(RoadNetworkError):
+            network.coordinates(42)
+        with pytest.raises(RoadNetworkError):
+            network.neighbours(42)
+        with pytest.raises(RoadNetworkError):
+            network.edge(0, 42)
+
+
+class TestQueries:
+    def test_euclidean_distance(self):
+        network = build_triangle()
+        assert network.euclidean(1, 2) == pytest.approx(500.0)
+
+    def test_neighbours(self):
+        network = build_triangle()
+        assert set(network.neighbours(0)) == {1, 2}
+
+    def test_statistics(self):
+        network = build_triangle()
+        stats = network.statistics()
+        assert stats["vertices"] == 3.0
+        assert stats["edges"] == 3.0
+        assert stats["mean_degree"] == pytest.approx(2.0)
+
+    def test_max_speed_tracks_fastest_edge(self):
+        network = build_triangle()
+        network.add_vertex(3, Point(600.0, 0.0))
+        network.add_edge(1, 3, speed=25.0, road_class="motorway")
+        assert network.max_speed == pytest.approx(25.0)
+
+    def test_validate_passes_on_well_formed_network(self):
+        build_triangle().validate()
+
+
+class TestComponents:
+    def test_connected_components_of_disconnected_graph(self):
+        network = build_triangle()
+        network.add_vertex(10, Point(5000.0, 5000.0))
+        network.add_vertex(11, Point(5300.0, 5000.0))
+        network.add_edge(10, 11)
+        components = connected_components(network)
+        assert components.count == 2
+        assert sorted(components.sizes) == [2, 3]
+        assert components.largest_component() == {0, 1, 2}
+
+    def test_induced_subnetwork_preserves_ids(self):
+        network = build_triangle()
+        sub = induced_subnetwork(network, [0, 1])
+        assert set(sub.vertices()) == {0, 1}
+        assert sub.num_edges == 1
+        assert sub.edge_cost(0, 1) == pytest.approx(30.0)

@@ -1,0 +1,72 @@
+"""Tests for the pruned 2-hop hub labelling, including a property-based
+comparison against Dijkstra ground truth."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.network.generators import grid_city, random_geometric_city
+from repro.network.hub_labeling import build_hub_labels, degree_order
+from repro.network.shortest_path import single_source_distances
+from tests.conftest import build_line_network
+
+_CITY = grid_city(rows=6, columns=6, block_metres=150.0, removed_block_fraction=0.05, seed=9)
+_LABELS = build_hub_labels(_CITY)
+_VERTICES = sorted(_CITY.vertices())
+_TRUTH = {vertex: single_source_distances(_CITY, vertex) for vertex in _VERTICES}
+
+
+class TestHubLabels:
+    def test_query_matches_dijkstra_on_line(self):
+        network = build_line_network(8)
+        labels = build_hub_labels(network)
+        truth = single_source_distances(network, 0)
+        for target, expected in truth.items():
+            assert labels.query(0, target) == pytest.approx(expected)
+
+    def test_query_same_vertex_is_zero(self):
+        assert _LABELS.query(_VERTICES[0], _VERTICES[0]) == 0.0
+
+    def test_disconnected_vertices_report_infinity(self):
+        network = build_line_network(3)
+        from repro.utils.geometry import Point
+
+        network.add_vertex(99, Point(10_000.0, 0.0))
+        labels = build_hub_labels(network)
+        assert labels.query(0, 99) == math.inf
+
+    def test_label_sizes_are_reported(self):
+        assert _LABELS.total_label_entries > 0
+        assert _LABELS.average_label_size == pytest.approx(
+            _LABELS.total_label_entries / len(_VERTICES)
+        )
+
+    def test_degree_order_puts_high_degree_first(self):
+        order = degree_order(_CITY)
+        assert _CITY.degree(order[0]) >= _CITY.degree(order[-1])
+
+    def test_labels_smaller_than_full_apsp(self):
+        # pruning must beat the trivial labelling where every vertex stores all others
+        assert _LABELS.total_label_entries < len(_VERTICES) ** 2
+
+    @given(
+        st.integers(min_value=0, max_value=len(_VERTICES) - 1),
+        st.integers(min_value=0, max_value=len(_VERTICES) - 1),
+    )
+    @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_property_query_equals_dijkstra(self, index_u, index_v):
+        u, v = _VERTICES[index_u], _VERTICES[index_v]
+        expected = _TRUTH[u].get(v, math.inf)
+        assert _LABELS.query(u, v) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    def test_works_on_irregular_topology(self):
+        network = random_geometric_city(num_vertices=60, seed=21)
+        labels = build_hub_labels(network)
+        vertices = sorted(network.vertices())
+        truth = single_source_distances(network, vertices[0])
+        for target in vertices[::7]:
+            assert labels.query(vertices[0], target) == pytest.approx(
+                truth.get(target, math.inf), rel=1e-9
+            )

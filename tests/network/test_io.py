@@ -1,0 +1,48 @@
+"""Tests for road-network JSON serialisation."""
+
+import pytest
+
+from repro.exceptions import RoadNetworkError
+from repro.network.generators import grid_city
+from repro.network.io import load_network, network_from_dict, network_to_dict, save_network
+from repro.network.shortest_path import shortest_distance
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_structure(self):
+        original = grid_city(rows=4, columns=5, removed_block_fraction=0.0, seed=2)
+        restored = network_from_dict(network_to_dict(original))
+        assert restored.num_vertices == original.num_vertices
+        assert restored.num_edges == original.num_edges
+        assert restored.name == original.name
+
+    def test_round_trip_preserves_distances(self):
+        original = grid_city(rows=4, columns=4, removed_block_fraction=0.0, seed=2)
+        restored = network_from_dict(network_to_dict(original))
+        vertices = sorted(original.vertices())
+        for u, v in [(vertices[0], vertices[-1]), (vertices[1], vertices[7])]:
+            assert shortest_distance(restored, u, v) == pytest.approx(
+                shortest_distance(original, u, v)
+            )
+
+    def test_file_round_trip(self, tmp_path):
+        original = grid_city(rows=3, columns=3, removed_block_fraction=0.0, seed=2)
+        path = tmp_path / "network.json"
+        save_network(original, path)
+        restored = load_network(path)
+        assert restored.num_vertices == original.num_vertices
+        assert restored.num_edges == original.num_edges
+
+    def test_unknown_schema_version_rejected(self):
+        payload = network_to_dict(grid_city(rows=3, columns=3, seed=2))
+        payload["schema_version"] = 999
+        with pytest.raises(RoadNetworkError, match="schema"):
+            network_from_dict(payload)
+
+    def test_edge_metadata_survives(self):
+        original = grid_city(rows=3, columns=4, removed_block_fraction=0.0, seed=2)
+        restored = network_from_dict(network_to_dict(original))
+        for edge in original.edges():
+            other = restored.edge(edge.u, edge.v)
+            assert other.road_class == edge.road_class
+            assert other.speed == pytest.approx(edge.speed)

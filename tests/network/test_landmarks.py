@@ -1,0 +1,54 @@
+"""Tests for landmark (ALT) lower bounds."""
+
+import pytest
+
+from repro.network.generators import grid_city
+from repro.network.landmarks import build_landmark_index, select_landmarks_farthest
+from repro.network.shortest_path import shortest_distance
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_city(rows=6, columns=6, block_metres=150.0, removed_block_fraction=0.0, seed=8)
+
+
+class TestLandmarkSelection:
+    def test_requested_count_returned(self, network):
+        landmarks = select_landmarks_farthest(network, 4, make_rng(1))
+        assert len(landmarks) == 4
+        assert len(set(landmarks)) == 4
+
+    def test_zero_count_returns_empty(self, network):
+        assert select_landmarks_farthest(network, 0, make_rng(1)) == []
+
+    def test_landmarks_are_spread_out(self, network):
+        landmarks = select_landmarks_farthest(network, 3, make_rng(2))
+        # farthest-point selection never places two landmarks on the same vertex
+        assert len(set(landmarks)) == 3
+
+
+class TestLandmarkBounds:
+    def test_bounds_are_admissible(self, network):
+        index = build_landmark_index(network, count=5, rng=make_rng(3))
+        vertices = sorted(network.vertices())
+        for u in vertices[::6]:
+            for v in vertices[::7]:
+                assert index.lower_bound(u, v) <= shortest_distance(network, u, v) + 1e-9
+
+    def test_bound_zero_for_same_vertex(self, network):
+        index = build_landmark_index(network, count=3, rng=make_rng(4))
+        assert index.lower_bound(5, 5) == pytest.approx(0.0)
+
+    def test_bound_exact_for_landmark_endpoints(self, network):
+        index = build_landmark_index(network, count=3, rng=make_rng(5))
+        landmark = index.landmarks[0]
+        other = sorted(network.vertices())[-1]
+        # |dist(L, L) - dist(L, other)| = dist(L, other): exact at landmarks
+        assert index.lower_bound(landmark, other) == pytest.approx(
+            shortest_distance(network, landmark, other)
+        )
+
+    def test_size_entries_reported(self, network):
+        index = build_landmark_index(network, count=2, rng=make_rng(6))
+        assert index.size_entries == 2 * network.num_vertices

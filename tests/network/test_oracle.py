@@ -1,0 +1,99 @@
+"""Tests for the shared distance oracle (exact queries, lower bounds, counters)."""
+
+import pytest
+
+from repro.network.generators import grid_city
+from repro.network.landmarks import build_landmark_index
+from repro.network.oracle import DistanceOracle
+from repro.network.shortest_path import shortest_distance
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_city(rows=6, columns=6, block_metres=200.0, removed_block_fraction=0.0, seed=1)
+
+
+@pytest.fixture(
+    scope="module",
+    params=[None, "hub_labels", "apsp"],
+    ids=["dijkstra", "hub-labels", "apsp"],
+)
+def oracle(request, network):
+    return DistanceOracle(network, precompute=request.param)
+
+
+class TestExactQueries:
+    def test_distance_matches_reference(self, oracle, network):
+        vertices = sorted(network.vertices())
+        pairs = [(vertices[0], vertices[-1]), (vertices[3], vertices[17]), (vertices[8], vertices[8])]
+        for u, v in pairs:
+            assert oracle.distance(u, v) == pytest.approx(shortest_distance(network, u, v))
+
+    def test_distance_is_symmetric(self, oracle, network):
+        vertices = sorted(network.vertices())
+        u, v = vertices[2], vertices[29]
+        assert oracle.distance(u, v) == pytest.approx(oracle.distance(v, u))
+
+    def test_path_is_consistent_with_distance(self, oracle, network):
+        vertices = sorted(network.vertices())
+        u, v = vertices[0], vertices[20]
+        path = oracle.path(u, v)
+        assert path[0] == u and path[-1] == v
+        total = sum(network.edge_cost(a, b) for a, b in zip(path, path[1:]))
+        assert total == pytest.approx(oracle.distance(u, v))
+
+    def test_path_same_vertex(self, oracle):
+        assert oracle.path(4, 4) == [4]
+
+
+class TestLowerBounds:
+    def test_lower_bound_is_admissible(self, oracle, network):
+        vertices = sorted(network.vertices())
+        for u, v in zip(vertices[::5], vertices[::7]):
+            assert oracle.lower_bound(u, v) <= oracle.distance(u, v) + 1e-9
+
+    def test_lower_bound_zero_for_same_vertex(self, oracle):
+        assert oracle.lower_bound(3, 3) == 0.0
+
+    def test_landmark_index_tightens_bound(self, network):
+        plain = DistanceOracle(network)
+        with_landmarks = DistanceOracle(network, landmark_index=build_landmark_index(network, count=4))
+        vertices = sorted(network.vertices())
+        u, v = vertices[0], vertices[-1]
+        assert with_landmarks.lower_bound(u, v) >= plain.lower_bound(u, v) - 1e-9
+        assert with_landmarks.lower_bound(u, v) <= with_landmarks.distance(u, v) + 1e-9
+
+
+class TestCountersAndCaches:
+    def test_counters_increment(self, network):
+        oracle = DistanceOracle(network)
+        oracle.distance(0, 5)
+        oracle.lower_bound(0, 5)
+        oracle.path(0, 5)
+        snapshot = oracle.counters.snapshot()
+        assert snapshot["distance_queries"] == 1
+        assert snapshot["lower_bound_queries"] == 1
+        assert snapshot["path_queries"] == 1
+
+    def test_reset_counters(self, network):
+        oracle = DistanceOracle(network)
+        oracle.distance(0, 5)
+        oracle.reset_counters()
+        assert oracle.counters.distance_queries == 0
+
+    def test_cache_statistics_exposed(self, network):
+        oracle = DistanceOracle(network)
+        oracle.distance(0, 5)
+        oracle.distance(0, 5)
+        stats = oracle.cache_statistics()
+        assert stats["distance_cache_size"] >= 1
+        assert 0.0 <= stats["distance_cache_hit_rate"] <= 1.0
+
+    def test_invalid_precompute_mode_rejected(self, network):
+        with pytest.raises(ValueError, match="precompute"):
+            DistanceOracle(network, precompute="bogus")
+
+    def test_use_hub_labels_flag_builds_labels(self, network):
+        oracle = DistanceOracle(network, use_hub_labels=True)
+        assert oracle.has_hub_labels
+        assert oracle.hub_labels is not None

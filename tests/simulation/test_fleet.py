@@ -1,0 +1,129 @@
+"""Tests for worker-state advancement and fleet bookkeeping."""
+
+import math
+
+import pytest
+
+from repro.core.insertion.linear_dp import LinearDPInsertion
+from repro.exceptions import DispatchError
+from repro.simulation.fleet import FleetState, WorkerState
+from tests.conftest import make_request, make_worker
+
+
+def _assign(state: WorkerState, request, oracle, now=0.0):
+    """Insert ``request`` into the worker's route with the linear DP operator."""
+    operator = LinearDPInsertion()
+    result = operator.best_insertion(state.route, request, oracle)
+    assert result.feasible
+    new_route = state.route.with_insertion(request, result.pickup_index, result.dropoff_index, oracle)
+    state.adopt_route(new_route, request=request)
+    return result
+
+
+class TestWorkerState:
+    def test_initial_state(self, line_oracle):
+        state = WorkerState(make_worker(0, 3), line_oracle)
+        assert state.position == 3
+        assert state.is_idle
+        assert state.travelled_cost == 0.0
+
+    def test_adopt_route_rejects_foreign_worker(self, line_oracle):
+        state = WorkerState(make_worker(0, 0), line_oracle)
+        other = WorkerState(make_worker(1, 1), line_oracle)
+        with pytest.raises(DispatchError, match="assigned to worker"):
+            state.adopt_route(other.route)
+
+    def test_duplicate_assignment_rejected(self, line_oracle):
+        state = WorkerState(make_worker(0, 0), line_oracle)
+        request = make_request(1, 1, 3)
+        _assign(state, request, line_oracle)
+        with pytest.raises(DispatchError, match="assigned twice"):
+            state.adopt_route(state.route, request=request)
+
+    def test_advance_completes_stops_in_order(self, line_oracle):
+        state = WorkerState(make_worker(0, 0), line_oracle)
+        request = make_request(1, 2, 4, deadline=1000.0)  # pickup at t=20, dropoff at t=40
+        _assign(state, request, line_oracle)
+        completed = state.advance_to(25.0)
+        assert completed == []  # picked up but not delivered yet
+        record = state.assigned_requests[1]
+        assert record.pickup_time == pytest.approx(20.0)
+        completed = state.advance_to(45.0)
+        assert len(completed) == 1
+        assert completed[0].dropoff_time == pytest.approx(40.0)
+        assert state.is_idle
+
+    def test_partial_advance_moves_along_path(self, line_oracle):
+        state = WorkerState(make_worker(0, 0), line_oracle)
+        request = make_request(1, 4, 5, deadline=1000.0)
+        _assign(state, request, line_oracle)
+        state.advance_to(25.0)  # 25 seconds towards vertex 4 (10 s per edge)
+        assert state.position == 2
+        assert state.position_time == pytest.approx(20.0)
+        assert state.travelled_cost == pytest.approx(20.0)
+
+    def test_arrival_times_unchanged_by_partial_advance(self, line_oracle):
+        state = WorkerState(make_worker(0, 0), line_oracle)
+        request = make_request(1, 4, 5, deadline=1000.0)
+        _assign(state, request, line_oracle)
+        planned_arrival = state.route.arr[1]
+        state.advance_to(25.0)
+        assert state.route.arr[1] == pytest.approx(planned_arrival)
+
+    def test_idle_worker_clock_advances(self, line_oracle):
+        state = WorkerState(make_worker(0, 2), line_oracle)
+        state.advance_to(500.0)
+        assert state.position == 2
+        assert state.position_time == pytest.approx(500.0)
+        assert state.travelled_cost == 0.0
+
+    def test_finish_route_completes_everything(self, line_oracle):
+        state = WorkerState(make_worker(0, 0), line_oracle)
+        _assign(state, make_request(1, 2, 5, deadline=1e6), line_oracle)
+        completed = state.finish_route()
+        assert len(completed) == 1
+        assert state.is_idle
+        assert state.travelled_cost == pytest.approx(50.0)
+
+    def test_total_cost_combines_travelled_and_planned(self, line_oracle):
+        state = WorkerState(make_worker(0, 0), line_oracle)
+        _assign(state, make_request(1, 2, 5, deadline=1e6), line_oracle)
+        assert state.total_cost() == pytest.approx(50.0)
+        state.advance_to(30.0)
+        assert state.total_cost() == pytest.approx(50.0)
+
+    def test_onboard_request_completion(self, line_oracle):
+        """A request picked up before a later advance is eventually delivered."""
+        state = WorkerState(make_worker(0, 0), line_oracle)
+        _assign(state, make_request(1, 1, 5, deadline=1e6), line_oracle)
+        state.advance_to(15.0)  # past the pickup at vertex 1
+        assert state.route.initial_load() == 1
+        completed = state.finish_route()
+        assert [record.request.id for record in completed] == [1]
+        assert completed[0].on_time
+
+
+class TestFleetState:
+    def test_requires_at_least_one_worker(self, line_oracle):
+        with pytest.raises(DispatchError):
+            FleetState([], line_oracle)
+
+    def test_unknown_worker_lookup_rejected(self, line_oracle):
+        fleet = FleetState([make_worker(0, 0)], line_oracle)
+        with pytest.raises(DispatchError, match="unknown worker"):
+            fleet.state_of(99)
+
+    def test_advance_all_and_totals(self, line_oracle):
+        fleet = FleetState([make_worker(0, 0), make_worker(1, 5)], line_oracle)
+        _assign(fleet.state_of(0), make_request(1, 2, 3, deadline=1e6), line_oracle)
+        completed = fleet.advance_all(1000.0)
+        assert len(completed) == 1
+        assert fleet.total_travel_cost() == pytest.approx(30.0)
+        assert fleet.positions() == {0: 3, 1: 5}
+
+    def test_finish_all(self, line_oracle):
+        fleet = FleetState([make_worker(0, 0)], line_oracle)
+        _assign(fleet.state_of(0), make_request(1, 1, 2, deadline=1e6), line_oracle)
+        records = fleet.finish_all()
+        assert len(records) == 1
+        assert not math.isinf(fleet.total_travel_cost())

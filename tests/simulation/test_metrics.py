@@ -1,0 +1,77 @@
+"""Tests for the metrics collector and simulation results."""
+
+import pytest
+
+from repro.dispatch.base import DispatchOutcome
+from repro.network.oracle import OracleCounters
+from repro.simulation.fleet import ServiceRecord
+from repro.simulation.metrics import MetricsCollector
+from tests.conftest import make_request
+
+
+def _served(request, worker_id=0, cost=10.0):
+    return DispatchOutcome(request=request, served=True, worker_id=worker_id, increased_cost=cost,
+                           candidates_considered=3, insertions_evaluated=2)
+
+
+def _rejected(request, decision=False):
+    return DispatchOutcome(request=request, served=False, decision_rejected=decision)
+
+
+class TestMetricsCollector:
+    def test_counts_and_rates(self):
+        collector = MetricsCollector("algo", "instance", alpha=1.0)
+        collector.record_outcome(_served(make_request(0, 0, 1, penalty=5.0)))
+        collector.record_outcome(_rejected(make_request(1, 0, 1, penalty=7.0), decision=True))
+        collector.record_dispatch_time(0.2)
+        result = collector.finalise(100.0, OracleCounters(distance_queries=42), index_memory_bytes=10)
+        assert result.total_requests == 2
+        assert result.served_requests == 1
+        assert result.rejected_requests == 1
+        assert result.decision_rejections == 1
+        assert result.served_rate == pytest.approx(0.5)
+        assert result.total_penalty == pytest.approx(7.0)
+        assert result.unified_cost == pytest.approx(100.0 + 7.0)
+        assert result.response_time_seconds == pytest.approx(0.1)
+        assert result.distance_queries == 42
+        assert result.index_memory_bytes == 10
+        assert result.candidates_considered == 3
+        assert result.insertions_evaluated == 2
+
+    def test_alpha_weights_travel_cost(self):
+        collector = MetricsCollector("algo", "instance", alpha=0.0)
+        collector.record_outcome(_rejected(make_request(0, 0, 1, penalty=1.0)))
+        result = collector.finalise(1e9, OracleCounters(), index_memory_bytes=0)
+        assert result.unified_cost == pytest.approx(1.0)
+
+    def test_completion_metrics(self):
+        collector = MetricsCollector("algo", "instance", alpha=1.0)
+        request = make_request(0, 0, 1, release=10.0, deadline=100.0)
+        record = ServiceRecord(request=request, worker_id=0, pickup_time=30.0, dropoff_time=80.0)
+        collector.record_completion(record, direct_distance=25.0)
+        result = collector.finalise(0.0, OracleCounters(), index_memory_bytes=0)
+        assert result.mean_wait_seconds == pytest.approx(20.0)
+        assert result.mean_detour_ratio == pytest.approx(2.0)
+        assert result.deadline_violations == 0
+
+    def test_late_delivery_counted(self):
+        collector = MetricsCollector("algo", "instance", alpha=1.0)
+        request = make_request(0, 0, 1, release=0.0, deadline=50.0)
+        record = ServiceRecord(request=request, worker_id=0, pickup_time=10.0, dropoff_time=90.0)
+        collector.record_completion(record, direct_distance=10.0)
+        result = collector.finalise(0.0, OracleCounters(), index_memory_bytes=0)
+        assert result.deadline_violations == 1
+
+    def test_empty_run(self):
+        collector = MetricsCollector("algo", "instance", alpha=1.0)
+        result = collector.finalise(0.0, OracleCounters(), index_memory_bytes=0)
+        assert result.served_rate == 0.0
+        assert result.response_time_seconds == 0.0
+        assert result.unified_cost == 0.0
+
+    def test_as_row_contains_headline_metrics(self):
+        collector = MetricsCollector("algo", "instance", alpha=1.0)
+        collector.record_outcome(_served(make_request(0, 0, 1)))
+        row = collector.finalise(5.0, OracleCounters(), index_memory_bytes=3).as_row()
+        for key in ("algorithm", "unified_cost", "served_rate", "response_time_s"):
+            assert key in row

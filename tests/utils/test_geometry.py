@@ -1,0 +1,66 @@
+"""Tests for planar geometry helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.geometry import Point, bounding_box, euclidean, interpolate, manhattan, midpoint
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_manhattan_to(self):
+        assert Point(0, 0).manhattan_to(Point(3, 4)) == pytest.approx(7.0)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestFunctions:
+    def test_euclidean_and_manhattan(self):
+        a, b = Point(1, 1), Point(4, 5)
+        assert euclidean(a, b) == pytest.approx(5.0)
+        assert manhattan(a, b) == pytest.approx(7.0)
+
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_interpolate_endpoints(self):
+        a, b = Point(0, 0), Point(10, 20)
+        assert interpolate(a, b, 0.0) == a
+        assert interpolate(a, b, 1.0) == b
+        assert interpolate(a, b, 0.5) == Point(5, 10)
+
+    def test_bounding_box(self):
+        box = bounding_box([Point(1, 2), Point(-3, 7), Point(4, 0)])
+        assert box == (-3, 0, 4, 7)
+
+    def test_bounding_box_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+
+class TestMetricProperties:
+    @given(points, points)
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points)
+    def test_distance_to_self_is_zero(self, a):
+        assert a.distance_to(a) == 0.0
+
+    @given(points, points)
+    def test_euclidean_not_larger_than_manhattan(self, a, b):
+        assert euclidean(a, b) <= manhattan(a, b) + 1e-6

@@ -1,0 +1,61 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import choice_weighted, derive_seed, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(42).integers(1000) == make_rng(42).integers(1000)
+
+    def test_different_seeds_differ(self):
+        draws_a = make_rng(1).integers(0, 1_000_000, size=8)
+        draws_b = make_rng(2).integers(0, 1_000_000, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(7, 5)) == 5
+
+    def test_spawned_streams_are_independent(self):
+        first, second = spawn_rngs(7, 2)
+        assert first.integers(1_000_000) != second.integers(1_000_000)
+
+    def test_spawn_reproducible(self):
+        first_run = [rng.integers(1000) for rng in spawn_rngs(3, 3)]
+        second_run = [rng.integers(1000) for rng in spawn_rngs(3, 3)]
+        assert first_run == second_run
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(10, "workers") == derive_seed(10, "workers")
+
+    def test_labels_matter(self):
+        assert derive_seed(10, "workers") != derive_seed(10, "requests")
+
+    def test_integer_labels_supported(self):
+        assert derive_seed(10, 3) == derive_seed(10, 3)
+        assert derive_seed(10, 3) != derive_seed(10, 4)
+
+
+class TestChoiceWeighted:
+    def test_respects_weights(self):
+        rng = make_rng(0)
+        draws = [choice_weighted(rng, ["a", "b"], [0.0, 1.0]) for _ in range(20)]
+        assert set(draws) == {"b"}
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            choice_weighted(make_rng(0), ["a"], [0.5, 0.5])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            choice_weighted(make_rng(0), ["a", "b"], [0.0, 0.0])

@@ -1,0 +1,44 @@
+"""Tests for the stopwatch used by the response-time metric."""
+
+import pytest
+
+from repro.utils.timer import Stopwatch
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            sum(range(100))
+        assert watch.laps == 1
+        assert watch.total_seconds >= 0.0
+
+    def test_multiple_laps(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch:
+                pass
+        assert watch.laps == 3
+        assert watch.mean_seconds == pytest.approx(watch.total_seconds / 3)
+
+    def test_mean_of_unused_watch_is_zero(self):
+        assert Stopwatch().mean_seconds == 0.0
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+        watch.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.laps == 0
+        assert watch.total_seconds == 0.0

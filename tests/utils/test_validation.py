@@ -1,0 +1,49 @@
+"""Tests for the validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken invariant"):
+            require(False, "broken invariant")
+
+
+class TestNumericGuards:
+    def test_require_positive(self):
+        assert require_positive(3.5, "x") == 3.5
+        with pytest.raises(ValueError, match="x must be > 0"):
+            require_positive(0, "x")
+
+    def test_require_non_negative(self):
+        assert require_non_negative(0.0, "y") == 0.0
+        with pytest.raises(ValueError, match="y must be >= 0"):
+            require_non_negative(-0.1, "y")
+
+    def test_require_probability(self):
+        assert require_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            require_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            require_probability(-0.5, "p")
+
+
+class TestTypeGuard:
+    def test_accepts_expected_type(self):
+        assert require_type(3, int, "value") == 3
+        assert require_type("x", (int, str), "value") == "x"
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="value must be"):
+            require_type("3", int, "value")

@@ -1,0 +1,95 @@
+"""Tests for the demand distributions (hotspots, rush hours, capacities)."""
+
+import numpy as np
+import pytest
+
+from repro.network.generators import grid_city
+from repro.utils.rng import make_rng
+from repro.workloads.distributions import (
+    HotspotModel,
+    NYC_PASSENGER_COUNT_DISTRIBUTION,
+    RushHourProfile,
+    sample_request_capacity,
+    sample_worker_capacity,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_city(rows=8, columns=8, block_metres=200.0, removed_block_fraction=0.0, seed=2)
+
+
+class TestHotspotModel:
+    def test_samples_are_valid_vertices(self, network):
+        model = HotspotModel(network=network, rng=make_rng(1))
+        vertices = set(network.vertices())
+        for _ in range(50):
+            assert model.sample_vertex() in vertices
+
+    def test_pairs_are_distinct(self, network):
+        model = HotspotModel(network=network, rng=make_rng(2))
+        for _ in range(50):
+            origin, destination = model.sample_pair()
+            assert origin != destination
+
+    def test_demand_is_spatially_concentrated(self, network):
+        """With no uniform share, samples concentrate on few vertices."""
+        model = HotspotModel(network=network, num_hotspots=2, uniform_share=0.0,
+                             spread_fraction=0.02, rng=make_rng(3))
+        draws = [model.sample_vertex() for _ in range(300)]
+        unique = len(set(draws))
+        assert unique < network.num_vertices / 2
+
+    def test_deterministic_given_seed(self, network):
+        first = HotspotModel(network=network, rng=make_rng(7))
+        second = HotspotModel(network=network, rng=make_rng(7))
+        assert [first.sample_vertex() for _ in range(20)] == [
+            second.sample_vertex() for _ in range(20)
+        ]
+
+
+class TestRushHourProfile:
+    def test_release_times_sorted_and_bounded(self):
+        profile = RushHourProfile(horizon_seconds=3600.0)
+        times = profile.sample_release_times(200, make_rng(4))
+        assert len(times) == 200
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0.0 and times[-1] <= 3600.0
+
+    def test_peaks_have_higher_rate_than_base(self):
+        profile = RushHourProfile(horizon_seconds=3600.0)
+        assert profile.rate_at(0.75) > profile.rate_at(0.05)
+        assert profile.rate_at(0.33) > profile.rate_at(0.05)
+
+    def test_zero_count(self):
+        profile = RushHourProfile(horizon_seconds=3600.0)
+        assert profile.sample_release_times(0, make_rng(5)).size == 0
+
+    def test_evening_peak_attracts_mass(self):
+        profile = RushHourProfile(horizon_seconds=1.0)
+        times = profile.sample_release_times(2000, make_rng(6))
+        evening = np.sum((times > 0.65) & (times < 0.85))
+        early = np.sum((times > 0.0) & (times < 0.2))
+        assert evening > early
+
+
+class TestCapacities:
+    def test_request_capacity_within_nyc_support(self):
+        rng = make_rng(8)
+        support = set(NYC_PASSENGER_COUNT_DISTRIBUTION)
+        for _ in range(100):
+            assert sample_request_capacity(rng) in support
+
+    def test_request_capacity_mostly_single_passenger(self):
+        rng = make_rng(9)
+        draws = [sample_request_capacity(rng) for _ in range(500)]
+        assert draws.count(1) > 250
+
+    def test_worker_capacity_at_least_one(self):
+        rng = make_rng(10)
+        assert all(sample_worker_capacity(rng, 1) >= 1 for _ in range(100))
+
+    def test_worker_capacity_centres_on_nominal(self):
+        rng = make_rng(11)
+        draws = [sample_worker_capacity(rng, 10) for _ in range(500)]
+        assert abs(np.mean(draws) - 10) < 0.5
