@@ -1,0 +1,111 @@
+"""Event kernel vs. seed request-stream loop on the ``nyc-like`` scenario.
+
+The event-driven kernel claims two speed advantages over the seed loop:
+
+* **lazy fleet advancement** — only workers touched by an event materialise
+  their progress, instead of ``advance_all`` walking every worker's route at
+  every release time (``O(|W|)`` shortest-path walks per request);
+* **event scheduling** — batch flushes and stop completions are heap events
+  rather than per-request polling.
+
+This module measures both engines on the same ``nyc-like`` instance so the
+claim is a number, not an assertion: wall-clock per run, per-request dispatch
+latency (the paper's *response time*), and — for the event kernel — events
+processed per second. It also double-checks that the two engines agree on
+served requests and unified cost, so the speedup is never bought with a
+behaviour change.
+
+Size overrides: ``REPRO_BENCH_EVENT_WORKERS`` / ``REPRO_BENCH_EVENT_REQUESTS``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.dispatch import DispatcherConfig, make_dispatcher
+from repro.simulation.simulator import Simulator
+from repro.workloads.scenarios import ScenarioConfig, build_instance, build_network, make_oracle
+
+from benchmarks.conftest import emit
+
+_CONFIG = ScenarioConfig(
+    city="nyc-like",
+    num_workers=int(os.environ.get("REPRO_BENCH_EVENT_WORKERS", "200")),
+    num_requests=int(os.environ.get("REPRO_BENCH_EVENT_REQUESTS", "800")),
+    seed=2018,
+)
+_NETWORK = build_network(_CONFIG)
+_ORACLE = make_oracle(_NETWORK, _CONFIG)
+
+_ALGORITHMS = ("pruneGreedyDP", "batch")
+
+#: filled per (algorithm, engine) so the comparison block can be emitted once.
+_RUNS: dict[tuple[str, str], dict[str, float]] = {}
+
+
+def _run_once(algorithm: str, engine: str) -> dict[str, float]:
+    instance = build_instance(_CONFIG, network=_NETWORK, oracle=_ORACLE)
+    dispatcher = make_dispatcher(
+        algorithm, DispatcherConfig(grid_cell_metres=_CONFIG.grid_km * 1000.0)
+    )
+    simulator = Simulator(instance, dispatcher, engine=engine)
+    started = time.perf_counter()
+    result = simulator.run()
+    wall = time.perf_counter() - started
+    stats = {
+        "wall_seconds": wall,
+        "served": float(result.served_requests),
+        "unified_cost": result.unified_cost,
+        "dispatch_latency_us": result.response_time_seconds * 1e6,
+        "requests_per_second": result.total_requests / wall if wall > 0 else 0.0,
+    }
+    if engine == "event":
+        events = simulator._backend.events_processed
+        stats["events_processed"] = float(events)
+        stats["events_per_second"] = events / wall if wall > 0 else 0.0
+    return stats
+
+
+@pytest.mark.parametrize("engine", ["legacy", "event"])
+@pytest.mark.parametrize("algorithm", _ALGORITHMS)
+def test_engine_throughput(benchmark, algorithm, engine):
+    """One full simulation per engine; timings land in the benchmark table."""
+    benchmark.group = f"event kernel vs seed loop ({algorithm}, {_CONFIG.city})"
+    holder: dict[str, dict[str, float]] = {}
+
+    def _go():
+        holder["stats"] = _run_once(algorithm, engine)
+        return holder["stats"]
+
+    benchmark.pedantic(_go, rounds=1, iterations=1)
+    stats = holder["stats"]
+    _RUNS[(algorithm, engine)] = stats
+    assert stats["served"] > 0
+
+    lines = [
+        f"{algorithm} / {engine}: wall {stats['wall_seconds']:.2f}s, "
+        f"dispatch latency {stats['dispatch_latency_us']:.0f}us/request, "
+        f"{stats['requests_per_second']:.0f} requests/s"
+    ]
+    if "events_per_second" in stats:
+        lines.append(
+            f"  events: {stats['events_processed']:.0f} processed, "
+            f"{stats['events_per_second']:.0f} events/s"
+        )
+    other = _RUNS.get((algorithm, "legacy" if engine == "event" else "event"))
+    if other is not None:
+        event_stats = stats if engine == "event" else other
+        legacy_stats = other if engine == "event" else stats
+        # the speedup must never be bought with a behaviour change
+        assert event_stats["served"] == legacy_stats["served"]
+        assert event_stats["unified_cost"] == pytest.approx(legacy_stats["unified_cost"])
+        speedup = legacy_stats["wall_seconds"] / max(event_stats["wall_seconds"], 1e-9)
+        lines.append(
+            f"  kernel speedup vs seed loop: {speedup:.2f}x "
+            f"(identical served={int(event_stats['served'])}, "
+            f"unified cost agrees)"
+        )
+    emit("\n".join(lines))

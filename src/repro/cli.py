@@ -28,7 +28,7 @@ from repro.experiments.io import figure_to_markdown, save_figure_csv, save_figur
 from repro.experiments.reporting import format_figure, format_results, format_table
 from repro.experiments.runner import ScenarioRunner
 from repro.experiments.tables import table4_datasets, table5_parameters
-from repro.simulation.simulator import run_simulation
+from repro.simulation.simulator import ENGINES, run_simulation
 from repro.workloads.scenarios import CITY_BUILDERS, ScenarioConfig, build_instance
 
 
@@ -77,6 +77,14 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--alpha", type=float, default=1.0)
     parser.add_argument("--grid-km", type=float, default=2.0)
     parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--cancellation-rate", type=float, default=0.0,
+                        help="per-request rider-cancellation probability (event engine only)")
+    parser.add_argument("--shift-hours", type=float, default=0.0,
+                        help="staggered worker duty-window length in hours; 0 = always on "
+                             "(event engine only)")
+    parser.add_argument("--engine", default="event", choices=sorted(ENGINES),
+                        help="simulation engine: the event-driven kernel (default) or the "
+                             "legacy request-stream loop")
 
 
 def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
@@ -90,6 +98,8 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
         alpha=args.alpha,
         grid_km=args.grid_km,
         seed=args.seed,
+        cancellation_rate=args.cancellation_rate,
+        shift_hours=args.shift_hours,
     )
 
 
@@ -102,14 +112,14 @@ def command_simulate(args: argparse.Namespace) -> int:
     dispatcher = make_dispatcher(
         args.algorithm, DispatcherConfig(grid_cell_metres=config.grid_km * 1000.0)
     )
-    result = run_simulation(instance, dispatcher)
+    result = run_simulation(instance, dispatcher, engine=args.engine)
     print(format_results([result]))
     return 0
 
 
 def command_compare(args: argparse.Namespace) -> int:
     config = _scenario_from_args(args)
-    runner = ScenarioRunner(DispatcherConfig())
+    runner = ScenarioRunner(DispatcherConfig(), engine=args.engine)
     results = runner.compare(config, list(args.algorithms))
     print(format_results(results))
     return 0

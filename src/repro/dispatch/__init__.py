@@ -1,6 +1,6 @@
 """Online dispatch algorithms: pruneGreedyDP, GreedyDP and the paper's baselines."""
 
-from repro.dispatch.base import Dispatcher, DispatcherConfig, DispatchOutcome
+from repro.dispatch.base import BatchDispatcher, Dispatcher, DispatcherConfig, DispatchOutcome
 from repro.dispatch.batch import Batch
 from repro.dispatch.greedy_dp import GreedyDP, PruneGreedyDP
 from repro.dispatch.kinetic import Kinetic
@@ -32,6 +32,7 @@ def make_dispatcher(name: str, config: DispatcherConfig | None = None) -> Dispat
 
 
 __all__ = [
+    "BatchDispatcher",
     "Dispatcher",
     "DispatcherConfig",
     "DispatchOutcome",

@@ -1,9 +1,15 @@
 """Dispatcher interface shared by every algorithm of the evaluation.
 
 A dispatcher receives requests one by one (in release order) from the
-simulator and either assigns each request to a worker — by updating that
-worker's planned route — or rejects it. Batch-style algorithms may defer
-requests and assign them when :meth:`Dispatcher.flush` is called.
+simulation kernel and either assigns each request to a worker — by updating
+that worker's planned route — or rejects it. Batch-style algorithms defer
+requests and assign them when :meth:`Dispatcher.flush` is called; the batch
+protocol (:meth:`Dispatcher.next_flush_time`, :meth:`Dispatcher.flush`,
+:meth:`Dispatcher.cancel`) is part of the base interface so the simulation
+kernel never has to probe for optional attributes. :class:`BatchDispatcher`
+implements the deferral plumbing once and additionally *schedules its own*
+:class:`~repro.simulation.events.BatchFlush` events when bound to an event
+engine (:meth:`Dispatcher.bind_flush_scheduler`).
 
 Every dispatcher reports a :class:`DispatchOutcome` per request so the metrics
 collector can compute the unified cost, served rate and per-request work
@@ -13,8 +19,8 @@ collector can compute the unified cost, served rate and per-request work
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, ClassVar
 
 from repro.core.instance import URPSMInstance
 from repro.core.types import Request
@@ -66,12 +72,19 @@ class Dispatcher(abc.ABC):
     #: short name used in benchmark tables ("pruneGreedyDP", "tshare", ...)
     name: str = "dispatcher"
 
+    #: dispatchers whose candidate search is *lossy* (it may discard feasible
+    #: workers by design, like tshare's single-side cell walk) set this so the
+    #: event kernel materialises the whole fleet before every interaction —
+    #: lazy advancement is only transparent to admissible candidate filters.
+    requires_exact_positions: ClassVar[bool] = False
+
     def __init__(self, config: DispatcherConfig | None = None) -> None:
         self.config = config or DispatcherConfig()
         self.instance: URPSMInstance | None = None
         self.fleet: "FleetState | None" = None
         self.oracle: DistanceOracle | None = None
         self.grid: GridIndex | None = None
+        self._flush_scheduler: Callable[[float], None] | None = None
 
     # ------------------------------------------------------------- lifecycle
 
@@ -86,10 +99,21 @@ class Dispatcher(abc.ABC):
         self.grid = self._build_grid(instance)
         for state in fleet:
             self.grid.insert(state.worker.id, state.position)
+        fleet.drain_moved()  # setup positions are now reflected in the grid
 
     def _build_grid(self, instance: URPSMInstance) -> GridIndex:
         """Build the worker grid index; overridden by tshare to build its variant."""
         return GridIndex(instance.network, self.config.grid_cell_metres)
+
+    def bind_flush_scheduler(self, schedule: Callable[[float], None] | None) -> None:
+        """Attach the event engine's flush scheduler (``None`` detaches).
+
+        When bound, batch dispatchers push a
+        :class:`~repro.simulation.events.BatchFlush` event the moment a new
+        accumulation window opens instead of relying on the driver polling
+        :meth:`next_flush_time`.
+        """
+        self._flush_scheduler = schedule
 
     # --------------------------------------------------------------- running
 
@@ -106,11 +130,39 @@ class Dispatcher(abc.ABC):
         """Resolve any deferred requests (no-op for immediate dispatchers)."""
         return []
 
+    def next_flush_time(self) -> float | None:
+        """Absolute time of the next scheduled batch flush.
+
+        ``None`` means nothing is pending — immediate dispatchers always
+        return ``None``. Part of the base interface so simulation drivers never
+        need ``getattr`` probing.
+        """
+        return None
+
+    def cancel(self, request: Request) -> bool:
+        """Forget a deferred request (rider cancellation before the flush).
+
+        Returns ``True`` when the request was pending inside this dispatcher
+        and has been dropped; immediate dispatchers hold no deferred requests
+        and return ``False``.
+        """
+        return False
+
     # --------------------------------------------------------------- helpers
 
     def sync_grid(self) -> None:
-        """Refresh the grid index with the fleet's current positions."""
+        """Refresh the grid index with the fleet's materialised positions.
+
+        With a lazy fleet only the workers that actually moved since the last
+        sync are touched (the others' grid entries are already current); with
+        an eager fleet every entry is rewritten, matching the seed behaviour
+        even for callers that mutate routes behind the fleet's back.
+        """
         assert self.grid is not None and self.fleet is not None
+        if self.fleet.lazy:
+            for worker_id in self.fleet.drain_moved():
+                self.grid.update(worker_id, self.fleet.peek_state(worker_id).position)
+            return
         for state in self.fleet:
             self.grid.update(state.worker.id, state.position)
 
@@ -119,18 +171,35 @@ class Dispatcher(abc.ABC):
 
         Uses the grid index with a Euclidean reachability radius derived from
         the remaining time budget and the maximum network speed, so no feasible
-        worker is ever filtered out (the filter of Algorithm 5, line 3).
+        worker is ever filtered out (the filter of Algorithm 5, line 3). Under
+        lazy fleet advancement the radius is widened by the fleet's position
+        staleness bound plus one grid cell, keeping the filter admissible when
+        grid entries lag behind workers' true progress. Off-shift workers are
+        excluded; the result is sorted by worker id so ties between equally
+        good candidates break deterministically regardless of grid iteration
+        order.
         """
         assert self.grid is not None and self.oracle is not None and self.fleet is not None
         budget_seconds = request.deadline - now
         if budget_seconds <= 0:
             return []
-        radius_metres = budget_seconds * self.oracle.network.max_speed
+        network = self.oracle.network
+        radius_metres = budget_seconds * network.max_speed
+        slack_metres = self.fleet.position_slack_metres(network.max_speed)
+        if slack_metres > 0.0:
+            radius_metres += slack_metres + self.grid.geometry.cell_metres
         candidates = self.grid.members_near_vertex(request.origin, radius_metres)
-        if not candidates:
+        available = [
+            int(worker_id) for worker_id in candidates if self.fleet.is_available(int(worker_id))
+        ]
+        if not available:
             # degenerate grids (single cell) or stale entries: fall back to all
-            candidates = [state.worker.id for state in self.fleet]
-        return [int(worker_id) for worker_id in candidates]
+            available = [
+                state.worker.id
+                for state in self.fleet
+                if self.fleet.is_available(state.worker.id)
+            ]
+        return sorted(available)
 
     def memory_estimate_bytes(self) -> int:
         """Memory footprint of the dispatcher's index structures."""
@@ -140,3 +209,77 @@ class Dispatcher(abc.ABC):
     def is_batched(self) -> bool:
         """Whether the dispatcher defers requests to periodic flushes."""
         return False
+
+
+class BatchDispatcher(Dispatcher):
+    """Base class of batch-style dispatchers.
+
+    Implements the deferral protocol once: :meth:`dispatch` appends the
+    request to the pending batch and opens an accumulation window of
+    ``config.batch_interval`` seconds when none is open; :meth:`flush` hands
+    the accumulated batch to :meth:`assign_batch`. When an event engine is
+    bound via :meth:`Dispatcher.bind_flush_scheduler`, opening a window
+    immediately schedules the matching
+    :class:`~repro.simulation.events.BatchFlush` event.
+    """
+
+    def __init__(self, config: DispatcherConfig | None = None) -> None:
+        super().__init__(config)
+        self._pending: list[Request] = []
+        self._next_flush: float | None = None
+
+    # ------------------------------------------------------------ interface
+
+    @property
+    def is_batched(self) -> bool:
+        return True
+
+    def next_flush_time(self) -> float | None:
+        """Time of the next scheduled flush, or ``None`` when nothing is pending."""
+        return self._next_flush
+
+    @property
+    def pending_requests(self) -> list[Request]:
+        """Requests deferred into the currently open batch window."""
+        return list(self._pending)
+
+    def dispatch(self, request: Request, now: float) -> DispatchOutcome | None:
+        """Defer the request to the current batch; returns ``None``."""
+        self.defer(request, now)
+        return None
+
+    def defer(self, request: Request, now: float) -> None:
+        """Append ``request`` to the pending batch, opening a window if needed."""
+        if self._next_flush is None:
+            self._next_flush = now + self.config.batch_interval
+            if self._flush_scheduler is not None:
+                self._flush_scheduler(self._next_flush)
+        self._pending.append(request)
+
+    def cancel(self, request: Request) -> bool:
+        """Drop a deferred request from the pending batch."""
+        for index, pending in enumerate(self._pending):
+            if pending.id == request.id:
+                del self._pending[index]
+                return True
+        return False
+
+    def flush(self, now: float) -> list[DispatchOutcome]:
+        """Assign the accumulated batch via :meth:`assign_batch`.
+
+        Subclasses that want to carry a request over into the next window must
+        re-defer it through :meth:`defer` from inside :meth:`assign_batch` —
+        the window is closed before the batch is handed over, so ``defer``
+        opens (and schedules) the next one.
+        """
+        self._next_flush = None
+        if not self._pending:
+            return []
+        batch, self._pending = self._pending, []
+        return self.assign_batch(batch, now)
+
+    # ----------------------------------------------------------- subclasses
+
+    @abc.abstractmethod
+    def assign_batch(self, batch: list[Request], now: float) -> list[DispatchOutcome]:
+        """Resolve one accumulated batch; one outcome per request."""

@@ -10,6 +10,10 @@ Batching helps pack compatible requests together but delays the assignment,
 which hurts requests with tight deadlines — exactly the trade-off visible in
 the paper's evaluation, where ``batch`` serves noticeably fewer requests than
 ``pruneGreedyDP`` while being slower per request.
+
+The deferral/window plumbing lives in
+:class:`~repro.dispatch.base.BatchDispatcher`; this module only implements the
+grouping and greedy per-request assignment.
 """
 
 from __future__ import annotations
@@ -20,12 +24,12 @@ from collections import defaultdict
 from repro.core.insertion.base import InsertionOperator
 from repro.core.insertion.linear_dp import LinearDPInsertion
 from repro.core.types import Request
-from repro.dispatch.base import Dispatcher, DispatcherConfig, DispatchOutcome
+from repro.dispatch.base import BatchDispatcher, DispatcherConfig, DispatchOutcome
 
 INFINITY = math.inf
 
 
-class Batch(Dispatcher):
+class Batch(BatchDispatcher):
     """Batched group assignment with greedy per-request insertion."""
 
     name = "batch"
@@ -37,50 +41,26 @@ class Batch(Dispatcher):
     ) -> None:
         super().__init__(config)
         self.insertion = insertion or LinearDPInsertion()
-        self._pending: list[Request] = []
-        self._next_flush: float | None = None
 
     # ------------------------------------------------------------ interface
 
-    @property
-    def is_batched(self) -> bool:
-        return True
-
-    def next_flush_time(self) -> float | None:
-        """Time of the next scheduled flush, or ``None`` when nothing is pending."""
-        return self._next_flush
-
-    def dispatch(self, request: Request, now: float) -> DispatchOutcome | None:
-        """Defer the request to the current batch; returns ``None``."""
-        if self._next_flush is None:
-            self._next_flush = now + self.config.batch_interval
-        self._pending.append(request)
-        return None
-
-    def flush(self, now: float) -> list[DispatchOutcome]:
+    def assign_batch(self, batch: list[Request], now: float) -> list[DispatchOutcome]:
         """Assign every deferred request, in proximity groups."""
         assert self.fleet is not None and self.oracle is not None
-        if not self._pending:
-            self._next_flush = None
-            return []
         self.sync_grid()
-
         outcomes: list[DispatchOutcome] = []
-        for group in self._grouped_requests():
+        for group in self._grouped_requests(batch):
             for request in sorted(group, key=lambda item: item.deadline):
                 outcomes.append(self._assign(request, now))
-
-        self._pending.clear()
-        self._next_flush = None
         return outcomes
 
     # --------------------------------------------------------------- helpers
 
-    def _grouped_requests(self) -> list[list[Request]]:
-        """Group pending requests by origin grid cell; larger groups first."""
+    def _grouped_requests(self, batch: list[Request]) -> list[list[Request]]:
+        """Group the batch by origin grid cell; larger groups first."""
         assert self.grid is not None
         groups: dict[tuple[int, int], list[Request]] = defaultdict(list)
-        for request in self._pending:
+        for request in batch:
             groups[self.grid.cell_of_vertex(request.origin)].append(request)
         return sorted(groups.values(), key=len, reverse=True)
 

@@ -113,6 +113,8 @@ def reinsertion_improvement(
             best_state = None
             best_route = None
             for candidate in fleet:
+                if candidate is not state and not candidate.online:
+                    continue  # off-shift workers take no new requests
                 base_route = stripped if candidate is state else candidate.route
                 result = operator.best_insertion(base_route, request, oracle)
                 if not result.feasible:
@@ -130,12 +132,13 @@ def reinsertion_improvement(
                 continue
 
             # apply the move: strip from the origin worker, adopt on the target
+            # (replace_route keeps plan versions / scheduled stop events honest)
             if best_state is state:
-                state.route = best_route
+                state.replace_route(best_route)
             else:
-                state.route = stripped
+                state.replace_route(stripped)
                 record = state.assigned_requests.pop(request.id, None)
-                best_state.route = best_route
+                best_state.replace_route(best_route)
                 if record is not None:
                     best_state.assigned_requests[request.id] = record
                     record.worker_id = best_state.worker.id

@@ -32,6 +32,12 @@ class TShare(Dispatcher):
 
     name = "tshare"
 
+    # The single-side cell walk is lossy by design: which workers it finds
+    # depends on their exact grid cells, so the event kernel must materialise
+    # the whole fleet before every dispatch (lazy advancement would change
+    # which cells the walk visits, changing results — not just performance).
+    requires_exact_positions = True
+
     def __init__(
         self,
         config: DispatcherConfig | None = None,
@@ -62,7 +68,11 @@ class TShare(Dispatcher):
 
         grid = self.grid
         assert isinstance(grid, TShareGridIndex)
-        candidate_ids = [int(worker_id) for worker_id in grid.candidate_workers(request.origin, pickup_budget)]
+        candidate_ids = [
+            int(worker_id)
+            for worker_id in grid.candidate_workers(request.origin, pickup_budget)
+            if self.fleet.is_available(int(worker_id))
+        ]
 
         best_delta = INFINITY
         best_worker_id: int | None = None

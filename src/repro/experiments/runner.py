@@ -40,10 +40,19 @@ class SweepPoint:
 
 
 class ScenarioRunner:
-    """Builds instances (caching the city) and runs algorithm comparisons."""
+    """Builds instances (caching the city) and runs algorithm comparisons.
 
-    def __init__(self, dispatcher_config: DispatcherConfig | None = None) -> None:
+    Args:
+        dispatcher_config: knobs shared by every dispatcher.
+        engine: simulation engine to drive (``"event"`` by default; scenarios
+            with cancellation or shift dynamics require it).
+    """
+
+    def __init__(
+        self, dispatcher_config: DispatcherConfig | None = None, engine: str = "event"
+    ) -> None:
         self.dispatcher_config = dispatcher_config or DispatcherConfig()
+        self.engine = engine
         self._network_cache: dict[tuple[str, int], RoadNetwork] = {}
         self._oracle_cache: dict[tuple[str, int], DistanceOracle] = {}
 
@@ -82,7 +91,7 @@ class ScenarioRunner:
             instance = self.instance_for(config)
             dispatcher_config = replace(self.dispatcher_config, grid_cell_metres=cell_metres)
             dispatcher = make_dispatcher(algorithm, dispatcher_config)
-            results.append(run_simulation(instance, dispatcher))
+            results.append(run_simulation(instance, dispatcher, engine=self.engine))
         return results
 
     def sweep(

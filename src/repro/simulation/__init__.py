@@ -1,15 +1,34 @@
-"""Dynamic simulation of the URPSM setting: fleet state, simulator, metrics."""
+"""Dynamic simulation of the URPSM setting: events, kernel, fleet, metrics."""
 
+from repro.simulation.engine import EventEngine
+from repro.simulation.events import (
+    BatchFlush,
+    Event,
+    RequestArrival,
+    RequestCancellation,
+    StopCompletion,
+    WorkerOffline,
+    WorkerOnline,
+)
 from repro.simulation.fleet import FleetState, ServiceRecord, WorkerState
 from repro.simulation.metrics import MetricsCollector, SimulationResult
-from repro.simulation.simulator import Simulator, run_simulation
+from repro.simulation.simulator import ENGINES, Simulator, run_simulation
 
 __all__ = [
+    "BatchFlush",
+    "ENGINES",
+    "Event",
+    "EventEngine",
     "FleetState",
-    "ServiceRecord",
-    "WorkerState",
     "MetricsCollector",
+    "RequestArrival",
+    "RequestCancellation",
+    "ServiceRecord",
     "SimulationResult",
     "Simulator",
+    "StopCompletion",
+    "WorkerOffline",
+    "WorkerOnline",
+    "WorkerState",
     "run_simulation",
 ]

@@ -1,0 +1,147 @@
+"""Typed events of the event-driven simulation kernel.
+
+The online URPSM setting of Section 6.1 is inherently event-driven: requests
+become known at their release times, batch windows expire, workers reach the
+stops of their planned routes, and — in the dynamic-fleet extensions — workers
+come on/off shift and riders cancel pending requests. Each of those moments is
+modelled as one immutable :class:`Event` processed by
+:class:`~repro.simulation.engine.EventEngine` in timestamp order.
+
+Deterministic ordering
+----------------------
+
+Events are totally ordered by the key ``(time, priority, seq)`` where ``seq``
+is the engine's monotonically increasing scheduling counter. Ties at the same
+simulated timestamp therefore resolve in a *documented, stable* order:
+
+1. :class:`WorkerOnline`   — capacity appears before any decision at ``t``;
+2. :class:`StopCompletion` — route progress up to ``t`` is materialised before
+   any dispatching at ``t`` (mirrors the seed loop, which called
+   ``advance_all(now)`` before every dispatcher interaction);
+3. :class:`BatchFlush`     — a batch whose window expires exactly at a release
+   time is flushed *before* the newly released request is seen (the seed loop
+   flushed while ``next_flush <= now``);
+4. :class:`RequestArrival` — the dispatcher sees the request;
+5. :class:`RequestCancellation` — a cancellation stamped at the release time
+   is processed after the arrival it cancels;
+6. :class:`WorkerOffline`  — a worker is usable up to and including ``t``.
+
+Events scheduled for the same ``(time, priority)`` are processed in FIFO
+scheduling order (the ``seq`` component), which makes whole simulations
+replayable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.core.types import Request
+
+#: Priority ranks; lower runs first among events with equal timestamps.
+PRIORITY_WORKER_ONLINE = 0
+PRIORITY_STOP_COMPLETION = 1
+PRIORITY_BATCH_FLUSH = 2
+PRIORITY_REQUEST_ARRIVAL = 3
+PRIORITY_REQUEST_CANCELLATION = 4
+PRIORITY_WORKER_OFFLINE = 5
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base class of all simulation events.
+
+    Attributes:
+        time: simulated timestamp (seconds) at which the event fires.
+    """
+
+    time: float
+
+    #: tie-break rank among events with the same timestamp (see module docs).
+    priority: ClassVar[int] = PRIORITY_REQUEST_ARRIVAL
+
+    def sort_key(self, seq: int) -> tuple[float, int, int]:
+        """Total-order key used by the engine's heap."""
+        return (self.time, self.priority, seq)
+
+
+@dataclass(frozen=True, slots=True)
+class RequestArrival(Event):
+    """A request is released and becomes known to the platform."""
+
+    request: Request = field(kw_only=True)
+
+    priority: ClassVar[int] = PRIORITY_REQUEST_ARRIVAL
+
+
+@dataclass(frozen=True, slots=True)
+class BatchFlush(Event):
+    """A batch dispatcher's accumulation window expires."""
+
+    priority: ClassVar[int] = PRIORITY_BATCH_FLUSH
+
+
+@dataclass(frozen=True, slots=True)
+class StopCompletion(Event):
+    """A worker is due to reach the next stop of its planned route.
+
+    The event is only valid for the plan it was derived from: ``plan_version``
+    snapshots :attr:`~repro.simulation.fleet.WorkerState.plan_version` at
+    scheduling time, and the engine drops the event silently when the worker's
+    route has been re-planned since (a newer event was scheduled then).
+    """
+
+    worker_id: int = field(kw_only=True)
+    plan_version: int = field(kw_only=True)
+
+    priority: ClassVar[int] = PRIORITY_STOP_COMPLETION
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerOnline(Event):
+    """A worker starts its shift and becomes assignable."""
+
+    worker_id: int = field(kw_only=True)
+
+    priority: ClassVar[int] = PRIORITY_WORKER_ONLINE
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerOffline(Event):
+    """A worker ends its shift: it finishes its planned route but receives no
+    new assignments."""
+
+    worker_id: int = field(kw_only=True)
+
+    priority: ClassVar[int] = PRIORITY_WORKER_OFFLINE
+
+
+@dataclass(frozen=True, slots=True)
+class RequestCancellation(Event):
+    """A rider cancels a request.
+
+    Semantics (documented, deterministic):
+
+    * still deferred inside a batch window — dropped from the batch, counted
+      as *cancelled* (no penalty, not served, not rejected);
+    * assigned but not yet picked up — the pickup/drop-off stops are removed
+      from the worker's route and the request moves from *served* to
+      *cancelled*;
+    * already picked up, already rejected, or unknown — the cancellation is
+      ignored (in-flight trips complete; rejections are irrevocable).
+    """
+
+    request_id: int = field(kw_only=True)
+
+    priority: ClassVar[int] = PRIORITY_REQUEST_CANCELLATION
+
+
+__all__ = [
+    "Event",
+    "RequestArrival",
+    "BatchFlush",
+    "StopCompletion",
+    "WorkerOnline",
+    "WorkerOffline",
+    "RequestCancellation",
+]

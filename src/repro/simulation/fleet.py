@@ -1,17 +1,44 @@
 """Fleet state: per-worker position, planned route and execution progress.
 
-The dynamic simulator advances every worker along its planned route between
-dispatch events ("when a worker is serving a request, he/she follows the
-planned route and moves to the destination", Section 6.1). A worker's position
-is always snapped to the last road-network vertex it passed on the concrete
-shortest path towards its next stop, so insertion operators always work with
-graph vertices and exact distances.
+The simulator advances workers along their planned routes between dispatch
+events ("when a worker is serving a request, he/she follows the planned route
+and moves to the destination", Section 6.1). A worker's position is always
+snapped to the last road-network vertex it passed on the concrete shortest
+path towards its next stop, so insertion operators always work with graph
+vertices and exact distances.
+
+Two advancement regimes are supported:
+
+* **eager** (the seed behaviour, used by the legacy request-loop): the caller
+  advances the whole fleet explicitly via :meth:`FleetState.advance_all`;
+* **lazy** (used by the event kernel): the fleet keeps a global ``clock`` and
+  materialises a worker's progress only when that worker is *touched* — read
+  through :meth:`FleetState.state_of` or iterated. Untouched workers keep an
+  older materialisation; since a planned route fixes arrival times in absolute
+  terms, late materialisation yields the exact same stop times and travel
+  costs. Deliveries completed during lazy advances are buffered and drained by
+  the engine (:meth:`FleetState.drain_completions`).
+
+The fleet also tracks, for the event kernel:
+
+* **plan versions** — :attr:`WorkerState.plan_version` increments on every
+  re-planning, invalidating previously scheduled
+  :class:`~repro.simulation.events.StopCompletion` events;
+* **dirty plans** — which workers were re-planned since the engine last
+  looked (:meth:`FleetState.drain_dirty_plans`);
+* **moved positions** — which workers' materialised vertex changed since the
+  dispatcher's grid was last synced (:meth:`FleetState.drain_moved`);
+* **position staleness** — an upper bound on how far a moving worker may have
+  travelled past its materialised position
+  (:meth:`FleetState.position_slack_metres`), which the candidate filter adds
+  to its search radius so lazy advancement never hides a feasible worker.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import time as _time
+from dataclasses import dataclass
 
 from repro.core.route import Route, empty_route
 from repro.core.types import Request, StopKind, Worker
@@ -41,17 +68,28 @@ class ServiceRecord:
         """Whether the delivery met the deadline (False while still in progress)."""
         return self.dropoff_time is not None and self.dropoff_time <= self.request.deadline + 1e-6
 
+    @property
+    def picked_up(self) -> bool:
+        """Whether the pickup already happened (cancellation is then too late)."""
+        return self.pickup_time is not None
+
 
 class WorkerState:
     """Execution state of one worker."""
 
-    def __init__(self, worker: Worker, oracle: DistanceOracle) -> None:
+    def __init__(
+        self, worker: Worker, oracle: DistanceOracle, fleet: "FleetState | None" = None
+    ) -> None:
         self.worker = worker
         self._oracle = oracle
+        self._fleet = fleet
         self.route: Route = empty_route(worker, start_time=0.0)
         self.route.refresh(oracle)
         self.travelled_cost: float = 0.0
         self.assigned_requests: dict[int, ServiceRecord] = {}
+        self.online: bool = True
+        #: bumped on every re-planning; snapshotted by StopCompletion events.
+        self.plan_version: int = 0
 
     # ------------------------------------------------------------ properties
 
@@ -75,6 +113,15 @@ class WorkerState:
         """Number of pending stops in the planned route."""
         return self.route.num_stops
 
+    @property
+    def next_stop_arrival(self) -> float | None:
+        """Planned arrival time at the next stop, or ``None`` when idle."""
+        if self.route.is_empty:
+            return None
+        if len(self.route.arr) != self.route.num_stops + 1:
+            self.route.refresh(self._oracle)
+        return self.route.arr[1]
+
     # -------------------------------------------------------------- planning
 
     def adopt_route(self, route: Route, request: Request | None = None) -> None:
@@ -89,15 +136,49 @@ class WorkerState:
             raise DispatchError(
                 f"route of worker {route.worker.id} assigned to worker {self.worker.id}"
             )
-        self.route = route
-        if len(route.arr) != route.num_stops + 1:
-            route.refresh(self._oracle)
         if request is not None:
             if request.id in self.assigned_requests:
                 raise DispatchError(f"request {request.id} assigned twice to worker {self.worker.id}")
             self.assigned_requests[request.id] = ServiceRecord(
                 request=request, worker_id=self.worker.id
             )
+            if self._fleet is not None:
+                self._fleet._assignment_hint[request.id] = self.worker.id
+        self.replace_route(route)
+
+    def replace_route(self, route: Route) -> None:
+        """Install ``route`` as the new plan, invalidating scheduled stop events."""
+        self.route = route
+        if len(route.arr) != route.num_stops + 1:
+            route.refresh(self._oracle)
+        self.plan_version += 1
+        if self._fleet is not None:
+            self._fleet._note_plan_change(self)
+
+    def drop_request(self, request_id: int) -> bool:
+        """Remove a not-yet-picked-up request from the plan (rider cancellation).
+
+        Returns ``True`` when the request was pending on this worker and its
+        stops were removed; ``False`` when it is unknown here or the pickup
+        already happened (the trip then completes normally).
+        """
+        record = self.assigned_requests.get(request_id)
+        if record is None or record.picked_up:
+            return False
+        remaining = [stop for stop in self.route.stops if stop.request.id != request_id]
+        del self.assigned_requests[request_id]
+        if self._fleet is not None:
+            self._fleet._assignment_hint.pop(request_id, None)
+        self.replace_route(
+            Route(
+                worker=self.worker,
+                origin=self.route.origin,
+                start_time=self.route.start_time,
+                stops=remaining,
+                _direct_distances=dict(self.route._direct_distances),
+            )
+        )
+        return True
 
     # ------------------------------------------------------------- execution
 
@@ -180,34 +261,101 @@ class WorkerState:
 
 
 class FleetState:
-    """The collection of all worker states plus convenience accessors."""
+    """The collection of all worker states plus convenience accessors.
 
-    def __init__(self, workers: list[Worker], oracle: DistanceOracle) -> None:
+    Args:
+        workers: the fleet.
+        oracle: shared distance oracle.
+        lazy: enable lazy advancement — workers materialise their progress up
+            to :attr:`clock` when accessed through :meth:`state_of` or
+            iteration; completions observed during those advances are buffered
+            for :meth:`drain_completions`. With ``lazy=False`` (the default,
+            matching the seed) accessors never mutate state and the caller
+            drives advancement explicitly via :meth:`advance_all`.
+    """
+
+    def __init__(self, workers: list[Worker], oracle: DistanceOracle, lazy: bool = False) -> None:
         if not workers:
             raise DispatchError("a fleet needs at least one worker")
         self.oracle = oracle
+        self.lazy = lazy
+        #: current simulated time; advanced by the engine / ``advance_all``.
+        self.clock: float = 0.0
+        #: wall-clock seconds spent materialising lazy progress; the event
+        #: engine subtracts this from its dispatch timer so the response-time
+        #: metric measures the same work as the legacy loop (which advances
+        #: the fleet outside its timer).
+        self.materialisation_seconds: float = 0.0
+        self._completions: list[ServiceRecord] = []
+        self._dirty_plans: set[int] = set()
+        self._moved: set[int] = set()
+        #: worker id -> position_time, for workers with pending stops.
+        self._moving: dict[int, float] = {}
+        #: request id -> worker id of the (probable) current assignee; kept as
+        #: a hint — re-optimisation passes may move requests between workers
+        #: behind the fleet's back, so :meth:`find_assignment` verifies and
+        #: self-heals via a scan on a miss.
+        self._assignment_hint: dict[int, int] = {}
         self.states: dict[int, WorkerState] = {
-            worker.id: WorkerState(worker, oracle) for worker in workers
+            worker.id: WorkerState(worker, oracle, fleet=self) for worker in workers
         }
 
     def __iter__(self):
+        if self.lazy:
+            for state in self.states.values():
+                self._materialise(state)
         return iter(self.states.values())
 
     def __len__(self) -> int:
         return len(self.states)
 
+    # ---------------------------------------------------------------- access
+
     def state_of(self, worker_id: int) -> WorkerState:
-        """State of the worker with identifier ``worker_id``."""
+        """State of the worker with identifier ``worker_id``.
+
+        In lazy mode the worker is first advanced to :attr:`clock`, so callers
+        always observe positions and arrival arrays as of "now".
+        """
+        try:
+            state = self.states[worker_id]
+        except KeyError as exc:
+            raise DispatchError(f"unknown worker {worker_id}") from exc
+        if self.lazy:
+            self._materialise(state)
+        return state
+
+    def peek_state(self, worker_id: int) -> WorkerState:
+        """State accessor that never advances (event-engine bookkeeping)."""
         try:
             return self.states[worker_id]
         except KeyError as exc:
             raise DispatchError(f"unknown worker {worker_id}") from exc
 
+    # ---------------------------------------------------------- availability
+
+    def is_available(self, worker_id: int) -> bool:
+        """Whether the worker is on shift and may receive new assignments."""
+        return self.states[worker_id].online
+
+    def set_online(self, worker_id: int, online: bool) -> None:
+        """Toggle a worker's shift status (event-kernel worker dynamics)."""
+        self.peek_state(worker_id).online = online
+
+    # ------------------------------------------------------------- execution
+
+    def set_clock(self, now: float) -> None:
+        """Move the fleet's lazy clock forward (monotone; engine only)."""
+        if now > self.clock:
+            self.clock = now
+
     def advance_all(self, now: float) -> list[ServiceRecord]:
         """Advance every worker to time ``now``; returns completed deliveries."""
+        self.set_clock(now)
         completed: list[ServiceRecord] = []
         for state in self.states.values():
             completed.extend(state.advance_to(now))
+            self._note_motion(state)
         return completed
 
     def finish_all(self) -> list[ServiceRecord]:
@@ -215,7 +363,70 @@ class FleetState:
         completed: list[ServiceRecord] = []
         for state in self.states.values():
             completed.extend(state.finish_route())
+            self._note_motion(state)
         return completed
+
+    def _materialise(self, state: WorkerState) -> None:
+        """Advance ``state`` to the fleet clock, buffering completions."""
+        if state.route.start_time >= self.clock and state.route.is_empty:
+            return
+        started = _time.perf_counter()
+        completed = state.advance_to(self.clock)
+        self.materialisation_seconds += _time.perf_counter() - started
+        if completed:
+            self._completions.extend(completed)
+        self._note_motion(state)
+
+    # ------------------------------------------------------- change tracking
+
+    def _note_plan_change(self, state: WorkerState) -> None:
+        worker_id = state.worker.id
+        self._dirty_plans.add(worker_id)
+        self._note_motion(state)
+
+    def _note_motion(self, state: WorkerState) -> None:
+        worker_id = state.worker.id
+        if state.route.is_empty:
+            self._moving.pop(worker_id, None)
+        else:
+            self._moving[worker_id] = state.position_time
+        self._moved.add(worker_id)
+
+    def drain_dirty_plans(self) -> list[int]:
+        """Workers re-planned since the last drain (engine event scheduling)."""
+        drained = sorted(self._dirty_plans)
+        self._dirty_plans.clear()
+        return drained
+
+    def drain_completions(self) -> list[ServiceRecord]:
+        """Deliveries completed during lazy advances since the last drain."""
+        drained = self._completions
+        self._completions = []
+        return drained
+
+    def drain_moved(self) -> list[int]:
+        """Workers whose materialised position changed since the last drain."""
+        drained = sorted(self._moved)
+        self._moved.clear()
+        return drained
+
+    def position_slack_metres(self, max_speed: float) -> float:
+        """Upper bound (metres) on any worker's drift past its materialised position.
+
+        Idle workers do not move, and a moving worker materialised at
+        ``position_time`` can have travelled at most
+        ``(clock - position_time) * max_speed`` metres since. The candidate
+        filter adds this slack to its reachability radius so that lazy
+        advancement can only *widen* (never narrow) the candidate superset.
+        Returns 0 in eager mode, where positions are materialised before every
+        dispatch.
+        """
+        if not self.lazy or not self._moving:
+            return 0.0
+        oldest = min(self._moving.values())
+        return max(self.clock - oldest, 0.0) * max_speed
+
+    # -------------------------------------------------------------- metrics
 
     def total_travel_cost(self) -> float:
         """Sum of travelled + planned costs over the fleet (``sum_w D(S_w)``)."""
@@ -223,4 +434,26 @@ class FleetState:
 
     def positions(self) -> dict[int, int]:
         """Current vertex of every worker, keyed by worker id."""
+        if self.lazy:
+            for state in self.states.values():
+                self._materialise(state)
         return {worker_id: state.position for worker_id, state in self.states.items()}
+
+    def find_assignment(self, request_id: int) -> WorkerState | None:
+        """Worker currently holding ``request_id``, if any (cancellation path).
+
+        O(1) via the assignment hint in the common case; falls back to a scan
+        (and heals the hint) when a re-optimisation pass moved the request
+        between workers since it was assigned.
+        """
+        hinted = self._assignment_hint.get(request_id)
+        if hinted is not None:
+            state = self.states.get(hinted)
+            if state is not None and request_id in state.assigned_requests:
+                return state
+        for state in self.states.values():
+            if request_id in state.assigned_requests:
+                self._assignment_hint[request_id] = state.worker.id
+                return state
+        self._assignment_hint.pop(request_id, None)
+        return None

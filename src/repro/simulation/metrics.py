@@ -34,6 +34,10 @@ class SimulationResult:
     served_requests: int = 0
     rejected_requests: int = 0
     decision_rejections: int = 0
+    cancelled_requests: int = 0
+    """Requests withdrawn by the rider (event-kernel dynamics); they count in
+    ``total_requests`` but neither as served nor as rejected, and incur no
+    penalty."""
 
     total_travel_cost: float = 0.0
     total_penalty: float = 0.0
@@ -118,6 +122,23 @@ class MetricsCollector:
     def record_dispatch_time(self, seconds: float) -> None:
         """Add wall-clock time spent inside the dispatcher."""
         self._dispatch_seconds += seconds
+
+    def record_cancellation(self, request: Request, was_assigned: bool) -> None:
+        """Record a rider cancellation.
+
+        Args:
+            request: the cancelled request.
+            was_assigned: ``True`` when the request had already been assigned
+                (and recorded as served) — the earlier outcome is retracted;
+                ``False`` when it was still deferred inside a batch window and
+                never produced an outcome.
+        """
+        result = self._result
+        result.cancelled_requests += 1
+        if was_assigned:
+            result.served_requests -= 1
+        else:
+            result.total_requests += 1
 
     def record_completion(self, record: ServiceRecord, direct_distance: float) -> None:
         """Record a completed delivery (waiting time, detour ratio, deadline check)."""

@@ -1,6 +1,8 @@
-"""The dynamic URPSM simulator.
+"""Public simulation entry points for the dynamic URPSM setting.
 
-Replays a time-ordered request stream against a dispatcher, following the
+:class:`Simulator` and :func:`run_simulation` keep the interface of the seed
+implementation but now delegate to the event-driven kernel
+(:class:`~repro.simulation.engine.EventEngine`) by default, following the
 protocol of Section 6.1 of the paper:
 
 * requests become known only at their release time (dynamic/online setting);
@@ -13,6 +15,13 @@ protocol of Section 6.1 of the paper:
 
 Wall-clock dispatcher time is measured per request to reproduce the paper's
 *response time* metric.
+
+The seed's request-stream loop is preserved as ``engine="legacy"`` — it is
+metric-identical (served rate, unified cost) to the event kernel on
+dynamics-free instances and serves as the baseline of
+``benchmarks/bench_event_engine.py``. Instances with
+:class:`~repro.core.instance.InstanceDynamics` (cancellations, worker
+shifts) require the event kernel.
 """
 
 from __future__ import annotations
@@ -21,8 +30,13 @@ import time
 
 from repro.core.instance import URPSMInstance
 from repro.dispatch.base import Dispatcher, DispatchOutcome
+from repro.exceptions import ConfigurationError, DispatchError
+from repro.simulation.engine import MAX_UNPRODUCTIVE_FLUSHES, EventEngine
 from repro.simulation.fleet import FleetState
 from repro.simulation.metrics import MetricsCollector, SimulationResult
+
+#: engine names accepted by :class:`Simulator` / :func:`run_simulation`.
+ENGINES = ("event", "legacy")
 
 
 class Simulator:
@@ -33,6 +47,66 @@ class Simulator:
         dispatcher: the algorithm under test.
         collect_completions: also track waiting times / detour ratios of
             completed requests (slightly more bookkeeping).
+        engine: ``"event"`` (default) for the event-driven kernel, or
+            ``"legacy"`` for the seed's request-stream loop (dynamics-free
+            instances only).
+    """
+
+    def __init__(
+        self,
+        instance: URPSMInstance,
+        dispatcher: Dispatcher,
+        collect_completions: bool = True,
+        engine: str = "event",
+    ) -> None:
+        if engine not in ENGINES:
+            raise ConfigurationError(f"unknown engine {engine!r}; available: {ENGINES}")
+        self.engine = engine
+        if engine == "event":
+            self._backend = EventEngine(
+                instance, dispatcher, collect_completions=collect_completions
+            )
+        else:
+            self._backend = _LegacyLoop(
+                instance, dispatcher, collect_completions=collect_completions
+            )
+
+    # The backend owns the mutable state; expose it under the seed attribute
+    # names so existing callers and tests keep working.
+
+    @property
+    def instance(self) -> URPSMInstance:
+        """The problem instance under simulation."""
+        return self._backend.instance
+
+    @property
+    def dispatcher(self) -> Dispatcher:
+        """The algorithm under test."""
+        return self._backend.dispatcher
+
+    @property
+    def fleet(self) -> FleetState:
+        """The backend's fleet state."""
+        return self._backend.fleet
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        """The backend's metrics collector."""
+        return self._backend.metrics
+
+    def run(self) -> SimulationResult:
+        """Replay the full request stream and return the aggregated metrics."""
+        return self._backend.run()
+
+
+class _LegacyLoop:
+    """The seed's request-stream loop (eager fleet advancement).
+
+    Kept as a verification baseline: the event kernel must match its served
+    rate and unified cost on every dynamics-free instance. The final batch
+    drain is bounded — a dispatcher whose ``next_flush_time`` never returns
+    ``None`` raises :class:`~repro.exceptions.DispatchError` instead of
+    spinning forever (the seed's non-termination hazard).
     """
 
     def __init__(
@@ -42,6 +116,11 @@ class Simulator:
         collect_completions: bool = True,
     ) -> None:
         instance.validate()
+        if instance.dynamics is not None and not instance.dynamics.is_empty:
+            raise ConfigurationError(
+                "instance dynamics (cancellations, worker shifts) require the "
+                "event engine; run with engine='event'"
+            )
         self.instance = instance
         self.dispatcher = dispatcher
         self.collect_completions = collect_completions
@@ -55,7 +134,6 @@ class Simulator:
     # ----------------------------------------------------------------- main
 
     def run(self) -> SimulationResult:
-        """Replay the full request stream and return the aggregated metrics."""
         instance = self.instance
         dispatcher = self.dispatcher
         oracle = instance.oracle
@@ -96,7 +174,7 @@ class Simulator:
         if not dispatcher.is_batched:
             return
         while True:
-            next_flush = getattr(dispatcher, "next_flush_time", lambda: None)()
+            next_flush = dispatcher.next_flush_time()
             if next_flush is None or next_flush > now:
                 break
             completions = self.fleet.advance_all(next_flush)
@@ -108,11 +186,12 @@ class Simulator:
             self._record_outcomes(outcomes)
 
     def _final_flush(self, last_time: float) -> None:
-        """Flush whatever is still pending after the last request."""
+        """Flush whatever is still pending after the last request (bounded)."""
         dispatcher = self.dispatcher
         if not dispatcher.is_batched:
             return
-        next_flush = getattr(dispatcher, "next_flush_time", lambda: None)()
+        unproductive = 0
+        next_flush = dispatcher.next_flush_time()
         while next_flush is not None:
             flush_time = max(next_flush, last_time)
             completions = self.fleet.advance_all(flush_time)
@@ -122,7 +201,17 @@ class Simulator:
             elapsed = time.perf_counter() - started
             self.metrics.record_dispatch_time(elapsed)
             self._record_outcomes(outcomes)
-            next_flush = getattr(dispatcher, "next_flush_time", lambda: None)()
+            if outcomes:
+                unproductive = 0
+            else:
+                unproductive += 1
+                if unproductive > MAX_UNPRODUCTIVE_FLUSHES:
+                    raise DispatchError(
+                        f"{dispatcher.name}: {unproductive} consecutive final flushes "
+                        "produced no outcome while next_flush_time() kept returning "
+                        "a deadline — the final drain does not terminate"
+                    )
+            next_flush = dispatcher.next_flush_time()
 
     # --------------------------------------------------------------- records
 
@@ -140,7 +229,12 @@ class Simulator:
 
 
 def run_simulation(
-    instance: URPSMInstance, dispatcher: Dispatcher, collect_completions: bool = True
+    instance: URPSMInstance,
+    dispatcher: Dispatcher,
+    collect_completions: bool = True,
+    engine: str = "event",
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(instance, dispatcher, collect_completions=collect_completions).run()
+    return Simulator(
+        instance, dispatcher, collect_completions=collect_completions, engine=engine
+    ).run()

@@ -11,6 +11,7 @@ from repro.workloads.requests import (
     RequestGeneratorConfig,
     generate_requests,
     poisson_request_stream,
+    sample_cancellations,
 )
 from repro.workloads.scenarios import (
     CITY_BUILDERS,
@@ -21,7 +22,7 @@ from repro.workloads.scenarios import (
     make_oracle,
     paper_default_scenario,
 )
-from repro.workloads.workers import WorkerGeneratorConfig, generate_workers
+from repro.workloads.workers import WorkerGeneratorConfig, generate_workers, staggered_shifts
 
 __all__ = [
     "HotspotModel",
@@ -32,6 +33,7 @@ __all__ = [
     "RequestGeneratorConfig",
     "generate_requests",
     "poisson_request_stream",
+    "sample_cancellations",
     "CITY_BUILDERS",
     "ScenarioConfig",
     "build_instance",
@@ -41,4 +43,5 @@ __all__ = [
     "paper_default_scenario",
     "WorkerGeneratorConfig",
     "generate_workers",
+    "staggered_shifts",
 ]

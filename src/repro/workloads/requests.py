@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.instance import Cancellation
 from repro.core.objective import ObjectiveConfig
 from repro.core.types import Request
 from repro.network.graph import RoadNetwork
@@ -104,6 +105,51 @@ def _sample_trip(
             return origin, destination, direct
     # give up gracefully: accept the last sample even if short
     return origin, destination, direct
+
+
+def sample_cancellations(
+    requests: list[Request],
+    rate: float,
+    seed: int,
+    earliest_fraction: float = 0.1,
+    latest_fraction: float = 0.9,
+) -> list[Cancellation]:
+    """Draw rider cancellations for a request stream (event-kernel dynamics).
+
+    Each request is cancelled independently with probability ``rate``; the
+    cancellation time is uniform inside
+    ``[release + earliest_fraction * window, release + latest_fraction * window]``,
+    so cancellations always land between the release and the deadline — some
+    before the batch flush or pickup (and therefore effective), some too late.
+
+    Args:
+        requests: the stream to draw from.
+        rate: per-request cancellation probability in ``[0, 1]``.
+        seed: RNG seed.
+        earliest_fraction: earliest cancellation as a fraction of the window.
+        latest_fraction: latest cancellation as a fraction of the window.
+
+    Returns:
+        Cancellations sorted by time.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"cancellation rate must be in [0, 1], got {rate}")
+    if rate == 0.0 or not requests:
+        return []
+    rng = make_rng(seed)
+    cancellations: list[Cancellation] = []
+    for request in requests:
+        if rng.random() >= rate:
+            continue
+        fraction = earliest_fraction + (latest_fraction - earliest_fraction) * rng.random()
+        cancellations.append(
+            Cancellation(
+                request_id=request.id,
+                time=request.release_time + fraction * request.time_window,
+            )
+        )
+    cancellations.sort(key=lambda cancellation: cancellation.time)
+    return cancellations
 
 
 def poisson_request_stream(

@@ -16,15 +16,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.core.instance import URPSMInstance
+from repro.core.instance import InstanceDynamics, URPSMInstance
 from repro.core.objective import ObjectiveConfig, PenaltyPolicy
 from repro.exceptions import ConfigurationError
 from repro.network.generators import grid_city, random_geometric_city, ring_radial_city
 from repro.network.graph import RoadNetwork
 from repro.network.oracle import DistanceOracle
 from repro.utils.rng import derive_seed
-from repro.workloads.requests import RequestGeneratorConfig, generate_requests
-from repro.workloads.workers import WorkerGeneratorConfig, generate_workers
+from repro.workloads.requests import (
+    RequestGeneratorConfig,
+    generate_requests,
+    sample_cancellations,
+)
+from repro.workloads.workers import (
+    WorkerGeneratorConfig,
+    generate_workers,
+    staggered_shifts,
+)
 
 CITY_BUILDERS = {
     "nyc-like": lambda seed: grid_city(rows=36, columns=36, block_metres=280.0, seed=seed,
@@ -57,6 +65,12 @@ class ScenarioConfig:
         oracle_precompute: oracle acceleration mode — ``"auto"`` (dense
             all-pairs table for networks up to a few thousand vertices, hub
             labels otherwise), ``"apsp"``, ``"hub_labels"`` or ``"none"``.
+        cancellation_rate: probability that a rider cancels their request
+            between release and deadline (0 disables; requires the event
+            kernel).
+        shift_hours: staggered duty-window length per worker in hours (0 =
+            everyone on duty for the whole horizon; requires the event
+            kernel).
     """
 
     city: str = "chengdu-like"
@@ -71,6 +85,8 @@ class ScenarioConfig:
     seed: int = 2018
     use_hub_labels: bool = False
     oracle_precompute: str = "auto"
+    cancellation_rate: float = 0.0
+    shift_hours: float = 0.0
 
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         """Return a copy with the given fields replaced (sweep helper)."""
@@ -158,9 +174,33 @@ def build_instance(
         requests=requests,
         objective=objective,
         name=f"{config.city}-W{config.num_workers}-R{config.num_requests}",
+        dynamics=_build_dynamics(config, workers, requests),
     )
     instance.validate()
     return instance
+
+
+def _build_dynamics(config: ScenarioConfig, workers, requests) -> InstanceDynamics | None:
+    """Materialise the dynamic-fleet knobs, or ``None`` when all are off."""
+    if config.cancellation_rate <= 0.0 and config.shift_hours <= 0.0:
+        return None
+    dynamics = InstanceDynamics()
+    if config.cancellation_rate > 0.0:
+        dynamics.cancellations = sample_cancellations(
+            requests,
+            rate=config.cancellation_rate,
+            seed=derive_seed(config.seed, "cancellations"),
+        )
+    if config.shift_hours > 0.0:
+        dynamics.shifts = staggered_shifts(
+            workers,
+            horizon_seconds=config.horizon_hours * 3600.0,
+            shift_seconds=config.shift_hours * 3600.0,
+            seed=derive_seed(config.seed, "shifts"),
+        )
+    # degenerate knobs (rate 0 draws, horizon-covering shifts) yield no actual
+    # dynamics; keep such instances runnable on either engine
+    return None if dynamics.is_empty else dynamics
 
 
 def dataset_statistics(config: ScenarioConfig) -> dict[str, float]:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.instance import WorkerShift
 from repro.core.types import Worker
 from repro.network.graph import RoadNetwork
 from repro.utils.rng import make_rng
@@ -53,3 +54,46 @@ def generate_workers(network: RoadNetwork, config: WorkerGeneratorConfig) -> lis
             )
         )
     return workers
+
+
+def staggered_shifts(
+    workers: list[Worker],
+    horizon_seconds: float,
+    shift_seconds: float,
+    seed: int,
+    jitter_share: float = 0.25,
+) -> list[WorkerShift]:
+    """Staggered duty windows covering the horizon (event-kernel dynamics).
+
+    Shift starts are spread evenly over ``[0, horizon - shift]`` in worker
+    order, with a uniform jitter of up to ``jitter_share`` of the spacing so
+    fleets do not change in lockstep. The first worker always starts at 0, so
+    some capacity is on duty from the beginning.
+
+    Args:
+        workers: the fleet.
+        horizon_seconds: length of the simulated day.
+        shift_seconds: duty-window length; values at or above the horizon
+            mean every worker is always on duty, which is the same as having
+            no shifts at all — an empty list is returned so such instances
+            stay dynamics-free (and keep working on the legacy engine).
+        seed: RNG seed for the jitter.
+
+    Returns:
+        One :class:`~repro.core.instance.WorkerShift` per worker, or ``[]``
+        when the shift covers the whole horizon.
+    """
+    if shift_seconds <= 0:
+        raise ValueError(f"shift_seconds must be positive, got {shift_seconds}")
+    latest_start = max(horizon_seconds - shift_seconds, 0.0)
+    if latest_start == 0.0:
+        return []
+    rng = make_rng(seed)
+    spacing = latest_start / max(len(workers) - 1, 1)
+    shifts: list[WorkerShift] = []
+    for index, worker in enumerate(workers):
+        start = min(index * spacing + jitter_share * spacing * float(rng.random()), latest_start)
+        if index == 0:
+            start = 0.0
+        shifts.append(WorkerShift(worker_id=worker.id, start=start, end=start + shift_seconds))
+    return shifts

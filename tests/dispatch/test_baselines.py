@@ -129,7 +129,7 @@ class TestBatch:
         dispatcher.setup(small_instance, fleet)
         for request in small_instance.requests[:4]:
             dispatcher.dispatch(request, now=0.0)
-        groups = dispatcher._grouped_requests()
+        groups = dispatcher._grouped_requests(dispatcher.pending_requests)
         assert sum(len(group) for group in groups) == 4
         assert all(len(group) >= 1 for group in groups)
         # groups are sorted by size, largest first

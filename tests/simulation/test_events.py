@@ -1,0 +1,78 @@
+"""Tests for the typed event protocol and its documented ordering."""
+
+import heapq
+
+from repro.simulation.events import (
+    BatchFlush,
+    RequestArrival,
+    RequestCancellation,
+    StopCompletion,
+    WorkerOffline,
+    WorkerOnline,
+)
+from tests.conftest import make_request
+
+
+def _pop_all(events):
+    """Push events through a heap exactly like the engine does."""
+    heap = []
+    for seq, event in enumerate(events):
+        heapq.heappush(heap, (event.sort_key(seq), event))
+    ordered = []
+    while heap:
+        ordered.append(heapq.heappop(heap)[1])
+    return ordered
+
+
+class TestEventOrdering:
+    def test_time_dominates_priority(self):
+        early = WorkerOffline(time=1.0, worker_id=0)
+        late = WorkerOnline(time=2.0, worker_id=0)
+        assert _pop_all([late, early]) == [early, late]
+
+    def test_equal_timestamp_priority_order(self):
+        """At an equal timestamp the documented order is online < stop <
+        flush < arrival < cancellation < offline."""
+        t = 42.0
+        request = make_request(0, 0, 1)
+        events = [
+            WorkerOffline(time=t, worker_id=0),
+            RequestCancellation(time=t, request_id=0),
+            RequestArrival(time=t, request=request),
+            BatchFlush(time=t),
+            StopCompletion(time=t, worker_id=0, plan_version=0),
+            WorkerOnline(time=t, worker_id=0),
+        ]
+        ordered = [type(event) for event in _pop_all(events)]
+        assert ordered == [
+            WorkerOnline,
+            StopCompletion,
+            BatchFlush,
+            RequestArrival,
+            RequestCancellation,
+            WorkerOffline,
+        ]
+
+    def test_equal_time_and_priority_is_fifo(self):
+        """Same (time, priority) resolves in scheduling order: stable replay."""
+        requests = [make_request(index, 0, 1) for index in range(5)]
+        arrivals = [RequestArrival(time=7.0, request=request) for request in requests]
+        ordered = _pop_all(arrivals)
+        assert [event.request.id for event in ordered] == [0, 1, 2, 3, 4]
+
+    def test_flush_fires_before_arrival_at_equal_timestamp(self):
+        """A batch window expiring exactly at a release time resolves first,
+        so the newly released request lands in the next window (the seed loop
+        behaved the same way)."""
+        request = make_request(0, 0, 1, release=6.0)
+        ordered = _pop_all([RequestArrival(time=6.0, request=request), BatchFlush(time=6.0)])
+        assert isinstance(ordered[0], BatchFlush)
+
+    def test_events_are_immutable(self):
+        event = BatchFlush(time=1.0)
+        try:
+            event.time = 2.0
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("events must be frozen")
