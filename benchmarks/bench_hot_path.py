@@ -1,0 +1,209 @@
+"""End-to-end benchmark of the array-native hot path (PR 2's tentpole).
+
+Runs pruneGreedyDP twice on the same instance:
+
+* **legacy** — a reconstruction of the pre-PR scalar hot path: scalar
+  per-candidate decision phase, lazily-queried linear DP (no batch prefetch),
+  per-touch fleet materialisation without the no-op fast path, the seed's
+  list-building ``Route.refresh``, and the seed's dict-of-dict bidirectional
+  Dijkstra for shortest-path misses;
+* **array-native** — the CSR + batched-oracle + vectorized-decision pipeline
+  that is the library default.
+
+Both runs must agree **exactly** on served requests, unified cost,
+``distance_queries`` and ``dijkstra_runs`` — the speedup is never allowed to
+buy a behaviour change. Note the fleet-advancement fast paths (concrete-path
+suffix reuse, shift-by-one auxiliary arrays on stop completion) are shared by
+*both* configurations: they eliminate redundant oracle work outright, and
+gating them per-arm would make the counter-identity assertion impossible.
+The legacy arm therefore reconstructs the pre-PR **decision/oracle/refresh/
+materialisation** costs (empirically within a few percent of the true pre-PR
+wall on the standard scenario), while the advancement savings are counted for
+both sides — the reported speedup is conservative in that respect.
+
+The script appends one entry per scenario to a ``BENCH_hot_path.json``
+perf-trajectory file so successive PRs can track the hot path over time.
+
+Usage::
+
+    python benchmarks/bench_hot_path.py                  # standard @ 300 workers
+    python benchmarks/bench_hot_path.py --scenario smoke # CI-sized, <30 s
+    python benchmarks/bench_hot_path.py --repeats 5 --output BENCH_hot_path.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.insertion.linear_dp import LinearDPInsertion  # noqa: E402
+from repro.core.route import Route  # noqa: E402
+from repro.dispatch import DispatcherConfig  # noqa: E402
+from repro.dispatch.greedy_dp import PruneGreedyDP  # noqa: E402
+from repro.simulation.simulator import Simulator  # noqa: E402
+from repro.workloads.scenarios import (  # noqa: E402
+    ScenarioConfig,
+    build_instance,
+    build_network,
+    make_oracle,
+    paper_default_scenario,
+)
+
+#: named benchmark scenarios; "standard" is the paper-default city at the
+#: worker count the issue targets, "smoke" fits a CI minute.
+SCENARIOS = {
+    "standard": lambda workers: paper_default_scenario(num_workers=workers or 300),
+    "nyc": lambda workers: ScenarioConfig(
+        city="nyc-like", num_workers=workers or 300, num_requests=600, seed=2018
+    ),
+    "smoke": lambda workers: ScenarioConfig(
+        city="small-grid", num_workers=workers or 30, num_requests=150, seed=2018
+    ),
+}
+
+
+def run_config(config, network, legacy: bool):
+    """One full simulation; returns (wall seconds, result, counter snapshot)."""
+    oracle = make_oracle(network, config)
+    oracle.legacy_reference_mode = legacy
+    instance = build_instance(config, network=network, oracle=oracle)
+    dispatcher = PruneGreedyDP(
+        DispatcherConfig(grid_cell_metres=config.grid_km * 1000.0),
+        insertion=LinearDPInsertion(prefetch=not legacy),
+        vectorized=not legacy,
+    )
+    simulator = Simulator(instance, dispatcher)
+    simulator.fleet.materialise_fast_path = not legacy
+    Route.legacy_refresh = legacy
+    try:
+        started = time.perf_counter()
+        result = simulator.run()
+        wall = time.perf_counter() - started
+    finally:
+        Route.legacy_refresh = False
+    return wall, result, oracle.counters.snapshot()
+
+
+def fingerprint(result, counters) -> dict:
+    """The metrics both configurations must agree on exactly."""
+    return {
+        "served": result.served_requests,
+        "served_rate": result.served_rate,
+        "unified_cost": result.unified_cost,
+        "distance_queries": counters["distance_queries"],
+        "dijkstra_runs": counters["dijkstra_runs"],
+    }
+
+
+def bench_scenario(name: str, workers: int | None, repeats: int) -> dict:
+    config = SCENARIOS[name](workers)
+    network = build_network(config)
+    walls = {"legacy": [], "array_native": []}
+    outcomes = {}
+    for repeat in range(repeats):
+        for label, legacy in (("legacy", True), ("array_native", False)):
+            wall, result, counters = run_config(config, network, legacy)
+            walls[label].append(wall)
+            outcomes[label] = (result, counters)
+            print(
+                f"  [{name}] repeat {repeat + 1}/{repeats} {label:>12}: "
+                f"{wall:6.2f}s  served {result.served_requests}/{result.total_requests}"
+            )
+
+    legacy_print = fingerprint(*outcomes["legacy"])
+    array_print = fingerprint(*outcomes["array_native"])
+    identical = legacy_print == array_print
+    best_legacy = min(walls["legacy"])
+    best_array = min(walls["array_native"])
+    speedup = best_legacy / best_array if best_array > 0 else float("inf")
+    _, array_counters = outcomes["array_native"]
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scenario": name,
+        "city": config.city,
+        "workers": config.num_workers,
+        "requests": config.num_requests,
+        "repeats": repeats,
+        "legacy_wall_s": round(best_legacy, 4),
+        "array_native_wall_s": round(best_array, 4),
+        "speedup": round(speedup, 3),
+        "identical_metrics": identical,
+        "metrics": array_print,
+        "distance_cache_hit_rate": array_counters.get("distance_cache_hit_rate"),
+        "path_cache_hit_rate": array_counters.get("path_cache_hit_rate"),
+        "python": platform.python_version(),
+    }
+
+    print(
+        f"  [{name}] best-of-{repeats}: legacy {best_legacy:.2f}s, "
+        f"array-native {best_array:.2f}s -> {speedup:.2f}x speedup; "
+        f"metrics identical: {identical}"
+    )
+    if not identical:
+        print(f"    legacy:       {legacy_print}")
+        print(f"    array-native: {array_print}")
+    return entry
+
+
+def append_trajectory(path: Path, entries: list[dict]) -> None:
+    """Append the run entries to the JSON perf-trajectory file."""
+    if path.exists():
+        document = json.loads(path.read_text())
+    else:
+        document = {"benchmark": "hot_path", "runs": []}
+    document["runs"].extend(entries)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"trajectory written to {path} ({len(document['runs'])} runs total)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS) + ["all"],
+        default="standard",
+        help="named scenario to run (default: standard; 'all' runs every one)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="override the fleet size"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="runs per configuration (best-of)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_hot_path.json",
+        help="perf-trajectory JSON file to append to",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    entries = []
+    for name in names:
+        print(f"== hot-path benchmark: {name} ==")
+        entries.append(bench_scenario(name, args.workers, args.repeats))
+    append_trajectory(args.output, entries)
+
+    if not all(entry["identical_metrics"] for entry in entries):
+        print("FAIL: array-native metrics diverge from the legacy scalar path")
+        return 1
+    for entry in entries:
+        print(
+            f"{entry['scenario']}: {entry['speedup']}x "
+            f"({entry['legacy_wall_s']}s -> {entry['array_native_wall_s']}s)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

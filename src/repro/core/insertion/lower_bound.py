@@ -22,6 +22,9 @@ skipped outright.
 from __future__ import annotations
 
 import math
+from typing import Sequence
+
+import numpy as np
 
 from repro.core.route import Route
 from repro.core.types import Request
@@ -123,3 +126,228 @@ def euclidean_insertion_lower_bound(
                     dio = detour_origin
 
     return best
+
+
+def euclidean_idle_lower_bounds(
+    origins: Sequence[int],
+    start_times: float | np.ndarray,
+    request: Request,
+    oracle: DistanceOracle,
+    direct_distance: float,
+    capacities: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Closed-form ``LB_{Δ*}`` for idle workers (empty routes), vectorized.
+
+    An empty route admits only the ``i = j = 0`` branch of Eq. (15) with
+    ``picked[0] = 0`` and ``slack[0] = inf``, so the relaxed DP collapses to
+    ``max(lb(origin, o_r) + L, 0)`` gated by the deadline check — the same
+    IEEE operations the scalar walk performs, element for element.
+
+    Args:
+        origins: current vertex of each idle worker.
+        start_times: ``arr[0]`` per worker, or one scalar when all idle
+            workers share the decision clock.
+        request: the request under decision.
+        oracle: supplies the batched Euclidean bounds.
+        direct_distance: ``L = dis(o_r, d_r)``.
+        capacities: per-worker capacities; workers that cannot fit the
+            request get ``inf``. ``None`` means the caller pre-filtered.
+    """
+    to_origin = oracle.euclidean_lower_bounds_to(origins, request.origin)
+    candidate = np.maximum(to_origin + direct_distance, 0.0)
+    feasible = start_times + to_origin + direct_distance <= request.deadline + 1e-9
+    if capacities is not None:
+        feasible &= np.asarray(capacities, dtype=np.int64) >= request.capacity
+    return np.where(feasible, candidate, INFINITY)
+
+
+def euclidean_insertion_lower_bounds(
+    routes: Sequence[Route],
+    request: Request,
+    oracle: DistanceOracle,
+    direct_distance: float,
+) -> np.ndarray:
+    """Vectorized :func:`euclidean_insertion_lower_bound` over a candidate set.
+
+    Computes ``LB_{Δ*}`` for every route in ``routes`` in one pass: a single
+    batched :meth:`~repro.network.oracle.DistanceOracle.euclidean_lower_bounds`
+    call answers all stop-to-endpoint bounds, and the relaxed DP of Eq. (15)-
+    (17) runs column-by-column over a padded ``(candidates, stops)`` matrix —
+    the loop is over route *positions* (short), not candidates (wide).
+
+    Returns a float64 array aligned with ``routes``; every element equals the
+    scalar function's result bit for bit (same IEEE operations in the same
+    order), with ``inf`` marking candidates without a relaxed insertion. Stale
+    candidate routes are refreshed in order, exactly as the scalar loop would,
+    so exact-query counters are unaffected by batching.
+    """
+    total = len(routes)
+    bounds = np.full(total, INFINITY, dtype=np.float64)
+    rows: list[int] = []
+    for index, route in enumerate(routes):
+        if request.capacity > route.worker.capacity:
+            continue
+        if len(route.arr) != route.num_stops + 1:
+            route.refresh(oracle)
+        rows.append(index)
+    if not rows:
+        return bounds
+
+    # one fused pass over the candidates gathers every flat array the DP
+    # needs, with idle workers (the typical majority) split off: an empty
+    # route collapses Eq. (15) to one closed-form branch at j = 0
+    empty_rows: list[int] = []
+    empty_vertices: list[int] = []
+    empty_start: list[float] = []
+    busy_rows: list[int] = []
+    flat_vertices: list[int] = []
+    flat_arr: list[float] = []
+    flat_slack: list[float] = []
+    flat_picked: list[int] = []
+    counts_list: list[int] = []
+    capacities: list[int] = []
+    for index in rows:
+        route = routes[index]
+        stops = route.stops
+        if not stops:
+            empty_rows.append(index)
+            empty_vertices.append(route.origin)
+            empty_start.append(route.arr[0])
+            continue
+        busy_rows.append(index)
+        counts_list.append(len(stops) + 1)
+        capacities.append(route.worker.capacity)
+        flat_vertices.append(route.origin)
+        for stop in stops:
+            flat_vertices.append(stop.vertex)
+        flat_arr.extend(route.arr)
+        flat_slack.extend(route.slack)
+        flat_picked.extend(route.picked)
+
+    if empty_rows:
+        # empty route: only branch j = 0 = n of Eq. (15) applies — delegate
+        # to the shared closed form (capacity was already filtered above)
+        bounds[empty_rows] = euclidean_idle_lower_bounds(
+            empty_vertices,
+            np.asarray(empty_start, dtype=np.float64),
+            request,
+            oracle,
+            direct_distance,
+        )
+    if not busy_rows:
+        return bounds
+
+    count = len(busy_rows)
+    counts = np.asarray(counts_list, dtype=np.int64)
+    ns = counts - 1
+    width = int(ns.max()) + 1
+    # one batched lower-bound pass answers both endpoints for every stop
+    flat_origin, flat_destination = oracle.euclidean_lower_bounds(
+        flat_vertices, request.origin, request.destination
+    )
+
+    # padded (candidate, stop) matrices, built with one flat scatter each; one
+    # spare column keeps every j+1 read in range
+    row_of = np.repeat(np.arange(count), counts)
+    col_of = np.arange(row_of.size) - np.repeat(
+        np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+    )
+    flat_index = row_of * (width + 1) + col_of
+
+    def scatter(values: np.ndarray) -> np.ndarray:
+        matrix = np.zeros(count * (width + 1), dtype=np.float64)
+        matrix[flat_index] = values
+        return matrix.reshape(count, width + 1)
+
+    lb_origin = scatter(flat_origin)
+    lb_destination = scatter(flat_destination)
+    arr = scatter(np.asarray(flat_arr, dtype=np.float64))
+    slack = scatter(np.asarray(flat_slack, dtype=np.float64))
+    picked = scatter(np.asarray(flat_picked, dtype=np.float64))
+
+    free_capacity = (
+        np.asarray(capacities, dtype=np.float64) - request.capacity
+    )[:, None]
+    deadline = request.deadline
+    direct = direct_distance
+    columns = np.arange(width)
+    ns_column = ns[:, None]
+
+    # static per-(candidate, j) quantities of the relaxed DP
+    lb_o = lb_origin[:, :width]
+    lb_o_next = lb_origin[:, 1 : width + 1]
+    lb_d = lb_destination[:, :width]
+    lb_d_next = lb_destination[:, 1 : width + 1]
+    arr_j = arr[:, :width]
+    leg = arr[:, 1 : width + 1] - arr[:, :width]
+    slack_tol = slack[:, :width] + 1e-9
+    capacity_ok = picked[:, :width] <= free_capacity
+    is_last = columns[None, :] == ns_column
+    in_route = columns[None, :] <= ns_column
+    # the conservative early exit evaluates branches at the first j whose
+    # arrival exceeds the deadline, then breaks: arrivals are non-decreasing,
+    # so the scanned prefix is exactly {arr[j'] <= deadline for all j' < j}
+    not_exceeded = arr_j <= deadline
+    scanned = in_route & np.logical_and.accumulate(
+        np.concatenate((np.ones((count, 1), dtype=bool), not_exceeded[:, :-1]), axis=1),
+        axis=1,
+    )
+
+    # Dio^euc of Eq. (16): prefix-min with capacity resets over the pickup
+    # detours; the only truly sequential recurrence, run column-wise
+    extendable = scanned & not_exceeded & (columns[None, :] < ns_column)
+    detour_origin = np.maximum(lb_o + lb_o_next - leg, 0.0)
+    candidate_valo = np.where(
+        extendable & capacity_ok & (detour_origin <= slack_tol),
+        detour_origin,
+        INFINITY,
+    )
+    resets = extendable & ~capacity_ok
+    dio = np.empty((count, width), dtype=np.float64)
+    # without resets the recurrence is a plain prefix-min, one accumulate;
+    # rows that do hit a capacity reset (rare) replay the scan column-wise
+    dio[:, 0] = INFINITY
+    if width > 1:
+        dio[:, 1:] = np.minimum.accumulate(candidate_valo, axis=1)[:, :-1]
+    reset_rows = np.flatnonzero(resets.any(axis=1))
+    for row in reset_rows:
+        running = INFINITY
+        valo_row = candidate_valo[row]
+        resets_row = resets[row]
+        for j in range(width):
+            dio[row, j] = running  # value *entering* iteration j (i < j)
+            if resets_row[j]:
+                running = INFINITY
+            value = valo_row[j]
+            if value < running:
+                running = value
+
+    # special cases i = j (Eq. 15, first two branches)
+    candidate_same = np.maximum(
+        np.where(is_last, lb_o + direct, lb_o + direct + lb_d_next - leg), 0.0
+    )
+    feasible_same = (
+        scanned
+        & capacity_ok
+        & (arr_j + lb_o + direct <= deadline + 1e-9)
+        & (candidate_same <= slack_tol)
+    )
+    best_same = np.where(feasible_same, candidate_same, INFINITY).min(axis=1)
+
+    # general case i < j (Eq. 17, third branch)
+    detour_destination = np.maximum(
+        np.where(is_last, lb_d, lb_d + lb_d_next - leg), 0.0
+    )
+    candidate_split = detour_destination + dio
+    feasible_split = (
+        scanned
+        & (columns[None, :] > 0)
+        & (dio < INFINITY)
+        & capacity_ok
+        & (arr_j + dio + lb_d <= deadline + 1e-9)
+        & (dio + detour_destination <= slack_tol)
+    )
+    best_split = np.where(feasible_split, candidate_split, INFINITY).min(axis=1)
+
+    bounds[busy_rows] = np.minimum(best_same, best_split)
+    return bounds

@@ -58,6 +58,14 @@ class Route:
     # Lemma 7); filled lazily so ddl[] can be recomputed without re-querying.
     _direct_distances: dict[int, float] = field(default_factory=dict, repr=False)
 
+    # Remaining concrete shortest path ``origin -> stops[0]`` as computed at
+    # the last advance; lets partial advancement continue along the already
+    # chosen path instead of re-deriving it (and its tie-breaks) every event.
+    # Never survives a re-planning: route mutations build new Route objects.
+    concrete_path: tuple[Vertex, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
+
     # ------------------------------------------------------------ properties
 
     @property
@@ -88,8 +96,23 @@ class Route:
         ]
 
     def initial_load(self) -> int:
-        """On-board load at ``l_0`` (sum of capacities of on-board requests)."""
-        return sum(request.capacity for request in self.onboard_requests())
+        """On-board load at ``l_0`` (sum of capacities of on-board requests).
+
+        Single pass over the stops (no intermediate request lists) — this is
+        called once per :meth:`refresh`, which sits on the simulator's hot
+        advancement path.
+        """
+        stops = self.stops
+        if not stops:
+            return 0
+        pending_pickups = {
+            stop.request.id for stop in stops if stop.kind is StopKind.PICKUP
+        }
+        load = 0
+        for stop in stops:
+            if stop.kind is StopKind.DROPOFF and stop.request.id not in pending_pickups:
+                load += stop.request.capacity
+        return load
 
     def request_ids(self) -> set[int]:
         """Identifiers of every request appearing in the route."""
@@ -109,9 +132,25 @@ class Route:
 
     # -------------------------------------------------------------- refresh
 
+    #: benchmark ablation switch (class-wide): route every refresh through
+    #: :meth:`_refresh_legacy`, the seed's un-optimised implementation, so the
+    #: hot-path benchmark can reconstruct the pre-PR per-touch cost.
+    legacy_refresh = False
+
     def refresh(self, oracle: DistanceOracle) -> None:
         """Recompute ``arr``, ``ddl``, ``slack`` and ``picked`` (Eq. 6-9)."""
+        if Route.legacy_refresh:
+            self._refresh_legacy(oracle)
+            return
         n = self.num_stops
+        if n == 0:
+            # idle workers are refreshed on every clock bump; skip the
+            # general machinery for the trivial single-entry arrays
+            self.arr = [self.start_time]
+            self.ddl = [INFINITY]
+            self.slack = [INFINITY]
+            self.picked = [self.initial_load()]
+            return
         arr = [0.0] * (n + 1)
         ddl = [INFINITY] * (n + 1)
         picked = [0] * (n + 1)
@@ -119,6 +158,55 @@ class Route:
 
         arr[0] = self.start_time
         picked[0] = self.initial_load()
+
+        if n >= 4:
+            # one grouped oracle call for all consecutive legs (identical
+            # values and query counting to the scalar walk below); unboxed to
+            # plain floats so the accumulation below stays on fast scalars
+            vertices = [self.origin] + [stop.vertex for stop in self.stops]
+            legs = oracle.distance_pairs(vertices[:-1], vertices[1:]).tolist()
+        else:
+            legs = None
+        previous_vertex = self.origin
+        for index, stop in enumerate(self.stops, start=1):
+            if legs is not None:
+                arr[index] = arr[index - 1] + legs[index - 1]
+            else:
+                arr[index] = arr[index - 1] + oracle.distance(previous_vertex, stop.vertex)
+                previous_vertex = stop.vertex
+            if stop.kind is StopKind.PICKUP:
+                ddl[index] = stop.request.deadline - self.direct_distance(stop.request, oracle)
+                picked[index] = picked[index - 1] + stop.request.capacity
+            else:
+                ddl[index] = stop.request.deadline
+                picked[index] = picked[index - 1] - stop.request.capacity
+
+        # slack[k] = min_{k' > k} (ddl[k'] - arr[k'])   (Eq. 8)
+        slack[n] = INFINITY
+        for index in range(n - 1, -1, -1):
+            slack[index] = min(slack[index + 1], ddl[index + 1] - arr[index + 1])
+
+        self.arr = arr
+        self.ddl = ddl
+        self.slack = slack
+        self.picked = picked
+
+    def _refresh_legacy(self, oracle: DistanceOracle) -> None:
+        """The seed's refresh, kept verbatim as the benchmark baseline.
+
+        Identical values to :meth:`refresh` (scalar leg queries in the same
+        order, list-building ``initial_load``); only slower. Enabled through
+        :attr:`legacy_refresh` by the hot-path benchmark's pre-PR
+        reconstruction.
+        """
+        n = self.num_stops
+        arr = [0.0] * (n + 1)
+        ddl = [INFINITY] * (n + 1)
+        picked = [0] * (n + 1)
+        slack = [INFINITY] * (n + 1)
+
+        arr[0] = self.start_time
+        picked[0] = sum(request.capacity for request in self.onboard_requests())
 
         previous_vertex = self.origin
         for index, stop in enumerate(self.stops, start=1):
@@ -131,7 +219,6 @@ class Route:
                 ddl[index] = stop.request.deadline
                 picked[index] = picked[index - 1] - stop.request.capacity
 
-        # slack[k] = min_{k' > k} (ddl[k'] - arr[k'])   (Eq. 8)
         slack[n] = INFINITY
         for index in range(n - 1, -1, -1):
             slack[index] = min(slack[index + 1], ddl[index + 1] - arr[index + 1])

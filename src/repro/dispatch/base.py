@@ -189,9 +189,8 @@ class Dispatcher(abc.ABC):
         if slack_metres > 0.0:
             radius_metres += slack_metres + self.grid.geometry.cell_metres
         candidates = self.grid.members_near_vertex(request.origin, radius_metres)
-        available = [
-            int(worker_id) for worker_id in candidates if self.fleet.is_available(int(worker_id))
-        ]
+        is_available = self.fleet.is_available
+        available = [worker_id for worker_id in candidates if is_available(worker_id)]
         if not available:
             # degenerate grids (single cell) or stale entries: fall back to all
             available = [

@@ -23,9 +23,15 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.core.insertion.base import InsertionOperator
 from repro.core.insertion.linear_dp import LinearDPInsertion
-from repro.core.insertion.lower_bound import euclidean_insertion_lower_bound
+from repro.core.insertion.lower_bound import (
+    euclidean_idle_lower_bounds,
+    euclidean_insertion_lower_bound,
+    euclidean_insertion_lower_bounds,
+)
 from repro.core.types import Request
 from repro.dispatch.base import Dispatcher, DispatcherConfig, DispatchOutcome
 
@@ -42,9 +48,25 @@ class _GreedyDPBase(Dispatcher):
         self,
         config: DispatcherConfig | None = None,
         insertion: InsertionOperator | None = None,
+        vectorized: bool = True,
     ) -> None:
+        """``vectorized`` selects the array-native decision phase (one batched
+        lower-bound reduction over all candidates, argsorted for the Lemma 8
+        scan); ``False`` keeps the scalar per-candidate walk — both produce
+        identical outcomes and exact-query counters, so the scalar path serves
+        as the equivalence baseline of ``benchmarks/bench_hot_path.py``."""
         super().__init__(config)
         self.insertion = insertion or LinearDPInsertion()
+        self.vectorized = vectorized
+        #: smallest worker capacity in the fleet (set at setup); requests at
+        #: or below it can skip the per-candidate capacity mask
+        self._min_capacity: int | None = None
+
+    def setup(self, instance, fleet) -> None:  # noqa: D102 - documented on base
+        super().setup(instance, fleet)
+        self._min_capacity = min(
+            (worker.capacity for worker in instance.workers), default=None
+        )
 
     # ------------------------------------------------------------- dispatch
 
@@ -59,13 +81,10 @@ class _GreedyDPBase(Dispatcher):
 
         # ---------------- decision phase (Algorithm 4)
         direct = self.oracle.distance(request.origin, request.destination)
-        lower_bounds: list[tuple[float, int]] = []
-        for worker_id in candidate_ids:
-            state = self.fleet.state_of(worker_id)
-            state.route.remember_direct_distance(request, direct)
-            bound = euclidean_insertion_lower_bound(state.route, request, self.oracle, direct)
-            if bound < INFINITY:
-                lower_bounds.append((bound, worker_id))
+        if self.vectorized:
+            lower_bounds = self._decision_bounds_batched(request, candidate_ids, direct)
+        else:
+            lower_bounds = self._decision_bounds_scalar(request, candidate_ids, direct)
 
         if not lower_bounds:
             return DispatchOutcome(
@@ -84,7 +103,8 @@ class _GreedyDPBase(Dispatcher):
             )
 
         # ---------------- planning phase (Algorithm 5, lines 5-11)
-        if self.use_pruning:
+        if self.use_pruning and not self.vectorized:
+            # the batched path pre-orders via argsort; the scalar walk sorts here
             lower_bounds.sort(key=lambda item: item[0])
 
         best_delta = INFINITY
@@ -95,6 +115,10 @@ class _GreedyDPBase(Dispatcher):
             if self.use_pruning and best_delta < bound:
                 break  # Lemma 8: later candidates cannot beat the current best
             state = self.fleet.state_of(worker_id)
+            # the batched decision phase defers seeding L = dis(o_r, d_r) to
+            # the candidates actually evaluated (idempotent for the scalar
+            # walk, which seeded every candidate already)
+            state.route.remember_direct_distance(request, direct)
             result = self.insertion.best_insertion(state.route, request, self.oracle)
             insertions += 1
             if result.feasible and result.delta < best_delta - 1e-9:
@@ -132,6 +156,87 @@ class _GreedyDPBase(Dispatcher):
             candidates_considered=len(candidate_ids),
             insertions_evaluated=insertions,
         )
+
+    # ------------------------------------------------------- decision phase
+
+    def _decision_bounds_batched(
+        self, request: Request, candidate_ids: list[int], direct: float
+    ) -> list[tuple[float, int]]:
+        """All candidate lower bounds as one numpy reduction (Algorithm 4).
+
+        Idle candidates are answered straight from the fleet's idle snapshot
+        (an idle worker waits in place — its materialisation is a pure clock
+        bump, so the closed-form empty-route bound needs no state touch at
+        all); busy candidates are materialised and fed through the padded-
+        matrix DP. One batched oracle pass per group answers every bound;
+        under Lemma 8 a single stable argsort pre-orders the finite bounds
+        for the pruning scan. Values, ordering and tie-breaks match the
+        scalar walk exactly.
+
+        The batched path also needs no per-route L seeding (the planning loop
+        seeds the few candidates it actually evaluates), which keeps every
+        route's direct-distance memo — copied on each advance — proportional
+        to served work, not to candidate-set size.
+        """
+        fleet = self.fleet
+        assert fleet is not None and self.oracle is not None
+        if not (fleet.lazy and fleet.materialise_fast_path):
+            # eager fleets may hold idle routes materialised at times other
+            # than ``now``; take the uniform route-based path
+            routes = [state.route for state in fleet.states_of(candidate_ids)]
+            bounds = euclidean_insertion_lower_bounds(routes, request, self.oracle, direct)
+            return self._order_bounds(bounds, candidate_ids)
+
+        candidate_array = np.asarray(candidate_ids, dtype=np.int64)
+        bounds = np.full(candidate_array.size, INFINITY, dtype=np.float64)
+        idle_mask, idle_origins, busy_ids_array = fleet.idle_partition(candidate_array)
+        busy_ids = busy_ids_array.tolist()
+        busy_mask = ~idle_mask
+        if idle_origins.size:
+            # an idle worker's materialisation would set arr[0] to the fleet
+            # clock, which is exactly ``now`` during a dispatch; the capacity
+            # mask is skipped when every fleet capacity fits the request
+            capacities = None
+            if not (self._min_capacity is not None and request.capacity <= self._min_capacity):
+                idle = fleet.idle_snapshot
+                capacities = [
+                    idle[worker_id][1]
+                    for worker_id in candidate_array[idle_mask].tolist()
+                ]
+            bounds[idle_mask] = euclidean_idle_lower_bounds(
+                idle_origins, fleet.clock, request, self.oracle, direct,
+                capacities=capacities,
+            )
+        if busy_ids:
+            routes = [state.route for state in fleet.states_of(busy_ids)]
+            bounds[busy_mask] = euclidean_insertion_lower_bounds(
+                routes, request, self.oracle, direct
+            )
+        return self._order_bounds(bounds, candidate_ids)
+
+    def _order_bounds(
+        self, bounds: np.ndarray, candidate_ids: list[int]
+    ) -> list[tuple[float, int]]:
+        """Filter the finite bounds and argsort them for the Lemma 8 scan."""
+        finite = np.flatnonzero(bounds < INFINITY)
+        if self.use_pruning and finite.size:
+            finite = finite[np.argsort(bounds[finite], kind="stable")]
+        values = bounds.tolist()
+        return [(values[index], candidate_ids[index]) for index in finite.tolist()]
+
+    def _decision_bounds_scalar(
+        self, request: Request, candidate_ids: list[int], direct: float
+    ) -> list[tuple[float, int]]:
+        """The per-candidate scalar walk (equivalence baseline)."""
+        assert self.fleet is not None and self.oracle is not None
+        lower_bounds: list[tuple[float, int]] = []
+        for worker_id in candidate_ids:
+            state = self.fleet.state_of(worker_id)
+            state.route.remember_direct_distance(request, direct)
+            bound = euclidean_insertion_lower_bound(state.route, request, self.oracle, direct)
+            if bound < INFINITY:
+                lower_bounds.append((bound, worker_id))
+        return lower_bounds
 
 
 class GreedyDP(_GreedyDPBase):

@@ -51,7 +51,13 @@ def _format_value(value: object) -> str:
 
 
 def format_results(results: Iterable[SimulationResult]) -> str:
-    """Render a flat comparison table of simulation results."""
+    """Render a flat comparison table of simulation results.
+
+    The oracle cache statistics (surfaced into ``extra`` by the metrics
+    collector) are appended when present so the LRU effectiveness — doubled
+    by the symmetric ``(min, max)`` keys — is visible next to the query
+    counts.
+    """
     rows = [result.as_row() for result in results]
     columns = [
         "algorithm",
@@ -62,6 +68,9 @@ def format_results(results: Iterable[SimulationResult]) -> str:
         "distance_queries",
         "index_memory_bytes",
     ]
+    for cache_column in ("distance_cache_hit_rate", "path_cache_hit_rate"):
+        if any(cache_column in row for row in rows):
+            columns.append(cache_column)
     return format_table(rows, columns)
 
 

@@ -18,8 +18,9 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Hashable, Iterable
 
+import numpy as np
+
 from repro.network.graph import RoadNetwork, Vertex
-from repro.utils.geometry import bounding_box
 
 Cell = tuple[int, int]
 """Grid cell identifier (column, row)."""
@@ -84,18 +85,31 @@ class GridIndex:
         if cell_metres <= 0:
             raise ValueError(f"cell_metres must be positive, got {cell_metres}")
         self.network = network
-        points = [network.coordinates(vertex) for vertex in network.vertices()]
-        min_x, min_y, max_x, max_y = bounding_box(points)
+        # one vectorized pass over the CSR coordinate arrays replaces the
+        # per-vertex Point arithmetic of the seed implementation
+        csr = network.csr
+        if csr.num_vertices == 0:
+            raise ValueError("bounding_box() requires at least one point")
+        xs, ys = csr.xs, csr.ys
+        min_x = float(xs.min())
+        min_y = float(ys.min())
+        max_x = float(xs.max())
+        max_y = float(ys.max())
         columns = max(1, int(math.ceil((max_x - min_x) / cell_metres)) or 1)
         rows = max(1, int(math.ceil((max_y - min_y) / cell_metres)) or 1)
         self.geometry = GridGeometry(
             min_x=min_x, min_y=min_y, cell_metres=cell_metres, columns=columns, rows=rows
         )
-        # cache vertex -> cell to avoid repeated float arithmetic
-        self._vertex_cell: dict[Vertex, Cell] = {}
-        for vertex in network.vertices():
-            point = network.coordinates(vertex)
-            self._vertex_cell[vertex] = self.geometry.cell_of_point(point.x, point.y)
+        # cache vertex -> cell to avoid repeated float arithmetic; the
+        # floor-divide/clip pipeline mirrors GridGeometry.cell_of_point
+        cell_columns = np.clip((xs - min_x) // cell_metres, 0, columns - 1).astype(np.int64)
+        cell_rows = np.clip((ys - min_y) // cell_metres, 0, rows - 1).astype(np.int64)
+        self._vertex_cell: dict[Vertex, Cell] = {
+            vertex: (column, row)
+            for vertex, column, row in zip(
+                csr.vertex_ids_list, cell_columns.tolist(), cell_rows.tolist()
+            )
+        }
         self._members: dict[Cell, set[Hashable]] = defaultdict(set)
         self._locations: dict[Hashable, Cell] = {}
 
@@ -145,8 +159,18 @@ class GridIndex:
         actually reachable within the budget — no candidate is lost.
         """
         point = self.network.coordinates(vertex)
+        geometry = self.geometry
+        # a disk covering the whole grid extent (deadline radii often do)
+        # trivially selects every member — skip the cell walk
+        if (
+            point.x - radius_metres <= geometry.min_x
+            and point.y - radius_metres <= geometry.min_y
+            and point.x + radius_metres >= geometry.min_x + geometry.columns * geometry.cell_metres
+            and point.y + radius_metres >= geometry.min_y + geometry.rows * geometry.cell_metres
+        ):
+            return list(self._locations)
         members: list[Hashable] = []
-        for cell in self.geometry.cells_within_radius(point.x, point.y, radius_metres):
+        for cell in geometry.cells_within_radius(point.x, point.y, radius_metres):
             members.extend(self._members.get(cell, ()))
         return members
 

@@ -7,17 +7,20 @@ from repro.network.generators import (
     random_geometric_city,
     ring_radial_city,
 )
-from repro.network.graph import Edge, RoadNetwork, Vertex, connected_components
+from repro.network.graph import CSRAdjacency, Edge, RoadNetwork, Vertex, connected_components
 from repro.network.hub_labeling import HubLabels, build_hub_labels
 from repro.network.io import load_network, network_from_dict, network_to_dict, save_network
 from repro.network.landmarks import LandmarkIndex, build_landmark_index
 from repro.network.oracle import DistanceOracle, OracleCounters
 from repro.network.shortest_path import (
     bidirectional_dijkstra,
+    bidirectional_dijkstra_reference,
     dijkstra,
+    dijkstra_reference,
     shortest_distance,
     shortest_path,
     single_source_distances,
+    single_source_distances_array,
 )
 
 __all__ = [
@@ -27,6 +30,7 @@ __all__ = [
     "grid_city",
     "random_geometric_city",
     "ring_radial_city",
+    "CSRAdjacency",
     "Edge",
     "RoadNetwork",
     "Vertex",
@@ -42,8 +46,11 @@ __all__ = [
     "DistanceOracle",
     "OracleCounters",
     "bidirectional_dijkstra",
+    "bidirectional_dijkstra_reference",
     "dijkstra",
+    "dijkstra_reference",
     "shortest_distance",
     "shortest_path",
     "single_source_distances",
+    "single_source_distances_array",
 ]

@@ -106,28 +106,45 @@ def build_hub_labels(
 
 
 def _pruned_dijkstra_from_hub(network: RoadNetwork, hub: Vertex, labelling: HubLabels) -> None:
-    """Run a pruned Dijkstra from ``hub`` and extend the labels it covers."""
+    """Run a pruned Dijkstra from ``hub`` and extend the labels it covers.
+
+    The search runs on the network's CSR adjacency — the relaxation loop walks
+    the flat ``indptr``/``indices``/``costs`` arrays over dense positions —
+    while the labels themselves stay keyed by vertex identifier.
+    """
     labels = labelling.labels
-    distances: dict[Vertex, float] = {hub: 0.0}
-    settled: set[Vertex] = set()
-    heap: list[tuple[float, Vertex]] = [(0.0, hub)]
+    csr = network.csr
+    indptr = csr.indptr_list
+    indices = csr.indices_list
+    costs = csr.costs_list
+    vertex_ids = csr.vertex_ids_list
+    n = len(vertex_ids)
+    distances = [INFINITY] * n
+    hub_position = csr.position_of(hub)
+    distances[hub_position] = 0.0
+    settled = bytearray(n)
+    heap: list[tuple[float, int]] = [(0.0, hub_position)]
     hub_label = labels[hub]
+    push = heapq.heappush
+    pop = heapq.heappop
     while heap:
-        cost, vertex = heapq.heappop(heap)
-        if vertex in settled:
+        cost, position = pop(heap)
+        if settled[position]:
             continue
-        settled.add(vertex)
+        settled[position] = 1
+        vertex = vertex_ids[position]
         # Pruning: if the current labelling already certifies a distance
         # <= cost between hub and vertex, the label entry is redundant and the
         # search does not need to expand past this vertex.
         if _query_partial(hub_label, labels[vertex]) <= cost:
             continue
         labels[vertex][hub] = cost
-        for neighbour, edge_cost in network.neighbours(vertex).items():
-            candidate = cost + edge_cost
-            if candidate < distances.get(neighbour, INFINITY):
+        for slot in range(indptr[position], indptr[position + 1]):
+            neighbour = indices[slot]
+            candidate = cost + costs[slot]
+            if candidate < distances[neighbour]:
                 distances[neighbour] = candidate
-                heapq.heappush(heap, (candidate, neighbour))
+                push(heap, (candidate, neighbour))
 
 
 def _query_partial(label_a: dict[Vertex, float], label_b: dict[Vertex, float]) -> float:

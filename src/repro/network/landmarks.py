@@ -29,6 +29,11 @@ class LandmarkIndex:
     landmarks: list[Vertex] = field(default_factory=list)
     # distance tables: landmark -> {vertex: distance}
     tables: dict[Vertex, dict[Vertex, float]] = field(default_factory=dict)
+    # dense (num_landmarks, N) matrix aligned to a CSR position map; built on
+    # demand by ensure_arrays() so batched bound sharpening is one vectorized
+    # pass instead of per-pair dict probing. inf marks unreachable vertices.
+    _matrix: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _position: dict[Vertex, int] | None = field(default=None, repr=False, compare=False)
 
     def lower_bound(self, u: Vertex, v: Vertex) -> float:
         """Admissible lower bound on ``dist(u, v)`` (0.0 when no landmark covers both)."""
@@ -43,6 +48,43 @@ class LandmarkIndex:
             if bound > best:
                 best = bound
         return best
+
+    # ------------------------------------------------------------ vectorized
+
+    def ensure_arrays(self, position: dict[Vertex, int], size: int) -> None:
+        """Materialise the dense per-landmark distance matrix for ``position``.
+
+        ``position`` is a CSR position map (vertex id -> dense index); the
+        matrix is cached until a different map is supplied.
+        """
+        if self._matrix is not None and self._position is position:
+            return
+        matrix = np.full((len(self.landmarks), size), np.inf, dtype=np.float64)
+        for row, landmark in enumerate(self.landmarks):
+            for vertex, distance in self.tables[landmark].items():
+                index = position.get(vertex)
+                if index is not None:
+                    matrix[row, index] = distance
+        self._matrix = matrix
+        self._position = position
+
+    def lower_bounds_many(self, positions: np.ndarray, target_position: int) -> np.ndarray:
+        """Vectorized :meth:`lower_bound` from many positions to one target.
+
+        Requires a prior :meth:`ensure_arrays` call with the position map the
+        indices refer to. Returns exactly the scalar values: the maximum of
+        ``|dist(L, u) - dist(L, target)|`` over landmarks covering both
+        endpoints, and 0.0 where no landmark does.
+        """
+        matrix = self._matrix
+        if matrix is None or matrix.shape[0] == 0:
+            return np.zeros(len(positions), dtype=np.float64)
+        to_points = matrix[:, positions]  # (L, n)
+        to_target = matrix[:, target_position][:, None]  # (L, 1)
+        covered = np.isfinite(to_points) & np.isfinite(to_target)
+        with np.errstate(invalid="ignore"):
+            spread = np.abs(to_points - to_target)
+        return np.where(covered, spread, 0.0).max(axis=0)
 
     @property
     def size_entries(self) -> int:

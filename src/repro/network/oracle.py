@@ -14,41 +14,81 @@ the same oracle so that effectiveness/efficiency comparisons are fair. The
   network speed, optionally sharpened by landmark bounds) power the decision
   phase of ``pruneGreedyDP`` (Lemma 7) without spending exact queries.
 
+Besides the scalar queries, the oracle exposes **batched APIs** —
+:meth:`DistanceOracle.distances_many`, :meth:`DistanceOracle.distance_pairs`
+and :meth:`DistanceOracle.euclidean_lower_bounds` — that answer a whole
+candidate set in one vectorized pass over the network's CSR arrays. The
+batched calls return exactly the values (and bump exactly the counters) of
+the equivalent scalar loops; the decision phase and the linear DP insertion
+use them to replace ~3n scalar oracle calls per insertion with a handful of
+numpy reductions.
+
+Because the network is undirected, both LRU caches use symmetric
+``(min, max)`` keys — a cached ``u -> v`` path answers the ``v -> u`` query
+reversed, doubling the effective cache capacity.
+
 The oracle also counts exact queries. The paper reports "tens of billions of
 shortest distance queries saved" by the pruning strategy of Lemma 8; our
-benchmarks report the same counter deltas.
+benchmarks report the same counter deltas, alongside the cache hit/miss/
+eviction statistics surfaced through :meth:`OracleCounters.snapshot`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from repro.exceptions import DisconnectedError
 from repro.network.cache import LRUCache
 from repro.network.graph import RoadNetwork, Vertex
 from repro.network.hub_labeling import HubLabels, build_hub_labels
 from repro.network.landmarks import LandmarkIndex
-from repro.network.shortest_path import bidirectional_dijkstra, single_source_distances
+from repro.network.shortest_path import (
+    bidirectional_dijkstra,
+    bidirectional_dijkstra_reference,
+    single_source_distances_array,
+)
 
 
 @dataclass
 class OracleCounters:
-    """Counters describing how the oracle has been used."""
+    """Counters describing how the oracle has been used.
+
+    When the counters belong to a live oracle, the two LRU caches are
+    attached so :meth:`snapshot` can surface their hit/miss/eviction
+    statistics next to the query counts.
+    """
 
     distance_queries: int = 0
     path_queries: int = 0
     lower_bound_queries: int = 0
     dijkstra_runs: int = 0
+    distance_cache: "LRUCache | None" = field(default=None, repr=False, compare=False)
+    path_cache: "LRUCache | None" = field(default=None, repr=False, compare=False)
 
-    def snapshot(self) -> dict[str, int]:
-        """Return the counters as a plain dictionary."""
-        return {
+    def snapshot(self) -> dict[str, int | float]:
+        """Return the counters (and any attached cache statistics) as a dict."""
+        snapshot: dict[str, int | float] = {
             "distance_queries": self.distance_queries,
             "path_queries": self.path_queries,
             "lower_bound_queries": self.lower_bound_queries,
             "dijkstra_runs": self.dijkstra_runs,
         }
+        for prefix, cache in (
+            ("distance_cache", self.distance_cache),
+            ("path_cache", self.path_cache),
+        ):
+            if cache is None:
+                continue
+            statistics = cache.statistics
+            snapshot[f"{prefix}_hits"] = statistics.hits
+            snapshot[f"{prefix}_misses"] = statistics.misses
+            snapshot[f"{prefix}_evictions"] = statistics.evictions
+            snapshot[f"{prefix}_hit_rate"] = statistics.hit_rate
+        return snapshot
 
 
 class DistanceOracle:
@@ -78,15 +118,23 @@ class DistanceOracle:
         landmark_index: LandmarkIndex | None = None,
     ) -> None:
         self.network = network
-        self.counters = OracleCounters()
         self._distance_cache: LRUCache[tuple[Vertex, Vertex], float] = LRUCache(cache_size)
         self._path_cache: LRUCache[tuple[Vertex, Vertex], tuple[Vertex, ...]] = LRUCache(
             path_cache_size
+        )
+        self.counters = OracleCounters(
+            distance_cache=self._distance_cache, path_cache=self._path_cache
         )
         if precompute is None and use_hub_labels:
             precompute = "hub_labels"
         if precompute not in (None, "hub_labels", "apsp"):
             raise ValueError(f"unknown precompute mode {precompute!r}")
+        # snapshot used to index the APSP matrix (its row/column order is
+        # frozen at build time); geometric queries read the live network.csr
+        # and max_speed instead, so Euclidean lower bounds track vertex/edge
+        # additions (note the APSP/hub-label accelerators themselves are
+        # still construction-time snapshots)
+        self._csr = network.csr
         self._hub_labels: HubLabels | None = None
         self._apsp: np.ndarray | None = None
         self._vertex_index: dict[Vertex, int] | None = None
@@ -95,20 +143,28 @@ class DistanceOracle:
         elif precompute == "apsp":
             self._build_apsp()
         self._landmarks = landmark_index
-        # pre-computed constant for Euclidean time bounds
-        self._max_speed = network.max_speed
+        if landmark_index is not None:
+            landmark_index.ensure_arrays(self._csr.position, self._csr.num_vertices)
+        #: ablation switch for benchmarks: route every path/distance miss
+        #: through the seed's dict-of-dict bidirectional Dijkstra to
+        #: reconstruct the pre-CSR hot path.
+        self.legacy_reference_mode = False
+        #: opt-in: answer path misses by walking the APSP matrix greedily
+        #: (fastest, but may pick a different equal-cost path than Dijkstra,
+        #: so downstream query counters can drift by a few ties; off by
+        #: default to keep runs counter-identical with the reference path).
+        self.apsp_path_walk = False
 
     def _build_apsp(self) -> None:
-        """Precompute the dense all-pairs shortest-distance matrix."""
-        vertices = sorted(self.network.vertices())
-        index = {vertex: position for position, vertex in enumerate(vertices)}
-        matrix = np.full((len(vertices), len(vertices)), np.inf, dtype=np.float64)
-        for vertex in vertices:
-            row = index[vertex]
-            for target, cost in single_source_distances(self.network, vertex).items():
-                matrix[row, index[target]] = cost
+        """Precompute the dense all-pairs shortest-distance matrix (CSR rows)."""
+        csr = self._csr
+        n = csr.num_vertices
+        matrix = np.empty((n, n), dtype=np.float64)
+        vertex_ids = csr.vertex_ids_list
+        for row in range(n):
+            matrix[row] = single_source_distances_array(self.network, vertex_ids[row])
         self._apsp = matrix
-        self._vertex_index = index
+        self._vertex_index = csr.position
 
     # ----------------------------------------------------------------- exact
 
@@ -119,6 +175,10 @@ class DistanceOracle:
         mirrors how the paper counts algorithm-issued queries.
         """
         self.counters.distance_queries += 1
+        return self._distance_uncounted(u, v)
+
+    def _distance_uncounted(self, u: Vertex, v: Vertex) -> float:
+        """The :meth:`distance` core without counter bookkeeping."""
         if u == v:
             return 0.0
         if self._apsp is not None and self._vertex_index is not None:
@@ -134,25 +194,158 @@ class DistanceOracle:
         self._distance_cache.put(key, result)
         return result
 
+    def distances_many(self, source: Vertex, targets: Sequence[Vertex]) -> np.ndarray:
+        """Exact distances from ``source`` to every vertex in ``targets``.
+
+        Semantically identical to ``[distance(source, t) for t in targets]``
+        — same values, same counter increments — but answered in one
+        vectorized pass when the dense APSP table is available.
+        """
+        count = len(targets)
+        self.counters.distance_queries += count
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        if self._apsp is not None and self._vertex_index is not None:
+            row = self._apsp[self._vertex_index[source]]
+            return row[self._csr.positions_of(targets)]
+        return np.fromiter(
+            (self._distance_uncounted(source, target) for target in targets),
+            dtype=np.float64,
+            count=count,
+        )
+
+    def distance_pairs(self, us: Sequence[Vertex], vs: Sequence[Vertex]) -> np.ndarray:
+        """Exact distances between elementwise pairs ``(us[k], vs[k])``.
+
+        Semantically identical to ``[distance(u, v) for u, v in zip(us, vs)]``
+        (values and counters); one fancy-indexing pass on the APSP table.
+        """
+        count = len(us)
+        if count != len(vs):
+            raise ValueError(f"pair arrays differ in length: {count} != {len(vs)}")
+        self.counters.distance_queries += count
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        if self._apsp is not None and self._vertex_index is not None:
+            return self._apsp[self._csr.positions_of(us), self._csr.positions_of(vs)]
+        return np.fromiter(
+            (self._distance_uncounted(u, v) for u, v in zip(us, vs)),
+            dtype=np.float64,
+            count=count,
+        )
+
+    def endpoint_distances(
+        self, vertices: Sequence[Vertex], origin: Vertex, destination: Vertex
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact distances from every vertex to two shared endpoints.
+
+        Semantically identical (values and counters) to the scalar pair
+        ``[distance(v, origin) for v], [distance(v, destination) for v]`` —
+        the orientation matters: the gathered APSP elements are the very rows
+        the scalar calls read, so the floats are bit-for-bit the same. One
+        position translation serves both endpoints; this is the grouped call
+        behind the linear DP's batch prefetch (Lemma 9).
+        """
+        count = len(vertices)
+        self.counters.distance_queries += 2 * count
+        if count == 0:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty
+        if self._apsp is not None and self._vertex_index is not None:
+            positions = self._csr.positions_of(vertices)
+            index = self._vertex_index
+            return (
+                self._apsp[positions, index[origin]],
+                self._apsp[positions, index[destination]],
+            )
+        return (
+            np.fromiter(
+                (self._distance_uncounted(v, origin) for v in vertices),
+                dtype=np.float64,
+                count=count,
+            ),
+            np.fromiter(
+                (self._distance_uncounted(v, destination) for v in vertices),
+                dtype=np.float64,
+                count=count,
+            ),
+        )
+
     def path(self, u: Vertex, v: Vertex) -> list[Vertex]:
-        """Exact shortest path (vertex sequence) from ``u`` to ``v``."""
+        """Exact shortest path (vertex sequence) from ``u`` to ``v``.
+
+        Paths are cached under symmetric ``(min, max)`` keys; a reversed
+        cached path answers the opposite direction (the network is
+        undirected), doubling the effective cache capacity. With the dense
+        APSP table attached, a miss is answered by a greedy matrix walk
+        (each step moves to the neighbour minimising ``edge + D[n, target]``)
+        instead of a full bidirectional Dijkstra.
+        """
         self.counters.path_queries += 1
         if u == v:
             return [u]
-        key = (u, v)
+        forward = u <= v
+        key = (u, v) if forward else (v, u)
         cached = self._path_cache.get(key)
         if cached is not None:
-            return list(cached)
-        cost, path = bidirectional_dijkstra(self.network, u, v)
-        self.counters.dijkstra_runs += 1
-        self._path_cache.put(key, tuple(path))
-        # opportunistically seed the distance cache
-        distance_key = (u, v) if u <= v else (v, u)
-        self._distance_cache.put(distance_key, cost)
+            return list(cached) if forward else list(reversed(cached))
+        path = None
+        if self._apsp is not None and self.apsp_path_walk and not self.legacy_reference_mode:
+            path = self._apsp_path(u, v)
+        if path is None:
+            search = (
+                bidirectional_dijkstra_reference
+                if self.legacy_reference_mode
+                else bidirectional_dijkstra
+            )
+            cost, path = search(self.network, u, v)
+            self.counters.dijkstra_runs += 1
+            # opportunistically seed the distance cache
+            self._distance_cache.put(key, cost)
+        self._path_cache.put(key, tuple(path) if forward else tuple(reversed(path)))
         return path
 
+    def _apsp_path(self, u: Vertex, v: Vertex) -> list[Vertex] | None:
+        """Reconstruct a shortest path by walking the APSP matrix greedily.
+
+        Returns ``None`` when the walk cannot make progress (zero-cost cycles
+        at equal coordinates) so the caller falls back to Dijkstra.
+
+        Raises:
+            DisconnectedError: if no path exists.
+        """
+        csr = self._csr
+        matrix = self._apsp
+        assert matrix is not None
+        position = csr.position
+        current = position[u]
+        target = position[v]
+        to_target = matrix[:, target]
+        if not np.isfinite(to_target[current]):
+            raise DisconnectedError(f"no path between {u} and {v}")
+        indptr = csr.indptr
+        indices = csr.indices
+        costs = csr.costs
+        vertex_ids = csr.vertex_ids_list
+        path = [u]
+        for _ in range(csr.num_vertices):
+            begin, end = indptr[current], indptr[current + 1]
+            neighbours = indices[begin:end]
+            totals = costs[begin:end] + to_target[neighbours]
+            current = int(neighbours[int(np.argmin(totals))])
+            path.append(vertex_ids[current])
+            if current == target:
+                return path
+        return None  # no progress within |V| hops: degenerate zero-cost ties
+
     def _run_dijkstra(self, u: Vertex, v: Vertex) -> float:
-        cost, path = bidirectional_dijkstra(self.network, u, v)
+        """Point-to-point Dijkstra; ``(u, v)`` is already a symmetric key."""
+        search = (
+            bidirectional_dijkstra_reference
+            if self.legacy_reference_mode
+            else bidirectional_dijkstra
+        )
+        cost, path = search(self.network, u, v)
         self.counters.dijkstra_runs += 1
         self._path_cache.put((u, v), tuple(path))
         return cost
@@ -170,16 +363,86 @@ class DistanceOracle:
 
         Lower-bound queries are counted separately and deliberately **not** as
         exact distance queries (Section 5.1 stresses that the decision phase
-        needs only a single exact query per request).
+        needs only a single exact query per request). The counter records the
+        probes actually issued, so the scalar decision walk (which re-probes
+        ``j+1`` neighbours and early-exits) and the batched one (which probes
+        each stop/endpoint pair exactly once) report different — equally
+        honest — ``lower_bound_queries`` totals for identical outcomes;
+        ``distance_queries``/``dijkstra_runs`` are implementation-invariant.
         """
         self.counters.lower_bound_queries += 1
         if u == v:
             return 0.0
-        euclidean_metres = self.network.euclidean(u, v)
-        bound = euclidean_metres / self._max_speed
+        bound = self._euclidean_seconds(u, v)
         if self._landmarks is not None:
             bound = max(bound, self._landmarks.lower_bound(u, v))
         return bound
+
+    def _euclidean_seconds(self, u: Vertex, v: Vertex) -> float:
+        """Euclidean travel-time bound, elementwise-identical to the batch API.
+
+        Deliberately ``sqrt(dx*dx + dy*dy)`` — the same IEEE operations the
+        vectorized :meth:`euclidean_lower_bounds` performs — so scalar and
+        batched bounds are bit-for-bit equal (the equivalence property tests
+        assert exact equality, not approximation).
+        """
+        a = self.network.coordinates(u)
+        b = self.network.coordinates(v)
+        dx = a.x - b.x
+        dy = a.y - b.y
+        return math.sqrt(dx * dx + dy * dy) / self.network.max_speed
+
+    def euclidean_lower_bounds(
+        self, vertices: Sequence[Vertex], origin: Vertex, destination: Vertex
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Admissible lower bounds from many vertices to two endpoints.
+
+        Returns ``(to_origin, to_destination)`` float64 arrays holding, for
+        every vertex in ``vertices``, exactly the value
+        ``lower_bound(vertex, origin)`` / ``lower_bound(vertex, destination)``
+        — one vectorized pass over the CSR coordinate arrays (plus one over
+        the landmark matrix when attached) instead of ``2 n`` scalar calls.
+        The counter advances by ``2 n``, matching the scalar loop.
+        """
+        csr = self.network.csr
+        positions = csr.positions_of(vertices)
+        n = positions.size
+        self.counters.lower_bound_queries += 2 * n
+        if n == 0:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty
+        xs, ys = csr.xs, csr.ys
+        px, py = xs[positions], ys[positions]
+        return (
+            self._bounds_to_endpoint(csr, positions, px, py, origin),
+            self._bounds_to_endpoint(csr, positions, px, py, destination),
+        )
+
+    def euclidean_lower_bounds_to(
+        self, vertices: Sequence[Vertex], target: Vertex
+    ) -> np.ndarray:
+        """Single-endpoint variant of :meth:`euclidean_lower_bounds`."""
+        csr = self.network.csr
+        positions = csr.positions_of(vertices)
+        self.counters.lower_bound_queries += positions.size
+        if positions.size == 0:
+            return np.empty(0, dtype=np.float64)
+        px, py = csr.xs[positions], csr.ys[positions]
+        return self._bounds_to_endpoint(csr, positions, px, py, target)
+
+    def _bounds_to_endpoint(
+        self, csr, positions: np.ndarray, px: np.ndarray, py: np.ndarray, endpoint: Vertex
+    ) -> np.ndarray:
+        endpoint_position = csr.position_of(endpoint)
+        dx = px - csr.xs[endpoint_position]
+        dy = py - csr.ys[endpoint_position]
+        bounds = np.sqrt(dx * dx + dy * dy) / self.network.max_speed
+        if self._landmarks is not None:
+            self._landmarks.ensure_arrays(csr.position, csr.num_vertices)
+            bounds = np.maximum(
+                bounds, self._landmarks.lower_bounds_many(positions, endpoint_position)
+            )
+        return bounds
 
     def euclidean_metres(self, u: Vertex, v: Vertex) -> float:
         """Straight-line distance in metres (not counted as an exact query)."""
@@ -197,6 +460,11 @@ class DistanceOracle:
         """The attached hub-label index, if any."""
         return self._hub_labels
 
+    @property
+    def has_apsp(self) -> bool:
+        """Whether the dense all-pairs table is attached."""
+        return self._apsp is not None
+
     def cache_statistics(self) -> dict[str, float]:
         """Hit rates and sizes of the distance/path caches."""
         return {
@@ -207,5 +475,10 @@ class DistanceOracle:
         }
 
     def reset_counters(self) -> None:
-        """Zero the oracle counters (caches keep their contents)."""
-        self.counters = OracleCounters()
+        """Zero the oracle counters and cache statistics (caches keep their
+        contents), so every simulation run reports per-run numbers."""
+        self.counters = OracleCounters(
+            distance_cache=self._distance_cache, path_cache=self._path_cache
+        )
+        self._distance_cache.reset_statistics()
+        self._path_cache.reset_statistics()

@@ -6,7 +6,16 @@ This module provides the exact reference algorithms the oracle builds upon:
 * :func:`dijkstra` — single-source shortest distances (optionally bounded),
 * :func:`bidirectional_dijkstra` — point-to-point distance and path,
 * :func:`shortest_path` — point-to-point vertex sequence,
-* :func:`single_source_distances` — convenience wrapper returning a dict.
+* :func:`single_source_distances` — convenience wrapper returning a dict,
+* :func:`single_source_distances_array` — the array-native variant used by the
+  APSP/landmark builders.
+
+All algorithms run on the network's CSR adjacency
+(:attr:`~repro.network.graph.RoadNetwork.csr`): flat ``indptr``/``indices``/
+``costs`` arrays replace the dict-of-dict walk of the seed implementation,
+which keeps the inner relaxation loop on dense integer positions.
+:func:`dijkstra_reference` preserves the seed's dict-based search as the
+oracle-free baseline the equivalence property tests compare against.
 
 All costs are travel times in seconds.
 """
@@ -16,6 +25,8 @@ from __future__ import annotations
 import heapq
 import math
 from typing import Iterable
+
+import numpy as np
 
 from repro.exceptions import DisconnectedError
 from repro.network.graph import RoadNetwork, Vertex
@@ -29,7 +40,7 @@ def dijkstra(
     targets: Iterable[Vertex] | None = None,
     max_cost: float = INFINITY,
 ) -> dict[Vertex, float]:
-    """Single-source Dijkstra.
+    """Single-source Dijkstra on the CSR adjacency.
 
     Args:
         network: the road network.
@@ -40,6 +51,70 @@ def dijkstra(
 
     Returns:
         Mapping ``vertex -> shortest travel time`` for every settled vertex.
+    """
+    csr = network.csr
+    src = csr.position_of(source)
+    remaining: set[int] | None = None
+    if targets is not None:
+        # unknown targets can never be settled; a sentinel keeps the search
+        # exhaustive, matching the dict reference behaviour
+        remaining = {csr.position.get(target, -1) for target in targets}
+    distances, settled = _csr_dijkstra(csr, src, remaining, max_cost)
+    vertex_ids = csr.vertex_ids_list
+    return {
+        vertex_ids[index]: distances[index]
+        for index in range(len(settled))
+        if settled[index]
+    }
+
+
+def _csr_dijkstra(
+    csr,
+    src: int,
+    remaining: set[int] | None,
+    max_cost: float,
+) -> tuple[list[float], bytearray]:
+    """Core CSR Dijkstra over positions; returns (distances, settled flags)."""
+    indptr = csr.indptr_list
+    indices = csr.indices_list
+    costs = csr.costs_list
+    n = len(csr.vertex_ids_list)
+    distances = [INFINITY] * n
+    distances[src] = 0.0
+    settled = bytearray(n)
+    heap: list[tuple[float, int]] = [(0.0, src)]
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        cost, vertex = pop(heap)
+        if settled[vertex]:
+            continue
+        if cost > max_cost:
+            break
+        settled[vertex] = 1
+        if remaining is not None:
+            remaining.discard(vertex)
+            if not remaining:
+                break
+        for slot in range(indptr[vertex], indptr[vertex + 1]):
+            neighbour = indices[slot]
+            candidate = cost + costs[slot]
+            if candidate < distances[neighbour] and candidate <= max_cost:
+                distances[neighbour] = candidate
+                push(heap, (candidate, neighbour))
+    return distances, settled
+
+
+def dijkstra_reference(
+    network: RoadNetwork,
+    source: Vertex,
+    targets: Iterable[Vertex] | None = None,
+    max_cost: float = INFINITY,
+) -> dict[Vertex, float]:
+    """The seed's dict-of-dict Dijkstra, kept as the equivalence baseline.
+
+    The property tests assert that :func:`dijkstra` (CSR) returns *exactly*
+    the same mapping as this reference on random generator networks.
     """
     remaining: set[Vertex] | None = set(targets) if targets is not None else None
     distances: dict[Vertex, float] = {source: 0.0}
@@ -64,22 +139,13 @@ def dijkstra(
     return {vertex: cost for vertex, cost in distances.items() if vertex in settled}
 
 
-def single_source_distances(network: RoadNetwork, source: Vertex) -> dict[Vertex, float]:
-    """Shortest travel time from ``source`` to every reachable vertex."""
-    return dijkstra(network, source)
-
-
-def bidirectional_dijkstra(
+def bidirectional_dijkstra_reference(
     network: RoadNetwork, source: Vertex, target: Vertex
 ) -> tuple[float, list[Vertex]]:
-    """Point-to-point shortest path via bidirectional Dijkstra.
+    """The seed's dict-of-dict bidirectional Dijkstra (equivalence baseline).
 
-    Returns:
-        ``(cost, path)`` where ``path`` is the vertex sequence from ``source``
-        to ``target`` inclusive.
-
-    Raises:
-        DisconnectedError: if no path exists.
+    Kept verbatim so property tests and the hot-path benchmark's "pre-PR"
+    configuration can compare the CSR implementation against the original.
     """
     if source == target:
         return 0.0, [source]
@@ -140,6 +206,116 @@ def bidirectional_dijkstra(
 
 def _unwind(parents: dict[Vertex, Vertex], root: Vertex, leaf: Vertex) -> list[Vertex]:
     """Rebuild the path ``root -> ... -> leaf`` from a parent map."""
+    path = [leaf]
+    vertex = leaf
+    while vertex != root:
+        vertex = parents[vertex]
+        path.append(vertex)
+    path.reverse()
+    return path
+
+
+def single_source_distances(network: RoadNetwork, source: Vertex) -> dict[Vertex, float]:
+    """Shortest travel time from ``source`` to every reachable vertex."""
+    return dijkstra(network, source)
+
+
+def single_source_distances_array(network: RoadNetwork, source: Vertex) -> np.ndarray:
+    """Shortest travel times from ``source`` as a CSR-position-aligned array.
+
+    Unreachable positions hold ``inf``. This is the building block of the
+    oracle's dense APSP table — each row is one call, assigned without any
+    dict round-trip.
+    """
+    csr = network.csr
+    distances, settled = _csr_dijkstra(csr, csr.position_of(source), None, INFINITY)
+    result = np.asarray(distances, dtype=np.float64)
+    # tentative values of unsettled vertices are not shortest distances
+    settled_mask = np.frombuffer(bytes(settled), dtype=np.uint8).astype(bool)
+    result[~settled_mask] = np.inf
+    return result
+
+
+def bidirectional_dijkstra(
+    network: RoadNetwork, source: Vertex, target: Vertex
+) -> tuple[float, list[Vertex]]:
+    """Point-to-point shortest path via bidirectional Dijkstra on the CSR arrays.
+
+    Returns:
+        ``(cost, path)`` where ``path`` is the vertex sequence from ``source``
+        to ``target`` inclusive.
+
+    Raises:
+        DisconnectedError: if no path exists.
+    """
+    if source == target:
+        return 0.0, [source]
+    csr = network.csr
+    src = csr.position_of(source)
+    dst = csr.position_of(target)
+    indptr = csr.indptr_list
+    indices = csr.indices_list
+    costs = csr.costs_list
+
+    # frontier state lives in dicts keyed by position: both searches settle
+    # only a small region around their roots, so O(|V|) per-call allocation
+    # would dominate short queries
+    dist_forward: dict[int, float] = {src: 0.0}
+    dist_backward: dict[int, float] = {dst: 0.0}
+    parent_forward: dict[int, int] = {}
+    parent_backward: dict[int, int] = {}
+    settled_forward: set[int] = set()
+    settled_backward: set[int] = set()
+    heap_forward: list[tuple[float, int]] = [(0.0, src)]
+    heap_backward: list[tuple[float, int]] = [(0.0, dst)]
+
+    best_cost = INFINITY
+    meeting = -1
+    pop = heapq.heappop
+    push = heapq.heappush
+
+    while heap_forward and heap_backward:
+        top_forward = heap_forward[0][0]
+        top_backward = heap_backward[0][0]
+        if top_forward + top_backward >= best_cost:
+            break
+        if top_forward <= top_backward:
+            heap, distances, parents, settled, other = (
+                heap_forward, dist_forward, parent_forward, settled_forward, dist_backward,
+            )
+        else:
+            heap, distances, parents, settled, other = (
+                heap_backward, dist_backward, parent_backward, settled_backward, dist_forward,
+            )
+        cost, vertex = pop(heap)
+        if vertex in settled:
+            continue
+        settled.add(vertex)
+        for slot in range(indptr[vertex], indptr[vertex + 1]):
+            neighbour = indices[slot]
+            candidate = cost + costs[slot]
+            if candidate < distances.get(neighbour, INFINITY):
+                distances[neighbour] = candidate
+                parents[neighbour] = vertex
+                push(heap, (candidate, neighbour))
+            other_cost = other.get(neighbour)
+            if other_cost is not None and candidate + other_cost < best_cost:
+                best_cost = candidate + other_cost
+                meeting = neighbour
+
+    if meeting < 0:
+        raise DisconnectedError(f"no path between {source} and {target}")
+
+    vertex_ids = csr.vertex_ids_list
+    forward_path = _unwind_positions(parent_forward, src, meeting)
+    backward_path = _unwind_positions(parent_backward, dst, meeting)
+    backward_path.reverse()
+    positions = forward_path + backward_path[1:]
+    return best_cost, [vertex_ids[position] for position in positions]
+
+
+def _unwind_positions(parents: dict[int, int], root: int, leaf: int) -> list[int]:
+    """Rebuild the position path ``root -> ... -> leaf`` from a parent map."""
     path = [leaf]
     vertex = leaf
     while vertex != root:

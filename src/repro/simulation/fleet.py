@@ -40,6 +40,8 @@ import math
 import time as _time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.route import Route, empty_route
 from repro.core.types import Request, StopKind, Worker
 from repro.exceptions import DispatchError
@@ -203,7 +205,12 @@ class WorkerState:
                 route.refresh(oracle)
             next_arrival = route.arr[1]
             if next_arrival <= now + 1e-9:
-                # the worker reaches the next stop
+                # the worker reaches the next stop. The new route's auxiliary
+                # arrays are exactly the old ones shifted by one entry (the
+                # cumulative sums share their association, the deadlines are
+                # absolute and the completed stop's load delta is what
+                # ``initial_load`` would report), so no refresh — and none of
+                # its oracle leg queries — is needed.
                 stop = route.stops[0]
                 leg_cost = next_arrival - route.arr[0]
                 self.travelled_cost += max(leg_cost, 0.0)
@@ -214,28 +221,46 @@ class WorkerState:
                     else:
                         record.dropoff_time = next_arrival
                         completed.append(record)
-                self.route = Route(
+                new_route = Route(
                     worker=self.worker,
                     origin=stop.vertex,
                     start_time=next_arrival,
                     stops=route.stops[1:],
                     _direct_distances=dict(route._direct_distances),
                 )
-                self.route.refresh(oracle)
+                new_route.arr = route.arr[1:]
+                new_route.ddl = route.ddl[1:]
+                new_route.slack = route.slack[1:]
+                new_route.picked = route.picked[1:]
+                self.route = new_route
                 continue
-            # partially advance along the concrete shortest path to the next stop
+            # partially advance along the concrete shortest path to the next
+            # stop, continuing the path chosen at the previous advance when
+            # one is recorded (re-planning always builds fresh Route objects,
+            # so a recorded path is never stale)
             budget = now - route.arr[0]
             if budget <= 1e-9:
                 break
-            path = oracle.path(route.origin, route.stops[0].vertex)
+            next_stop = route.stops[0].vertex
+            cached_path = route.concrete_path
+            if (
+                cached_path is not None
+                and cached_path[0] == route.origin
+                and cached_path[-1] == next_stop
+            ):
+                path = cached_path
+            else:
+                path = oracle.path(route.origin, next_stop)
             moved_cost = 0.0
             position = route.origin
+            passed = 0
             for u, v in zip(path, path[1:]):
                 edge_cost = oracle.network.edge_cost(u, v)
                 if moved_cost + edge_cost > budget + 1e-9:
                     break
                 moved_cost += edge_cost
                 position = v
+                passed += 1
             if position != route.origin:
                 self.travelled_cost += moved_cost
                 self.route = Route(
@@ -244,8 +269,13 @@ class WorkerState:
                     start_time=route.arr[0] + moved_cost,
                     stops=list(route.stops),
                     _direct_distances=dict(route._direct_distances),
+                    concrete_path=tuple(path[passed:]),
                 )
                 self.route.refresh(oracle)
+            elif cached_path is None:
+                # remember the freshly derived path even when the budget was
+                # too small to pass a vertex
+                route.concrete_path = tuple(path)
             break
         return completed
 
@@ -279,6 +309,10 @@ class FleetState:
             raise DispatchError("a fleet needs at least one worker")
         self.oracle = oracle
         self.lazy = lazy
+        #: skip no-op advances when a worker is already materialised at the
+        #: clock (behaviour-identical; benchmarks flip this off to reconstruct
+        #: the pre-optimisation touch cost as their scalar baseline).
+        self.materialise_fast_path: bool = True
         #: current simulated time; advanced by the engine / ``advance_all``.
         self.clock: float = 0.0
         #: wall-clock seconds spent materialising lazy progress; the event
@@ -291,6 +325,12 @@ class FleetState:
         self._moved: set[int] = set()
         #: worker id -> position_time, for workers with pending stops.
         self._moving: dict[int, float] = {}
+        #: worker id -> (vertex, capacity) for workers whose route was empty
+        #: at their last materialisation. An idle worker stays put and only
+        #: gains stops through ``adopt_route`` (which evicts it here), so the
+        #: snapshot lets the batched decision phase answer idle candidates
+        #: without touching their state at all.
+        self._idle: dict[int, tuple[Vertex, int]] = {}
         #: request id -> worker id of the (probable) current assignee; kept as
         #: a hint — re-optimisation passes may move requests between workers
         #: behind the fleet's back, so :meth:`find_assignment` verifies and
@@ -299,6 +339,21 @@ class FleetState:
         self.states: dict[int, WorkerState] = {
             worker.id: WorkerState(worker, oracle, fleet=self) for worker in workers
         }
+        for state in self.states.values():
+            self._idle[state.worker.id] = (state.route.origin, state.worker.capacity)
+        # dense array mirror of the idle snapshot for the batched decision
+        # phase (worker ids are near-dense in every generator); None disables
+        # the array path and callers fall back to the dict snapshot
+        max_id = max(self.states)
+        if max_id < 4 * len(self.states):
+            self._idle_mask: "np.ndarray | None" = np.zeros(max_id + 1, dtype=bool)
+            self._idle_origin_table = np.zeros(max_id + 1, dtype=np.int64)
+            for worker_id, (origin, _) in self._idle.items():
+                self._idle_mask[worker_id] = True
+                self._idle_origin_table[worker_id] = origin
+        else:
+            self._idle_mask = None
+            self._idle_origin_table = np.empty(0, dtype=np.int64)
 
     def __iter__(self):
         if self.lazy:
@@ -324,6 +379,69 @@ class FleetState:
         if self.lazy:
             self._materialise(state)
         return state
+
+    def states_of(self, worker_ids: list[int]) -> list[WorkerState]:
+        """Materialised states of many workers (the decision phase's accessor).
+
+        Equivalent to ``[state_of(w) for w in worker_ids]`` without the
+        per-call lazy-mode branching — candidate sets touch hundreds of
+        workers per event.
+        """
+        states = self.states
+        if not self.lazy:
+            try:
+                return [states[worker_id] for worker_id in worker_ids]
+            except KeyError as exc:
+                raise DispatchError(f"unknown worker {exc.args[0]}") from exc
+        result: list[WorkerState] = []
+        append = result.append
+        materialise = self._materialise
+        for worker_id in worker_ids:
+            try:
+                state = states[worker_id]
+            except KeyError as exc:
+                raise DispatchError(f"unknown worker {worker_id}") from exc
+            materialise(state)
+            append(state)
+        return result
+
+    @property
+    def idle_snapshot(self) -> dict[int, tuple[Vertex, int]]:
+        """``worker id -> (vertex, capacity)`` of workers idle since their
+        last materialisation.
+
+        Valid at the current clock without touching any state: an idle worker
+        waits in place and can only gain stops through a re-planning, which
+        evicts it from the snapshot. Workers busy at their last touch are
+        *not* listed even if their route has since completed — callers must
+        materialise those through :meth:`state_of` / :meth:`states_of`.
+        """
+        return self._idle
+
+    def idle_partition(
+        self, worker_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Split candidate ids into idle and busy workers.
+
+        Returns ``(idle_mask, idle_origins, busy_ids)`` with ``idle_mask``
+        aligned to ``worker_ids``. Uses the dense array mirror when worker
+        ids are near-dense; the dict snapshot otherwise — same result either
+        way.
+        """
+        if self._idle_mask is not None:
+            mask = self._idle_mask[worker_ids]
+            return mask, self._idle_origin_table[worker_ids[mask]], worker_ids[~mask]
+        idle = self._idle
+        mask = np.fromiter(
+            (int(worker_id) in idle for worker_id in worker_ids),
+            dtype=bool,
+            count=len(worker_ids),
+        )
+        origins = np.asarray(
+            [idle[int(worker_id)][0] for worker_id in worker_ids[mask]],
+            dtype=np.int64,
+        )
+        return mask, origins, worker_ids[~mask]
 
     def peek_state(self, worker_id: int) -> WorkerState:
         """State accessor that never advances (event-engine bookkeeping)."""
@@ -368,14 +486,38 @@ class FleetState:
 
     def _materialise(self, state: WorkerState) -> None:
         """Advance ``state`` to the fleet clock, buffering completions."""
-        if state.route.start_time >= self.clock and state.route.is_empty:
+        route = state.route
+        clock = self.clock
+        if self.materialise_fast_path:
+            if route.start_time >= clock:
+                if not route.stops:
+                    return
+                # already materialised at this clock and no stop is due yet:
+                # an advance_to(clock) would be a no-op walk — skip it. The
+                # hot decision phase touches every candidate once per event;
+                # only the first touch pays for real advancement.
+                arr = route.arr
+                if len(arr) == len(route.stops) + 1 and arr[1] > clock + 1e-9:
+                    return
+            elif not route.stops:
+                # idle clock bump: the worker waits in place, so advancing is
+                # just arr[0] = start_time = clock — no movement, no resync
+                route.start_time = clock
+                if len(route.arr) == 1:
+                    route.arr[0] = clock
+                else:
+                    route.refresh(self.oracle)
+                return
+        elif route.start_time >= clock and route.is_empty:
             return
         started = _time.perf_counter()
-        completed = state.advance_to(self.clock)
+        position_before = route.origin
+        completed = state.advance_to(clock)
         self.materialisation_seconds += _time.perf_counter() - started
         if completed:
             self._completions.extend(completed)
-        self._note_motion(state)
+        moved = not self.materialise_fast_path or state.route.origin != position_before
+        self._note_motion(state, moved=moved)
 
     # ------------------------------------------------------- change tracking
 
@@ -384,13 +526,26 @@ class FleetState:
         self._dirty_plans.add(worker_id)
         self._note_motion(state)
 
-    def _note_motion(self, state: WorkerState) -> None:
+    def _note_motion(self, state: WorkerState, moved: bool = True) -> None:
+        """Track motion bookkeeping after an advance or re-planning.
+
+        ``moved=False`` records only the staleness bookkeeping (the worker's
+        position vertex is unchanged, so the grid needs no resync for it).
+        """
         worker_id = state.worker.id
         if state.route.is_empty:
             self._moving.pop(worker_id, None)
+            self._idle[worker_id] = (state.route.origin, state.worker.capacity)
+            if self._idle_mask is not None:
+                self._idle_mask[worker_id] = True
+                self._idle_origin_table[worker_id] = state.route.origin
         else:
             self._moving[worker_id] = state.position_time
-        self._moved.add(worker_id)
+            self._idle.pop(worker_id, None)
+            if self._idle_mask is not None:
+                self._idle_mask[worker_id] = False
+        if moved:
+            self._moved.add(worker_id)
 
     def drain_dirty_plans(self) -> list[int]:
         """Workers re-planned since the last drain (engine event scheduling)."""

@@ -45,6 +45,9 @@ class SimulationResult:
 
     total_dispatch_seconds: float = 0.0
     distance_queries: int = 0
+    #: lower-bound probes actually issued; the scalar and batched decision
+    #: phases probe in different patterns, so this count (unlike
+    #: ``distance_queries``) depends on the ``vectorized`` flag.
     lower_bound_queries: int = 0
     candidates_considered: int = 0
     insertions_evaluated: int = 0
@@ -73,7 +76,7 @@ class SimulationResult:
 
     def as_row(self) -> dict[str, float | str]:
         """Flat representation for tabular reports."""
-        return {
+        row: dict[str, float | str] = {
             "algorithm": self.algorithm,
             "instance": self.instance_name,
             "unified_cost": self.unified_cost,
@@ -89,6 +92,10 @@ class SimulationResult:
             "mean_detour_ratio": self.mean_detour_ratio,
             "deadline_violations": self.deadline_violations,
         }
+        for key in ("distance_cache_hit_rate", "path_cache_hit_rate"):
+            if key in self.extra:
+                row[key] = self.extra[key]
+        return row
 
 
 class MetricsCollector:
@@ -168,6 +175,14 @@ class MetricsCollector:
         result.distance_queries = oracle_counters.distance_queries
         result.lower_bound_queries = oracle_counters.lower_bound_queries
         result.index_memory_bytes = index_memory_bytes
+        # surface the oracle LRU cache statistics (hits/misses/evictions/
+        # hit rate) next to the query counters in experiment reports
+        base_counters = {
+            "distance_queries", "path_queries", "lower_bound_queries", "dijkstra_runs",
+        }
+        for key, value in oracle_counters.snapshot().items():
+            if key not in base_counters:
+                result.extra[key] = float(value)
         if self._waits:
             result.mean_wait_seconds = sum(self._waits) / len(self._waits)
         if self._detour_ratios:

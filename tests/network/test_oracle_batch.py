@@ -1,0 +1,166 @@
+"""Batched oracle APIs vs their scalar loops: exact equality, not approx.
+
+The batched calls (``distances_many``, ``distance_pairs``,
+``endpoint_distances``, ``euclidean_lower_bounds``) must return the very same
+floats the scalar loop would, bump the same exact-query counters, and — for
+the symmetric path cache — answer a reversed query from one cached entry.
+"""
+
+import pytest
+
+from repro.network.generators import grid_city
+from repro.network.landmarks import build_landmark_index
+from repro.network.oracle import DistanceOracle
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_city(rows=6, columns=6, block_metres=200.0, removed_block_fraction=0.04, seed=9)
+
+
+@pytest.fixture(
+    scope="module",
+    params=[None, "hub_labels", "apsp"],
+    ids=["dijkstra", "hub-labels", "apsp"],
+)
+def oracle(request, network):
+    return DistanceOracle(network, precompute=request.param)
+
+
+@pytest.fixture(scope="module")
+def vertices(network):
+    return sorted(network.vertices())
+
+
+class TestBatchedDistances:
+    def test_distances_many_equals_scalar_loop(self, oracle, vertices):
+        source, targets = vertices[0], vertices[::3]
+        batched = oracle.distances_many(source, targets)
+        scalar = [oracle.distance(source, target) for target in targets]
+        assert batched.tolist() == scalar
+
+    def test_distance_pairs_equals_scalar_loop(self, oracle, vertices):
+        us = vertices[::4]
+        vs = list(reversed(vertices))[::4]
+        batched = oracle.distance_pairs(us, vs)
+        scalar = [oracle.distance(u, v) for u, v in zip(us, vs)]
+        assert batched.tolist() == scalar
+
+    def test_endpoint_distances_equals_scalar_loop(self, oracle, vertices):
+        stops = vertices[::5]
+        origin, destination = vertices[3], vertices[-2]
+        to_origin, to_destination = oracle.endpoint_distances(stops, origin, destination)
+        assert to_origin.tolist() == [oracle.distance(stop, origin) for stop in stops]
+        assert to_destination.tolist() == [
+            oracle.distance(stop, destination) for stop in stops
+        ]
+
+    def test_counters_match_scalar_loop(self, network, vertices):
+        batched_oracle = DistanceOracle(network, precompute="apsp")
+        scalar_oracle = DistanceOracle(network, precompute="apsp")
+        source, targets = vertices[0], vertices[:7]
+        batched_oracle.distances_many(source, targets)
+        for target in targets:
+            scalar_oracle.distance(source, target)
+        assert (
+            batched_oracle.counters.distance_queries
+            == scalar_oracle.counters.distance_queries
+            == len(targets)
+        )
+
+    def test_distance_pairs_rejects_mismatched_lengths(self, oracle, vertices):
+        with pytest.raises(ValueError, match="length"):
+            oracle.distance_pairs(vertices[:3], vertices[:2])
+
+
+class TestBatchedLowerBounds:
+    @pytest.fixture(scope="class", params=[False, True], ids=["plain", "landmarks"])
+    def bound_oracle(self, request, network):
+        index = build_landmark_index(network, count=4) if request.param else None
+        return DistanceOracle(network, landmark_index=index)
+
+    def test_euclidean_lower_bounds_equal_scalar(self, bound_oracle, vertices):
+        stops = vertices[::2]
+        origin, destination = vertices[1], vertices[-1]
+        to_origin, to_destination = bound_oracle.euclidean_lower_bounds(
+            stops, origin, destination
+        )
+        assert to_origin.tolist() == [
+            bound_oracle.lower_bound(stop, origin) for stop in stops
+        ]
+        assert to_destination.tolist() == [
+            bound_oracle.lower_bound(stop, destination) for stop in stops
+        ]
+
+    def test_single_endpoint_variant_equal_scalar(self, bound_oracle, vertices):
+        stops = vertices[::3]
+        target = vertices[5]
+        bounds = bound_oracle.euclidean_lower_bounds_to(stops, target)
+        assert bounds.tolist() == [bound_oracle.lower_bound(stop, target) for stop in stops]
+
+    def test_lower_bound_counter_advances_per_pair(self, network, vertices):
+        oracle = DistanceOracle(network)
+        before = oracle.counters.lower_bound_queries
+        oracle.euclidean_lower_bounds(vertices[:6], vertices[0], vertices[-1])
+        assert oracle.counters.lower_bound_queries == before + 12
+
+
+class TestApspPathWalk:
+    def test_walk_returns_a_shortest_path(self, network, vertices):
+        oracle = DistanceOracle(network, precompute="apsp")
+        oracle.apsp_path_walk = True
+        for u, v in [(vertices[0], vertices[-1]), (vertices[3], vertices[17])]:
+            path = oracle.path(u, v)
+            assert path[0] == u and path[-1] == v
+            total = sum(network.edge_cost(a, b) for a, b in zip(path, path[1:]))
+            assert total == pytest.approx(oracle.distance(u, v))
+        # the walk answers misses without any Dijkstra run
+        assert oracle.counters.dijkstra_runs == 0
+
+    def test_walk_raises_for_disconnected_vertices(self):
+        from repro.exceptions import DisconnectedError
+        from repro.network.graph import RoadNetwork
+        from repro.utils.geometry import Point
+
+        isolated = RoadNetwork()
+        isolated.add_vertex(0, Point(0, 0))
+        isolated.add_vertex(1, Point(100, 0))
+        isolated.add_vertex(2, Point(5000, 5000))
+        isolated.add_edge(0, 1)
+        oracle = DistanceOracle(isolated, precompute="apsp")
+        oracle.apsp_path_walk = True
+        with pytest.raises(DisconnectedError):
+            oracle.path(0, 2)
+
+
+class TestSymmetricPathCache:
+    def test_reverse_path_served_from_cache(self, network, vertices):
+        oracle = DistanceOracle(network)
+        u, v = vertices[0], vertices[-1]
+        forward = oracle.path(u, v)
+        runs_after_forward = oracle.counters.dijkstra_runs
+        backward = oracle.path(v, u)
+        assert backward == list(reversed(forward))
+        # the reversed lookup must not spend another Dijkstra
+        assert oracle.counters.dijkstra_runs == runs_after_forward
+
+    def test_cache_statistics_in_counter_snapshot(self, network, vertices):
+        oracle = DistanceOracle(network)
+        oracle.distance(vertices[0], vertices[4])
+        oracle.distance(vertices[0], vertices[4])
+        snapshot = oracle.counters.snapshot()
+        assert snapshot["distance_cache_hits"] >= 1
+        assert snapshot["distance_cache_misses"] >= 1
+        assert 0.0 <= snapshot["distance_cache_hit_rate"] <= 1.0
+        assert "path_cache_hit_rate" in snapshot
+
+    def test_reset_counters_resets_cache_statistics(self, network, vertices):
+        oracle = DistanceOracle(network)
+        oracle.distance(vertices[0], vertices[3])
+        oracle.reset_counters()
+        snapshot = oracle.counters.snapshot()
+        assert snapshot["distance_cache_hits"] == 0
+        assert snapshot["distance_cache_misses"] == 0
+        # cache contents survive: the next query is a hit
+        oracle.distance(vertices[0], vertices[3])
+        assert oracle.counters.snapshot()["distance_cache_hits"] == 1
