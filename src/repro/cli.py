@@ -1,22 +1,30 @@
 """Command-line interface for the URPSM reproduction.
 
-Four sub-commands cover the common workflows::
+Five sub-commands cover the common workflows::
 
     python -m repro simulate  --city chengdu-like --algorithm pruneGreedyDP
     python -m repro compare   --city nyc-like --scale tiny
+    python -m repro sweep     --parameter num_workers --values 20 40 80 --jobs 4
     python -m repro figure    figure3 --scale tiny --output results/fig3.json
     python -m repro datasets  --scale small
 
 ``simulate`` runs one algorithm on one scenario; ``compare`` runs the paper's
 five algorithms on the same scenario and prints the comparison table;
-``figure`` reproduces one of Figures 3-7 and optionally writes the raw series
-to JSON/CSV/Markdown; ``datasets`` prints the Table 4 statistics of the
-synthetic cities.
+``sweep`` fans a parameter sweep out over a process pool (``--jobs``) with
+deterministic per-point seeds; ``figure`` reproduces one of Figures 3-7 and
+optionally writes the raw series to JSON/CSV/Markdown; ``datasets`` prints
+the Table 4 statistics of the synthetic cities.
+
+Scenario commands accept ``--shards K`` to wrap the chosen algorithm(s) in
+the sharded dispatcher (spatial partitioning + cross-shard escalation; see
+``repro.sharding``); ``K=1`` reproduces the unsharded run exactly.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -25,9 +33,11 @@ from repro.dispatch import ALGORITHMS, DispatcherConfig, make_dispatcher
 from repro.experiments.config import ExperimentConfig, PAPER_ALGORITHMS, SCALES
 from repro.experiments.figures import FIGURES
 from repro.experiments.io import figure_to_markdown, save_figure_csv, save_figure_json
+from repro.experiments.parallel import ParallelSweepRunner
 from repro.experiments.reporting import format_figure, format_results, format_table
 from repro.experiments.runner import ScenarioRunner
 from repro.experiments.tables import table4_datasets, table5_parameters
+from repro.sharding.partitioner import STRATEGIES
 from repro.simulation.simulator import ENGINES, run_simulation
 from repro.workloads.scenarios import CITY_BUILDERS, ScenarioConfig, build_instance
 
@@ -48,6 +58,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(compare)
     compare.add_argument("--algorithms", nargs="*", default=PAPER_ALGORITHMS,
                          choices=sorted(ALGORITHMS))
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a parameter sweep over a process pool (--jobs)"
+    )
+    _add_scenario_arguments(sweep)
+    sweep.add_argument("--parameter", default="num_workers",
+                       choices=sorted(field.name for field in dataclasses.fields(ScenarioConfig)),
+                       help="ScenarioConfig field to sweep")
+    sweep.add_argument("--values", nargs="+", required=True,
+                       help="values of the swept parameter (coerced to the field type)")
+    sweep.add_argument("--algorithms", nargs="*", default=["pruneGreedyDP"],
+                       choices=sorted(ALGORITHMS))
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial; results are identical either way)")
+    sweep.add_argument("--replicates", type=int, default=1,
+                       help="independent workload seeds per sweep value")
+    sweep.add_argument("--output", type=Path, default=None,
+                       help="write the per-run rows to this JSON file")
 
     figure = subparsers.add_parser("figure", help="reproduce one of Figures 3-7")
     figure.add_argument("name", choices=sorted(FIGURES))
@@ -85,6 +113,13 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", default="event", choices=sorted(ENGINES),
                         help="simulation engine: the event-driven kernel (default) or the "
                              "legacy request-stream loop")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="spatial shards for the sharded dispatcher; 0 = unsharded, "
+                             "1 = sharded wrapper reproducing the unsharded run exactly")
+    parser.add_argument("--shard-strategy", default="grid", choices=sorted(STRATEGIES),
+                        help="spatial partitioning strategy of the sharded dispatcher")
+    parser.add_argument("--escalate-k", type=int, default=2,
+                        help="nearest neighbouring shards tried after the origin shard")
 
 
 def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
@@ -103,14 +138,35 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
     )
 
 
+def _dispatcher_config_from_args(
+    args: argparse.Namespace, grid_cell_metres: float | None = None
+) -> DispatcherConfig:
+    config = DispatcherConfig(
+        num_shards=max(args.shards, 1),
+        shard_strategy=args.shard_strategy,
+        shard_escalate_k=args.escalate_k,
+    )
+    if grid_cell_metres is not None:
+        config.grid_cell_metres = grid_cell_metres
+    return config
+
+
+def _sharded_names(args: argparse.Namespace, names: Sequence[str]) -> list[str]:
+    """Prefix algorithm names with the sharded wrapper when --shards is set."""
+    if args.shards <= 0:
+        return list(names)
+    return [f"sharded:{name}" for name in names]
+
+
 # ------------------------------------------------------------------- commands
 
 
 def command_simulate(args: argparse.Namespace) -> int:
     config = _scenario_from_args(args)
     instance = build_instance(config)
+    (algorithm,) = _sharded_names(args, [args.algorithm])
     dispatcher = make_dispatcher(
-        args.algorithm, DispatcherConfig(grid_cell_metres=config.grid_km * 1000.0)
+        algorithm, _dispatcher_config_from_args(args, config.grid_km * 1000.0)
     )
     result = run_simulation(instance, dispatcher, engine=args.engine)
     print(format_results([result]))
@@ -119,10 +175,62 @@ def command_simulate(args: argparse.Namespace) -> int:
 
 def command_compare(args: argparse.Namespace) -> int:
     config = _scenario_from_args(args)
-    runner = ScenarioRunner(DispatcherConfig(), engine=args.engine)
-    results = runner.compare(config, list(args.algorithms))
+    runner = ScenarioRunner(_dispatcher_config_from_args(args), engine=args.engine)
+    results = runner.compare(config, _sharded_names(args, args.algorithms))
     print(format_results(results))
     return 0
+
+
+def command_sweep(args: argparse.Namespace) -> int:
+    config = _scenario_from_args(args)
+    values = [_coerce_sweep_value(args.parameter, raw) for raw in args.values]
+    runner = ParallelSweepRunner(
+        _dispatcher_config_from_args(args), engine=args.engine, jobs=args.jobs
+    )
+    points = runner.sweep(
+        args.parameter, values, config, _sharded_names(args, args.algorithms),
+        replicates=args.replicates,
+    )
+    rows: list[dict] = []
+    for point in points:
+        label = f"-- {args.parameter} = {point.value}"
+        if args.replicates > 1:
+            label += f" (replicate {point.replicate})"
+        print(label + " --")
+        print(format_results(point.results))
+        for result in point.results:
+            row = result.as_row()
+            row.update({
+                "parameter": args.parameter,
+                "value": point.value,
+                "replicate": point.replicate,
+            })
+            rows.append(row)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwritten: {args.output}")
+    return 0
+
+
+def _coerce_sweep_value(parameter: str, raw: str) -> float | int | str:
+    """Coerce a CLI sweep value to the ScenarioConfig field's type."""
+    for field in dataclasses.fields(ScenarioConfig):
+        if field.name != parameter:
+            continue
+        if field.type in ("int", "int | None"):
+            return int(raw)
+        if field.type == "float":
+            return float(raw)
+        if field.type == "bool":
+            lowered = raw.strip().lower()
+            if lowered in ("true", "1", "yes"):
+                return True
+            if lowered in ("false", "0", "no"):
+                return False
+            raise ValueError(f"invalid boolean sweep value {raw!r} for {parameter!r}")
+        return raw
+    raise ValueError(f"unknown scenario parameter {parameter!r}")
 
 
 def command_figure(args: argparse.Namespace) -> int:
@@ -166,6 +274,7 @@ def command_datasets(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": command_simulate,
     "compare": command_compare,
+    "sweep": command_sweep,
     "figure": command_figure,
     "datasets": command_datasets,
 }

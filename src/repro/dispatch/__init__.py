@@ -19,9 +19,28 @@ ALGORITHMS = {
 }
 """Registry of dispatcher classes keyed by their benchmark names."""
 
+#: prefix selecting the sharded wrapper: ``"sharded:<inner>"`` wraps any
+#: registry algorithm in a :class:`~repro.sharding.dispatcher.ShardedDispatcher`
+#: (K and the partitioning strategy come from :class:`DispatcherConfig`).
+SHARDED_PREFIX = "sharded:"
+
 
 def make_dispatcher(name: str, config: DispatcherConfig | None = None) -> Dispatcher:
-    """Instantiate a dispatcher from the registry by name."""
+    """Instantiate a dispatcher from the registry by name.
+
+    ``"sharded:<inner>"`` builds the sharded wrapper around the registry
+    algorithm ``<inner>``; plain ``"sharded"`` defaults to pruneGreedyDP.
+    """
+    if name == "sharded" or name.startswith(SHARDED_PREFIX):
+        # imported lazily: repro.sharding itself builds inner dispatchers here
+        from repro.sharding.dispatcher import ShardedDispatcher
+
+        inner = name[len(SHARDED_PREFIX):] if name.startswith(SHARDED_PREFIX) else "pruneGreedyDP"
+        if inner not in ALGORITHMS:
+            raise KeyError(
+                f"unknown sharded inner dispatcher {inner!r}; available: {sorted(ALGORITHMS)}"
+            )
+        return ShardedDispatcher(config, inner=inner)
     try:
         dispatcher_class = ALGORITHMS[name]
     except KeyError as exc:
@@ -45,5 +64,6 @@ __all__ = [
     "TShare",
     "reinsertion_improvement",
     "ALGORITHMS",
+    "SHARDED_PREFIX",
     "make_dispatcher",
 ]

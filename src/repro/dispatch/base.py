@@ -58,12 +58,21 @@ class DispatcherConfig:
         kinetic_node_budget: search-node budget per schedule optimisation of
             the kinetic baseline (its search is exponential by design; the
             budget mirrors a wall-clock cap).
+        num_shards: number of spatial shards of the sharded dispatcher
+            (``K``; 1 reproduces the unsharded inner algorithm exactly).
+        shard_strategy: partitioning strategy of the sharded dispatcher
+            (see :data:`repro.sharding.partitioner.STRATEGIES`).
+        shard_escalate_k: how many nearest neighbouring shards a request
+            tries after its origin shard, before falling back globally.
     """
 
     grid_cell_metres: float = 2000.0
     reject_unprofitable: bool = False
     batch_interval: float = 6.0
     kinetic_node_budget: int = 20_000
+    num_shards: int = 1
+    shard_strategy: str = "grid"
+    shard_escalate_k: int = 2
 
 
 class Dispatcher(abc.ABC):
@@ -85,6 +94,10 @@ class Dispatcher(abc.ABC):
         self.oracle: DistanceOracle | None = None
         self.grid: GridIndex | None = None
         self._flush_scheduler: Callable[[float], None] | None = None
+        #: optional precomputed vertex -> cell mapping handed to the grid
+        #: index at setup; the sharded dispatcher shares one mapping across
+        #: its K per-shard grids (same network, same cell size).
+        self.shared_vertex_cells: dict | None = None
 
     # ------------------------------------------------------------- lifecycle
 
@@ -103,7 +116,11 @@ class Dispatcher(abc.ABC):
 
     def _build_grid(self, instance: URPSMInstance) -> GridIndex:
         """Build the worker grid index; overridden by tshare to build its variant."""
-        return GridIndex(instance.network, self.config.grid_cell_metres)
+        return GridIndex(
+            instance.network,
+            self.config.grid_cell_metres,
+            vertex_cells=self.shared_vertex_cells,
+        )
 
     def bind_flush_scheduler(self, schedule: Callable[[float], None] | None) -> None:
         """Attach the event engine's flush scheduler (``None`` detaches).
@@ -203,6 +220,14 @@ class Dispatcher(abc.ABC):
     def memory_estimate_bytes(self) -> int:
         """Memory footprint of the dispatcher's index structures."""
         return self.grid.memory_estimate_bytes() if self.grid is not None else 0
+
+    def extra_metrics(self) -> dict[str, float]:
+        """Dispatcher-specific metrics merged into ``SimulationResult.extra``.
+
+        The simulation backends call this once at the end of a run; the
+        sharded dispatcher reports its routing and per-shard counters here.
+        """
+        return {}
 
     @property
     def is_batched(self) -> bool:

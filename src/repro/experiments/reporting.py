@@ -71,6 +71,15 @@ def format_results(results: Iterable[SimulationResult]) -> str:
     for cache_column in ("distance_cache_hit_rate", "path_cache_hit_rate"):
         if any(cache_column in row for row in rows):
             columns.append(cache_column)
+    # sharded runs: routing counters next to the shared metrics
+    for sharding_column in (
+        "sharding_shards",
+        "sharding_local_hits",
+        "sharding_escalations",
+        "sharding_cross_shard_assignments",
+    ):
+        if any(sharding_column in row for row in rows):
+            columns.append(sharding_column)
     return format_table(rows, columns)
 
 

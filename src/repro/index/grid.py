@@ -79,9 +79,18 @@ class GridIndex:
         network: road network providing vertex coordinates.
         cell_metres: grid cell side length in metres (``g`` in the paper,
             expressed there in kilometres).
+        vertex_cells: optional precomputed ``vertex -> cell`` mapping to share
+            between indexes of the *same network and cell size* (the sharded
+            dispatcher builds K grids over one geometry); when given, the
+            per-vertex cell pass is skipped and the dict is used as-is.
     """
 
-    def __init__(self, network: RoadNetwork, cell_metres: float) -> None:
+    def __init__(
+        self,
+        network: RoadNetwork,
+        cell_metres: float,
+        vertex_cells: dict[Vertex, Cell] | None = None,
+    ) -> None:
         if cell_metres <= 0:
             raise ValueError(f"cell_metres must be positive, got {cell_metres}")
         self.network = network
@@ -102,14 +111,17 @@ class GridIndex:
         )
         # cache vertex -> cell to avoid repeated float arithmetic; the
         # floor-divide/clip pipeline mirrors GridGeometry.cell_of_point
-        cell_columns = np.clip((xs - min_x) // cell_metres, 0, columns - 1).astype(np.int64)
-        cell_rows = np.clip((ys - min_y) // cell_metres, 0, rows - 1).astype(np.int64)
-        self._vertex_cell: dict[Vertex, Cell] = {
-            vertex: (column, row)
-            for vertex, column, row in zip(
-                csr.vertex_ids_list, cell_columns.tolist(), cell_rows.tolist()
-            )
-        }
+        if vertex_cells is not None:
+            self._vertex_cell = vertex_cells
+        else:
+            cell_columns = np.clip((xs - min_x) // cell_metres, 0, columns - 1).astype(np.int64)
+            cell_rows = np.clip((ys - min_y) // cell_metres, 0, rows - 1).astype(np.int64)
+            self._vertex_cell: dict[Vertex, Cell] = {
+                vertex: (column, row)
+                for vertex, column, row in zip(
+                    csr.vertex_ids_list, cell_columns.tolist(), cell_rows.tolist()
+                )
+            }
         self._members: dict[Cell, set[Hashable]] = defaultdict(set)
         self._locations: dict[Hashable, Cell] = {}
 
@@ -137,6 +149,11 @@ class GridIndex:
         self.insert(member, vertex)
 
     # ----------------------------------------------------------------- query
+
+    @property
+    def vertex_cells(self) -> dict[Vertex, Cell]:
+        """The ``vertex -> cell`` mapping (shareable across same-geometry indexes)."""
+        return self._vertex_cell
 
     def cell_of_vertex(self, vertex: Vertex) -> Cell:
         """Cell containing ``vertex``."""

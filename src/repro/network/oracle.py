@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -68,6 +68,24 @@ class OracleCounters:
     dijkstra_runs: int = 0
     distance_cache: "LRUCache | None" = field(default=None, repr=False, compare=False)
     path_cache: "LRUCache | None" = field(default=None, repr=False, compare=False)
+
+    @classmethod
+    def merge(cls, counters: "Iterable[OracleCounters]") -> "OracleCounters":
+        """Sum many counter snapshots into one fleet-wide total.
+
+        Used to aggregate the per-shard counters of the sharded dispatcher:
+        every shard's query counts are *added* instead of the last shard
+        overwriting shared report keys. Cache references are not carried
+        over — per-shard counters usually share one oracle, so attaching the
+        caches here would double-count their statistics.
+        """
+        total = cls()
+        for item in counters:
+            total.distance_queries += item.distance_queries
+            total.path_queries += item.path_queries
+            total.lower_bound_queries += item.lower_bound_queries
+            total.dijkstra_runs += item.dijkstra_runs
+        return total
 
     def snapshot(self) -> dict[str, int | float]:
         """Return the counters (and any attached cache statistics) as a dict."""
@@ -482,3 +500,14 @@ class DistanceOracle:
         )
         self._distance_cache.reset_statistics()
         self._path_cache.reset_statistics()
+
+    def clear_caches(self) -> None:
+        """Drop both LRU caches' contents (and zero their statistics).
+
+        Sweep tasks sharing one memoized oracle call this before each run so
+        reported cache hit rates do not depend on which tasks happened to
+        warm the caches earlier in the same process.
+        """
+        self._distance_cache.clear()
+        self._path_cache.clear()
+        self.reset_counters()

@@ -1,0 +1,23 @@
+"""Horizontal scaling subsystem: spatial shards and per-shard dispatching.
+
+The monolithic dispatchers of :mod:`repro.dispatch` see the whole city on
+every request. This package splits the road network into K balanced spatial
+shards (:class:`~repro.sharding.partitioner.SpatialPartitioner`), runs one
+inner dispatcher per shard over a restricted fleet view
+(:class:`~repro.sharding.fleet_view.ShardFleetView`), and routes every
+request to its origin shard first, escalating to neighbouring shards — and
+finally globally — only when the local shard cannot serve it
+(:class:`~repro.sharding.dispatcher.ShardedDispatcher`).
+"""
+
+from repro.sharding.dispatcher import ShardedDispatcher
+from repro.sharding.fleet_view import ShardFleetView
+from repro.sharding.partitioner import Partition, SpatialPartitioner, STRATEGIES
+
+__all__ = [
+    "Partition",
+    "SpatialPartitioner",
+    "STRATEGIES",
+    "ShardFleetView",
+    "ShardedDispatcher",
+]

@@ -155,6 +155,7 @@ class EventEngine:
             total_travel_cost=self.fleet.total_travel_cost(),
             oracle_counters=instance.oracle.counters,
             index_memory_bytes=dispatcher.memory_estimate_bytes(),
+            dispatcher_extra=dispatcher.extra_metrics(),
         )
 
     # -------------------------------------------------------------- handlers

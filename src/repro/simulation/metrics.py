@@ -95,6 +95,10 @@ class SimulationResult:
         for key in ("distance_cache_hit_rate", "path_cache_hit_rate"):
             if key in self.extra:
                 row[key] = self.extra[key]
+        # sharded runs report routing counters (local hits, escalations, ...)
+        for key in sorted(self.extra):
+            if key.startswith("sharding_"):
+                row[key] = self.extra[key]
         return row
 
 
@@ -165,8 +169,14 @@ class MetricsCollector:
         total_travel_cost: float,
         oracle_counters: OracleCounters,
         index_memory_bytes: int,
+        dispatcher_extra: dict[str, float] | None = None,
     ) -> SimulationResult:
-        """Compute the derived metrics and return the result object."""
+        """Compute the derived metrics and return the result object.
+
+        ``dispatcher_extra`` carries dispatcher-reported metrics
+        (:meth:`~repro.dispatch.base.Dispatcher.extra_metrics`) into
+        :attr:`SimulationResult.extra`.
+        """
         result = self._result
         result.total_travel_cost = total_travel_cost
         result.total_penalty = sum(request.penalty for request in self._rejected)
@@ -183,6 +193,8 @@ class MetricsCollector:
         for key, value in oracle_counters.snapshot().items():
             if key not in base_counters:
                 result.extra[key] = float(value)
+        if dispatcher_extra:
+            result.extra.update(dispatcher_extra)
         if self._waits:
             result.mean_wait_seconds = sum(self._waits) / len(self._waits)
         if self._detour_ratios:

@@ -164,6 +164,7 @@ class _LegacyLoop:
             total_travel_cost=self.fleet.total_travel_cost(),
             oracle_counters=oracle.counters,
             index_memory_bytes=dispatcher.memory_estimate_bytes(),
+            dispatcher_extra=dispatcher.extra_metrics(),
         )
 
     # --------------------------------------------------------------- batches

@@ -52,6 +52,33 @@ def derive_seed(seed: int, *labels: int | str) -> int:
     return int(sequence.generate_state(1, dtype=np.uint32)[0])
 
 
+def spawn_key(*labels: int | str) -> tuple[int, ...]:
+    """Stable :class:`numpy.random.SeedSequence` spawn key from mixed labels.
+
+    String labels are hashed with the same stable FNV-1a hash as
+    :func:`derive_seed`, so the key is reproducible across processes and
+    Python hash-randomisation settings — the property the parallel sweep
+    runner relies on to give every (parameter, value, replicate) point the
+    same child seed no matter which worker process computes it.
+    """
+    return tuple(
+        (label & 0xFFFFFFFF) if isinstance(label, int) else _stable_string_hash(str(label))
+        for label in labels
+    )
+
+
+def derive_spawned_seed(seed: int, *labels: int | str) -> int:
+    """Child seed of ``seed`` addressed by a spawn key built from ``labels``.
+
+    Unlike :func:`derive_seed` (which folds the labels into the entropy
+    pool), this uses SeedSequence *spawn keys* — the mechanism numpy defines
+    for addressing independent child streams — so the derived streams are
+    guaranteed statistically independent of the parent and of each other.
+    """
+    sequence = np.random.SeedSequence(int(seed), spawn_key=spawn_key(*labels))
+    return int(sequence.generate_state(1, dtype=np.uint32)[0])
+
+
 def _stable_string_hash(text: str) -> int:
     """A small, stable (non-cryptographic) 32-bit string hash (FNV-1a)."""
     value = 0x811C9DC5

@@ -61,6 +61,10 @@ class ScenarioConfig:
         grid_km: grid-index cell size ``g`` in kilometres.
         horizon_hours: length of the simulated day.
         seed: master seed; all generator seeds derive from it.
+        city_seed: optional separate seed for the city builder; ``None``
+            derives the city from ``seed``. Sweeps that replicate a scenario
+            under many workload seeds pin ``city_seed`` so every replicate
+            shares one road network (and the runner's network/oracle cache).
         use_hub_labels: force hub labels as the oracle accelerator.
         oracle_precompute: oracle acceleration mode — ``"auto"`` (dense
             all-pairs table for networks up to a few thousand vertices, hub
@@ -83,6 +87,7 @@ class ScenarioConfig:
     grid_km: float = 2.0
     horizon_hours: float = 4.0
     seed: int = 2018
+    city_seed: int | None = None
     use_hub_labels: bool = False
     oracle_precompute: str = "auto"
     cancellation_rate: float = 0.0
@@ -91,6 +96,11 @@ class ScenarioConfig:
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         """Return a copy with the given fields replaced (sweep helper)."""
         return replace(self, **kwargs)
+
+    @property
+    def effective_city_seed(self) -> int:
+        """Seed the city builder actually uses (``city_seed`` or ``seed``)."""
+        return self.seed if self.city_seed is None else self.city_seed
 
     def objective(self) -> ObjectiveConfig:
         """The objective configuration implied by ``alpha`` / ``penalty_factor``."""
@@ -115,7 +125,7 @@ def build_network(config: ScenarioConfig) -> RoadNetwork:
         raise ConfigurationError(
             f"unknown city {config.city!r}; available: {sorted(CITY_BUILDERS)}"
         ) from exc
-    return builder(derive_seed(config.seed, "city", config.city))
+    return builder(derive_seed(config.effective_city_seed, "city", config.city))
 
 
 def make_oracle(network: RoadNetwork, config: ScenarioConfig) -> DistanceOracle:

@@ -26,6 +26,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--algorithm", "magic"])
 
+    def test_sharding_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.shards == 0
+        assert args.shard_strategy == "grid"
+        assert args.escalate_k == 2
+
+    def test_sweep_requires_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--parameter", "num_workers"])
+
+    def test_sweep_rejects_unknown_parameter(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--parameter", "magic", "--values", "1"])
+
 
 class TestCommands:
     def test_simulate_runs(self, capsys):
@@ -46,6 +60,30 @@ class TestCommands:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "pruneGreedyDP" in captured and "tshare" in captured
+
+    def test_simulate_sharded(self, capsys):
+        exit_code = main([
+            "simulate", "--city", "small-grid", "--workers", "8", "--requests", "20",
+            "--algorithm", "pruneGreedyDP", "--shards", "4", "--seed", "3",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sharded:pruneGreedyDP" in captured
+        assert "sharding_local_hits" in captured
+
+    def test_sweep_runs_and_writes_json(self, capsys, tmp_path):
+        output = tmp_path / "sweep.json"
+        exit_code = main([
+            "sweep", "--city", "small-grid", "--requests", "10", "--seed", "3",
+            "--parameter", "num_workers", "--values", "4", "6",
+            "--algorithms", "nearest", "--jobs", "1", "--output", str(output),
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "num_workers = 4" in captured and "num_workers = 6" in captured
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert len(payload) == 2
+        assert {row["value"] for row in payload} == {4, 6}
 
     def test_datasets_prints_tables(self, capsys):
         exit_code = main(["datasets", "--scale", "tiny"])

@@ -1,0 +1,126 @@
+"""Sharded-vs-unsharded equivalence: exact at K=1, bounded degradation at K>1.
+
+These are the acceptance tests of the sharding subsystem:
+
+* with one shard the wrapper is pure plumbing — served rate, unified cost and
+  every oracle counter must reproduce the unsharded dispatcher bit for bit,
+  on both simulation engines and for immediate *and* batch inner algorithms;
+* with K>1 dispatching is local-first, which may trade assignment quality for
+  locality; on the smoke scenario the served rate must stay within a
+  documented tolerance of the unsharded baseline (the same tolerance
+  ``benchmarks/bench_sharding.py`` tracks over time).
+"""
+
+import pytest
+
+from repro.dispatch import DispatcherConfig, make_dispatcher
+from repro.simulation.simulator import run_simulation
+from repro.workloads.scenarios import ScenarioConfig, build_instance
+
+#: maximum served-rate degradation tolerated at K>1 on the smoke scenario.
+#: Local-first dispatch with escalation considers every worker before
+#: rejecting, so in practice the delta is close to zero; the bound guards
+#: against regressions in the escalation path.
+SERVED_RATE_TOLERANCE = 0.05
+
+_SMOKE = ScenarioConfig(city="small-grid", num_workers=14, num_requests=80, seed=2018)
+
+
+def _fingerprint(result):
+    return {
+        "total": result.total_requests,
+        "served": result.served_requests,
+        "rejected": result.rejected_requests,
+        "unified_cost": result.unified_cost,
+        "travel_cost": result.total_travel_cost,
+        "penalty": result.total_penalty,
+        "distance_queries": result.distance_queries,
+        "lower_bound_queries": result.lower_bound_queries,
+        "candidates": result.candidates_considered,
+        "insertions": result.insertions_evaluated,
+        "dijkstra_runs": result.extra.get("dijkstra_runs"),
+    }
+
+
+def _run(algorithm: str, engine: str = "event", shards: int | None = None,
+         strategy: str = "grid", config: ScenarioConfig = _SMOKE):
+    dispatcher_config = DispatcherConfig(
+        grid_cell_metres=config.grid_km * 1000.0,
+        num_shards=shards or 1,
+        shard_strategy=strategy,
+    )
+    name = algorithm if shards is None else f"sharded:{algorithm}"
+    return run_simulation(
+        build_instance(config), make_dispatcher(name, dispatcher_config), engine=engine
+    )
+
+
+class TestK1Exactness:
+    @pytest.mark.parametrize("algorithm", ["pruneGreedyDP", "GreedyDP", "nearest", "batch"])
+    def test_event_engine_bit_identical(self, algorithm):
+        baseline = _run(algorithm)
+        sharded = _run(algorithm, shards=1)
+        assert _fingerprint(sharded) == _fingerprint(baseline)
+
+    @pytest.mark.parametrize("algorithm", ["pruneGreedyDP", "batch"])
+    def test_legacy_engine_bit_identical(self, algorithm):
+        baseline = _run(algorithm, engine="legacy")
+        sharded = _run(algorithm, engine="legacy", shards=1)
+        assert _fingerprint(sharded) == _fingerprint(baseline)
+
+    def test_tshare_bit_identical(self):
+        # tshare forces exact positions (fleet-wide materialisation per event)
+        baseline = _run("tshare")
+        sharded = _run("tshare", shards=1)
+        assert _fingerprint(sharded) == _fingerprint(baseline)
+
+    @pytest.mark.parametrize("strategy", ["grid", "kd"])
+    def test_exact_for_both_strategies(self, strategy):
+        baseline = _run("pruneGreedyDP")
+        sharded = _run("pruneGreedyDP", shards=1, strategy=strategy)
+        assert _fingerprint(sharded) == _fingerprint(baseline)
+
+    def test_k1_with_dynamics_bit_identical(self):
+        config = _SMOKE.with_overrides(cancellation_rate=0.15, shift_hours=2.0)
+        baseline = _run("pruneGreedyDP", config=config)
+        sharded = _run("pruneGreedyDP", shards=1, config=config)
+        assert _fingerprint(sharded) == _fingerprint(baseline)
+        assert sharded.cancelled_requests == baseline.cancelled_requests
+
+
+class TestEngineIdentity:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_event_and_legacy_agree_at_k_greater_one(self, shards):
+        # shard routing materialises exact positions, so the advancement
+        # regime (lazy event kernel vs eager legacy loop) must not leak into
+        # the metrics — the same contract the unsharded dispatchers honour
+        event = _run("pruneGreedyDP", engine="event", shards=shards)
+        legacy = _run("pruneGreedyDP", engine="legacy", shards=shards)
+        assert event.served_rate == legacy.served_rate
+        assert event.unified_cost == pytest.approx(legacy.unified_cost, abs=1e-9)
+
+
+class TestBoundedDegradation:
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_served_rate_within_tolerance(self, shards):
+        baseline = _run("pruneGreedyDP")
+        sharded = _run("pruneGreedyDP", shards=shards)
+        assert sharded.total_requests == baseline.total_requests
+        assert (
+            baseline.served_rate - sharded.served_rate <= SERVED_RATE_TOLERANCE
+        ), f"K={shards} served rate degraded beyond tolerance"
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sharding_reduces_dispatcher_query_volume(self, shards):
+        # the point of locality: fewer lower-bound probes per request
+        baseline = _run("pruneGreedyDP")
+        sharded = _run("pruneGreedyDP", shards=shards)
+        assert sharded.lower_bound_queries < baseline.lower_bound_queries
+
+    def test_escalation_prevents_extra_rejections_when_fleet_is_free(self):
+        # generous deadlines: anything the unsharded dispatcher serves, the
+        # sharded one must also serve somewhere (possibly cross-shard)
+        config = _SMOKE.with_overrides(deadline_minutes=30.0, num_requests=40)
+        baseline = _run("pruneGreedyDP", config=config)
+        sharded = _run("pruneGreedyDP", shards=4, config=config)
+        assert sharded.served_requests >= baseline.served_requests

@@ -1,0 +1,151 @@
+"""Tests for the spatial partitioner (grid-quadrant and KD strategies)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.generators import grid_city, random_geometric_city
+from repro.sharding.partitioner import Partition, SpatialPartitioner, STRATEGIES
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_city(rows=10, columns=10, block_metres=250.0, seed=3)
+
+
+@pytest.fixture(scope="module")
+def scattered_network():
+    return random_geometric_city(num_vertices=180, seed=7)
+
+
+def _partition(network, shards, strategy):
+    return SpatialPartitioner(shards, strategy).partition(network)
+
+
+class TestValidation:
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ConfigurationError):
+            SpatialPartitioner(0)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            SpatialPartitioner(2, strategy="voronoi")
+
+    def test_rejects_more_shards_than_vertices(self, network):
+        with pytest.raises(ConfigurationError):
+            SpatialPartitioner(network.num_vertices + 1).partition(network)
+
+    def test_unknown_shard_queries_raise(self, network):
+        partition = _partition(network, 2, "grid")
+        with pytest.raises(ConfigurationError):
+            partition.vertices_in_shard(2)
+
+
+class TestAssignment:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4, 8])
+    def test_every_vertex_assigned_exactly_once(self, network, strategy, shards):
+        if strategy == "grid" and shards == 3:
+            pass  # 1x3 grid: still valid
+        partition = _partition(network, shards, strategy)
+        assert partition.num_shards == shards
+        total = sum(len(partition.vertices_in_shard(k)) for k in range(shards))
+        assert total == network.num_vertices
+        assert int(partition.sizes.sum()) == network.num_vertices
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_shards_are_balanced(self, network, strategy, shards):
+        partition = _partition(network, shards, strategy)
+        # quantile splits keep sizes within one vertex per split level
+        assert partition.sizes.max() - partition.sizes.min() <= max(3, shards // 2)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_k1_is_the_whole_city(self, network, strategy):
+        partition = _partition(network, 1, strategy)
+        assert partition.num_shards == 1
+        assert partition.num_boundary_vertices() == 0
+        assert len(partition.vertices_in_shard(0)) == network.num_vertices
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_deterministic(self, network, strategy):
+        first = _partition(network, 4, strategy)
+        second = _partition(network, 4, strategy)
+        assert np.array_equal(first.shard_of_position, second.shard_of_position)
+
+    def test_vertex_mask_matches_vertex_lists(self, network):
+        partition = _partition(network, 4, "kd")
+        csr = network.csr
+        for shard in range(4):
+            mask = partition.vertex_mask(shard)
+            assert np.array_equal(csr.vertex_ids[mask], partition.vertices_in_shard(shard))
+
+
+class TestLookups:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_shard_of_vertex_matches_assignment(self, network, strategy):
+        partition = _partition(network, 4, strategy)
+        for shard in range(4):
+            for vertex in partition.vertices_in_shard(shard).tolist():
+                assert partition.shard_of_vertex(vertex) == shard
+
+    def test_vectorized_lookup_matches_scalar(self, network):
+        partition = _partition(network, 4, "grid")
+        vertices = list(network.vertices())
+        scalar = [partition.shard_of_vertex(v) for v in vertices]
+        assert partition.shards_of_vertices(vertices).tolist() == scalar
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_point_lookup_agrees_on_unique_coordinates(self, scattered_network, strategy):
+        # the random city has continuous coordinates, so no quantile ties
+        partition = _partition(scattered_network, 4, strategy)
+        csr = scattered_network.csr
+        for position in range(csr.num_vertices):
+            by_point = partition.shard_of_point(float(csr.xs[position]), float(csr.ys[position]))
+            assert by_point == int(partition.shard_of_position[position])
+
+
+class TestBoundaries:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_boundary_vertices_have_a_cross_edge(self, network, strategy):
+        partition = _partition(network, 4, strategy)
+        for shard in range(4):
+            for vertex in partition.boundary_vertices(shard).tolist():
+                neighbour_shards = {
+                    partition.shard_of_vertex(neighbour)
+                    for neighbour in network.neighbours(vertex)
+                }
+                assert neighbour_shards - {shard}
+
+    def test_interior_vertices_have_no_cross_edge(self, network):
+        partition = _partition(network, 4, "grid")
+        boundary = {
+            int(v) for k in range(4) for v in partition.boundary_vertices(k)
+        }
+        for vertex in network.vertices():
+            if vertex in boundary:
+                continue
+            shard = partition.shard_of_vertex(vertex)
+            for neighbour in network.neighbours(vertex):
+                assert partition.shard_of_vertex(neighbour) == shard
+
+    def test_shard_adjacency_is_symmetric(self, network):
+        partition = _partition(network, 4, "kd")
+        for shard, neighbours in enumerate(partition.shard_adjacency):
+            for other in neighbours:
+                assert shard in partition.shard_adjacency[other]
+
+    def test_statistics_shape(self, network):
+        statistics = _partition(network, 4, "grid").statistics()
+        assert statistics["shards"] == 4.0
+        assert statistics["boundary_vertices"] > 0
+
+
+class TestEscalationOrdering:
+    def test_shards_by_distance_orders_by_centroid(self, network):
+        partition = _partition(network, 4, "grid")
+        for shard in range(4):
+            x, y = partition.centroids[shard]
+            ordered = partition.shards_by_distance(float(x), float(y))
+            assert int(ordered[0]) == shard  # own centroid is nearest
+            assert sorted(ordered.tolist()) == [0, 1, 2, 3]
