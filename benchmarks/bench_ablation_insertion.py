@@ -16,7 +16,7 @@ from repro.core.insertion.basic import BasicInsertion
 from repro.core.insertion.linear_dp import LinearDPInsertion
 from repro.core.insertion.naive_dp import NaiveDPInsertion
 from repro.dispatch import DispatcherConfig, PruneGreedyDP
-from repro.simulation.simulator import run_simulation
+from repro.service.facade import MatchingService
 from repro.workloads.scenarios import ScenarioConfig, build_instance, build_network, make_oracle
 
 from benchmarks.conftest import emit
@@ -45,7 +45,7 @@ def test_prune_greedy_dp_with_operator(benchmark, operator_name):
         dispatcher = PruneGreedyDP(
             DispatcherConfig(grid_cell_metres=2000.0), insertion=operator_class()
         )
-        return run_simulation(instance, dispatcher)
+        return MatchingService(instance, dispatcher).replay()
 
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
     _RESULTS[operator_name] = result

@@ -18,7 +18,7 @@ from repro.core.insertion.linear_dp import LinearDPInsertion
 from repro.core.insertion.lower_bound import euclidean_insertion_lower_bound
 from repro.dispatch import DispatcherConfig, GreedyDP, PruneGreedyDP
 from repro.simulation.fleet import FleetState
-from repro.simulation.simulator import run_simulation
+from repro.service.facade import MatchingService
 from repro.workloads.scenarios import ScenarioConfig, build_instance, build_network, make_oracle
 
 from benchmarks.conftest import emit
@@ -68,9 +68,9 @@ def test_pruning_ablation_full_run(benchmark, algorithm):
     benchmark.group = "pruning ablation (full run)"
 
     def _run():
-        return run_simulation(
+        return MatchingService(
             _INSTANCE, algorithm(DispatcherConfig(grid_cell_metres=2000.0))
-        )
+        ).replay()
 
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
     emit(

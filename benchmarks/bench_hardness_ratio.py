@@ -12,7 +12,7 @@ import pytest
 
 from repro.core.hardness import estimate_competitive_ratio
 from repro.dispatch import DispatcherConfig, PruneGreedyDP
-from repro.simulation.simulator import run_simulation
+from repro.service.facade import MatchingService
 
 from benchmarks.conftest import emit
 
@@ -21,7 +21,9 @@ TRIALS = 20
 
 
 def _run_dispatcher(instance):
-    result = run_simulation(instance, PruneGreedyDP(DispatcherConfig(grid_cell_metres=50.0)))
+    result = MatchingService(
+        instance, PruneGreedyDP(DispatcherConfig(grid_cell_metres=50.0))
+    ).replay()
     return result.unified_cost, result.served_requests
 
 

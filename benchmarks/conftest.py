@@ -16,7 +16,8 @@ import sys
 
 import pytest
 
-from repro.dispatch.base import DispatcherConfig
+from repro.dispatch.registry import DispatcherSpec
+from repro.service.spec import PlatformSpec
 from repro.experiments.config import ExperimentConfig, PAPER_ALGORITHMS
 from repro.experiments.runner import ScenarioRunner
 
@@ -40,7 +41,9 @@ def bench_experiment(
 @pytest.fixture(scope="session")
 def shared_runner() -> ScenarioRunner:
     """One runner for the whole benchmark session so city/oracle builds are reused."""
-    return ScenarioRunner(DispatcherConfig(kinetic_node_budget=4000))
+    return ScenarioRunner(platform=PlatformSpec(
+        dispatcher=DispatcherSpec(kinetic_node_budget=4000)
+    ))
 
 
 def emit(text: str) -> None:

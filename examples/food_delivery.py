@@ -28,7 +28,7 @@ import argparse
 from repro.core.instance import URPSMInstance
 from repro.core.objective import max_revenue_objective, platform_revenue
 from repro.dispatch import Batch, DispatcherConfig, PruneGreedyDP
-from repro.simulation.simulator import run_simulation
+from repro.service import MatchingService
 from repro.workloads.requests import RequestGeneratorConfig, generate_requests
 from repro.workloads.scenarios import ScenarioConfig, build_network, make_oracle
 from repro.workloads.workers import WorkerGeneratorConfig, generate_workers
@@ -86,7 +86,7 @@ def run_and_report(instance: URPSMInstance, deadline_minutes: float) -> None:
         PruneGreedyDP(DispatcherConfig(grid_cell_metres=1500.0)),
         Batch(DispatcherConfig(grid_cell_metres=1500.0, batch_interval=30.0)),
     ):
-        result = run_simulation(instance, dispatcher)
+        result = MatchingService(instance, dispatcher).replay()
         revenue = total_potential_fare - result.unified_cost  # Eq. (4)
         served_fares = [direct[r] for r in direct] if result.rejected_requests == 0 else None
         print(f"{result.algorithm:>14s}: served {result.served_rate:6.1%}  "
@@ -103,11 +103,15 @@ def main() -> None:
     parser.add_argument("--couriers", type=int, default=25)
     parser.add_argument("--orders", type=int, default=200)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI smoke runs")
     args = parser.parse_args()
+    if args.smoke:
+        args.couriers, args.orders = 8, 40
 
     print(f"food delivery: {args.couriers} couriers, {args.orders} orders, revenue objective "
           f"(c_w={COURIER_COST_PER_SECOND}/s, c_r={FARE_PER_SECOND}/s)")
-    for deadline_minutes in (20.0, 35.0):
+    for deadline_minutes in (20.0,) if args.smoke else (20.0, 35.0):
         instance = build_food_delivery_instance(
             args.couriers, args.orders, deadline_minutes, args.seed
         )

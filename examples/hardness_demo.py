@@ -20,7 +20,7 @@ import argparse
 
 from repro.core.hardness import estimate_competitive_ratio
 from repro.dispatch import DispatcherConfig, PruneGreedyDP
-from repro.simulation.simulator import run_simulation
+from repro.service import MatchingService
 
 LEMMA_LABELS = {
     1: "Lemma 1: maximise served requests (alpha=0, p_r=1)",
@@ -31,9 +31,9 @@ LEMMA_LABELS = {
 
 def run_dispatcher(instance):
     """Run pruneGreedyDP on one adversarial instance; return (cost, served)."""
-    result = run_simulation(
+    result = MatchingService(
         instance, PruneGreedyDP(DispatcherConfig(grid_cell_metres=50.0))
-    )
+    ).replay()
     return result.unified_cost, result.served_requests
 
 
@@ -43,7 +43,11 @@ def main() -> None:
     parser.add_argument("--trials", type=int, default=40)
     parser.add_argument("--lemmas", type=int, nargs="*", default=[1, 2, 3])
     parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI smoke runs")
     args = parser.parse_args()
+    if args.smoke:
+        args.sizes, args.trials = [8, 16], 6
 
     for lemma in args.lemmas:
         print(f"\n{LEMMA_LABELS[lemma]}")

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Online session: drive the MatchingService like a live platform.
+
+The paper's unified insertion framework is an *online* algorithm — and this
+example uses it that way, with no batch replay at all. A long-lived
+`MatchingService` session receives interleaved platform events over simulated
+time:
+
+* **submissions** — requests arrive one at a time and get a typed
+  `AssignmentDecision` (accepted with worker + route delta, rejected with a
+  reason code, or deferred into a batch window);
+* **cancellations** — a rider withdraws a request; the typed outcome says
+  whether it was pulled out of a batch window, removed from a planned route,
+  or came too late;
+* **fleet events** — new workers join mid-session (`add_worker`), others are
+  retired (`retire_worker`) and finish their current route without receiving
+  new work;
+* **time** — `advance_to` moves the platform clock, firing whatever falls
+  due (batch flushes, stop completions) and returning freshly resolved
+  decisions.
+
+Run with::
+
+    python examples/online_session.py [--city small-grid] [--requests 40]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import MatchingService, PlatformSpec, Worker
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--city", default="small-grid",
+                        choices=["small-grid", "chengdu-like", "nyc-like", "random"])
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI smoke runs")
+    args = parser.parse_args()
+    if args.smoke:
+        args.requests, args.workers = 16, 5
+
+    # batch dispatcher: submissions defer into 30s accumulation windows, so
+    # the session shows all three decision states.
+    spec = (PlatformSpec.builder()
+            .city(args.city, seed=args.seed)
+            .workload(num_workers=args.workers, num_requests=args.requests)
+            .dispatcher("batch", batch_interval=30.0)
+            .build())
+    service = MatchingService.from_spec(spec)
+    requests = service.instance.requests
+    print(f"session open: {args.city}, {args.workers} workers, "
+          f"{len(requests)} requests incoming, algorithm={service.dispatcher.name}\n")
+
+    cancelled = requests[len(requests) // 3].id if len(requests) >= 3 else None
+    retired_worker = service.instance.workers[0].id
+    new_worker_id = max(worker.id for worker in service.instance.workers) + 1
+
+    for index, request in enumerate(requests):
+        decision = service.submit(request)
+        print(decision.describe())
+        for resolved in service.poll_decisions():
+            print(resolved.describe())
+
+        if index == len(requests) // 4:
+            # the platform scales out: a fresh worker joins mid-session at
+            # the city centre (wherever worker 0 started)
+            joined = Worker(id=new_worker_id,
+                            initial_location=service.instance.workers[0].initial_location,
+                            capacity=4)
+            service.add_worker(joined)
+            print(f"t={service.clock:8.1f}s  ++ worker {joined.id} joined the fleet")
+        if index == len(requests) // 2:
+            service.retire_worker(retired_worker)
+            print(f"t={service.clock:8.1f}s  -- worker {retired_worker} retired "
+                  "(finishes its route, gets no new work)")
+        if cancelled is not None and request.id == cancelled:
+            outcome = service.cancel(cancelled)
+            print(f"t={service.clock:8.1f}s  !! cancel request {cancelled}: "
+                  f"{outcome.status.value}")
+
+    # let the last batch window flush before closing the session
+    final_window = service.advance_to(service.clock + 60.0)
+    for resolved in final_window:
+        print(resolved.describe())
+
+    snapshot = service.snapshot()
+    print(f"\nsnapshot before drain: t={snapshot.clock:.1f}s, "
+          f"{snapshot.workers_online}/{snapshot.workers_total} workers online, "
+          f"{snapshot.served} served, {snapshot.rejected} rejected, "
+          f"{snapshot.cancelled} cancelled, {snapshot.decisions_pending} pending")
+
+    result = service.drain()
+    print(f"session closed: served rate {result.served_rate:.1%}, "
+          f"unified cost {result.unified_cost:,.0f}, "
+          f"{result.cancelled_requests} cancelled")
+
+
+if __name__ == "__main__":
+    main()

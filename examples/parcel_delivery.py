@@ -29,7 +29,7 @@ import argparse
 from repro.core.instance import URPSMInstance
 from repro.core.objective import min_total_distance_objective
 from repro.dispatch import DispatcherConfig, Kinetic, PruneGreedyDP
-from repro.simulation.simulator import run_simulation
+from repro.service import MatchingService
 from repro.workloads.requests import RequestGeneratorConfig, generate_requests
 from repro.workloads.scenarios import ScenarioConfig, build_network, make_oracle
 from repro.workloads.workers import WorkerGeneratorConfig, generate_workers
@@ -77,7 +77,11 @@ def main() -> None:
     parser.add_argument("--include-kinetic", action="store_true",
                         help="also run the kinetic baseline (slow at high capacity)")
     parser.add_argument("--seed", type=int, default=21)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI smoke runs")
     args = parser.parse_args()
+    if args.smoke:
+        args.vans, args.parcels, args.capacities = 5, 30, [4]
 
     print(f"parcel delivery on nyc-like: {args.vans} vans, {args.parcels} parcels, "
           f"objective = minimise total distance (serve everything)\n")
@@ -93,7 +97,7 @@ def main() -> None:
                 Kinetic(DispatcherConfig(grid_cell_metres=2000.0), node_budget=50_000)
             )
         for dispatcher in dispatchers:
-            result = run_simulation(instance, dispatcher)
+            result = MatchingService(instance, dispatcher).replay()
             print(f"{capacity:>4d}  {result.algorithm:>14s}  {result.served_rate:>7.1%}  "
                   f"{result.total_travel_cost / 3600.0:>16.1f}  "
                   f"{result.response_time_seconds * 1000:>9.2f}")

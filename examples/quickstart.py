@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""Quickstart: build a synthetic city, run pruneGreedyDP, inspect the results.
+"""Quickstart: declare a platform, serve requests online, inspect the results.
 
 This walks through the three layers of the library:
 
 1. the **insertion operator** on a single route (the paper's core algorithmic
    contribution, Section 4);
-2. the **dispatcher** answering one request for a whole fleet (Section 5);
-3. the **simulator** replaying a full day of dynamic requests and reporting
-   the paper's metrics: unified cost, served rate, response time (Section 6).
+2. the **online matching service** — a `MatchingService` session built from
+   one declarative `PlatformSpec`, answering each request with a typed
+   `AssignmentDecision` the moment it is submitted (Section 5);
+3. the **full replay** — streaming a whole day of dynamic requests through
+   the same session and reporting the paper's metrics: unified cost, served
+   rate, response time (Section 6).
 
 Run with::
 
@@ -19,13 +22,10 @@ from __future__ import annotations
 import argparse
 
 from repro import (
-    DispatcherConfig,
     LinearDPInsertion,
-    PruneGreedyDP,
-    ScenarioConfig,
-    build_instance,
+    MatchingService,
+    PlatformSpec,
     empty_route,
-    run_simulation,
 )
 
 
@@ -53,11 +53,21 @@ def demo_insertion(instance) -> None:
     print()
 
 
-def demo_simulation(instance, grid_cell_metres: float) -> None:
-    """Replay the whole request stream with pruneGreedyDP."""
-    dispatcher = PruneGreedyDP(DispatcherConfig(grid_cell_metres=grid_cell_metres))
-    result = run_simulation(instance, dispatcher)
-    print("--- full dynamic simulation (pruneGreedyDP) ---")
+def demo_online_decisions(service: MatchingService, count: int) -> None:
+    """Submit the first few requests one by one and print each decision."""
+    print(f"--- online session: first {count} decisions ---")
+    for request in service.instance.requests[:count]:
+        decision = service.submit(request)
+        print(decision.describe())
+    snapshot = service.snapshot()
+    print(f"snapshot @ t={snapshot.clock:.0f}s: {snapshot.served} served, "
+          f"{snapshot.rejected} rejected, {snapshot.workers_idle} idle workers\n")
+
+
+def demo_replay(service: MatchingService, already_submitted: int) -> None:
+    """Stream the rest of the request stream and report the final metrics."""
+    result = service.replay(service.instance.requests[already_submitted:])
+    print("--- full dynamic replay (pruneGreedyDP) ---")
     print(f"instance           : {result.instance_name}")
     print(f"requests           : {result.total_requests}")
     print(f"served rate        : {result.served_rate:.1%}")
@@ -79,21 +89,26 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=20)
     parser.add_argument("--deadline-minutes", type=float, default=10.0)
     parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI smoke runs")
     args = parser.parse_args()
+    if args.smoke:
+        args.requests, args.workers = 30, 8
 
-    config = ScenarioConfig(
-        city=args.city,
-        num_workers=args.workers,
-        num_requests=args.requests,
-        deadline_minutes=args.deadline_minutes,
-        seed=args.seed,
-    )
-    print(f"building instance for {args.city} "
+    spec = (PlatformSpec.builder()
+            .city(args.city, seed=args.seed)
+            .workload(num_workers=args.workers, num_requests=args.requests,
+                      deadline_minutes=args.deadline_minutes)
+            .dispatcher("pruneGreedyDP")
+            .build())
+    print(f"building platform for {args.city} "
           f"({args.workers} workers, {args.requests} requests)...\n")
-    instance = build_instance(config)
+    service = MatchingService.from_spec(spec)
 
-    demo_insertion(instance)
-    demo_simulation(instance, grid_cell_metres=config.grid_km * 1000.0)
+    demo_insertion(service.instance)
+    preview = min(5, args.requests)
+    demo_online_decisions(service, preview)
+    demo_replay(service, preview)
 
 
 if __name__ == "__main__":

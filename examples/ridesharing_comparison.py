@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import argparse
 
-from repro.dispatch.base import DispatcherConfig
 from repro.experiments.config import ExperimentConfig, PAPER_ALGORITHMS
 from repro.experiments.reporting import format_results
 from repro.experiments.runner import ScenarioRunner
@@ -29,7 +28,12 @@ def main() -> None:
     parser.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
     parser.add_argument("--algorithms", nargs="*", default=PAPER_ALGORITHMS)
     parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI smoke runs")
     args = parser.parse_args()
+    if args.smoke:
+        args.city, args.scale = "small-grid", "tiny"
+        args.algorithms = ["pruneGreedyDP", "nearest"]
 
     experiment = ExperimentConfig(
         cities=(args.city,), algorithms=tuple(args.algorithms), scale=args.scale, seed=args.seed
@@ -39,7 +43,7 @@ def main() -> None:
           f"deadline={scenario.deadline_minutes}min  penalty={scenario.penalty_factor}x  "
           f"grid={scenario.grid_km}km\n")
 
-    runner = ScenarioRunner(DispatcherConfig())
+    runner = ScenarioRunner()
     results = runner.compare(scenario, list(args.algorithms))
     print(format_results(results))
 

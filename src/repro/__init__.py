@@ -12,16 +12,19 @@ The package provides:
 * a dynamic simulator, synthetic NYC/Chengdu-like workloads, and an experiment
   harness reproducing every table and figure of the paper's evaluation.
 
-Quickstart::
+Quickstart (online API)::
 
-    from repro import (
-        PruneGreedyDP, DispatcherConfig, run_simulation,
-        ScenarioConfig, build_instance,
-    )
+    from repro import MatchingService, PlatformSpec
 
-    instance = build_instance(ScenarioConfig(city="chengdu-like", num_workers=50,
-                                             num_requests=300))
-    result = run_simulation(instance, PruneGreedyDP(DispatcherConfig()))
+    spec = (PlatformSpec.builder()
+            .city("chengdu-like")
+            .workload(num_workers=50, num_requests=300)
+            .dispatcher("pruneGreedyDP")
+            .build())
+    service = MatchingService.from_spec(spec)
+    for request in service.instance.requests:
+        decision = service.submit(request)   # typed AssignmentDecision
+    result = service.drain()
     print(result.unified_cost, result.served_rate)
 """
 
@@ -51,12 +54,14 @@ from repro.dispatch import (
     Batch,
     Dispatcher,
     DispatcherConfig,
+    DispatcherSpec,
     DispatchOutcome,
     GreedyDP,
     Kinetic,
     NearestWorker,
     PruneGreedyDP,
     TShare,
+    list_dispatchers,
     make_dispatcher,
 )
 from repro.network import (
@@ -65,6 +70,16 @@ from repro.network import (
     grid_city,
     random_geometric_city,
     ring_radial_city,
+)
+from repro.service import (
+    AssignmentDecision,
+    CancellationOutcome,
+    DecisionStatus,
+    MatchingService,
+    PlatformSpec,
+    RejectionReason,
+    ServiceSnapshot,
+    replay_workload,
 )
 from repro.simulation import SimulationResult, Simulator, run_simulation
 from repro.workloads import ScenarioConfig, build_instance, paper_default_scenario
@@ -95,7 +110,9 @@ __all__ = [
     "Batch",
     "Dispatcher",
     "DispatcherConfig",
+    "DispatcherSpec",
     "DispatchOutcome",
+    "list_dispatchers",
     "GreedyDP",
     "Kinetic",
     "NearestWorker",
@@ -107,6 +124,14 @@ __all__ = [
     "grid_city",
     "random_geometric_city",
     "ring_radial_city",
+    "AssignmentDecision",
+    "CancellationOutcome",
+    "DecisionStatus",
+    "MatchingService",
+    "PlatformSpec",
+    "RejectionReason",
+    "ServiceSnapshot",
+    "replay_workload",
     "SimulationResult",
     "Simulator",
     "run_simulation",

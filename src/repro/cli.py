@@ -1,23 +1,36 @@
 """Command-line interface for the URPSM reproduction.
 
-Five sub-commands cover the common workflows::
+Seven sub-commands cover the common workflows::
 
-    python -m repro simulate  --city chengdu-like --algorithm pruneGreedyDP
-    python -m repro compare   --city nyc-like --scale tiny
-    python -m repro sweep     --parameter num_workers --values 20 40 80 --jobs 4
-    python -m repro figure    figure3 --scale tiny --output results/fig3.json
-    python -m repro datasets  --scale small
+    python -m repro simulate     --city chengdu-like --algorithm pruneGreedyDP
+    python -m repro serve-replay --city chengdu-like --algorithm batch
+    python -m repro compare      --city nyc-like --scale tiny
+    python -m repro sweep        --parameter num_workers --values 20 40 80 --jobs 4
+    python -m repro figure       figure3 --scale tiny --output results/fig3.json
+    python -m repro datasets     --scale small
+    python -m repro algorithms
 
-``simulate`` runs one algorithm on one scenario; ``compare`` runs the paper's
-five algorithms on the same scenario and prints the comparison table;
+``simulate`` runs one algorithm on one scenario; ``serve-replay`` streams the
+same workload through the online :class:`~repro.service.facade.
+MatchingService` and prints every incremental decision; ``compare`` runs the
+paper's five algorithms on the same scenario and prints the comparison table;
 ``sweep`` fans a parameter sweep out over a process pool (``--jobs``) with
 deterministic per-point seeds; ``figure`` reproduces one of Figures 3-7 and
 optionally writes the raw series to JSON/CSV/Markdown; ``datasets`` prints
-the Table 4 statistics of the synthetic cities.
+the Table 4 statistics of the synthetic cities; ``algorithms`` lists every
+registered dispatcher.
 
 Scenario commands accept ``--shards K`` to wrap the chosen algorithm(s) in
 the sharded dispatcher (spatial partitioning + cross-shard escalation; see
 ``repro.sharding``); ``K=1`` reproduces the unsharded run exactly.
+``simulate`` and ``serve-replay`` alternatively accept ``--spec FILE`` — a
+JSON/TOML :class:`~repro.service.spec.PlatformSpec` describing the whole
+platform declaratively.
+
+Every scenario run — simulate, compare, sweep, figure — constructs a
+:class:`~repro.service.facade.MatchingService` from a
+:class:`~repro.service.spec.PlatformSpec` and replays the workload through
+it, so batch CLI runs execute the exact online-serving code path.
 """
 
 from __future__ import annotations
@@ -29,7 +42,8 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.dispatch import ALGORITHMS, DispatcherConfig, make_dispatcher
+from repro.dispatch import DispatcherSpec, list_dispatchers
+from repro.exceptions import ConfigurationError
 from repro.experiments.config import ExperimentConfig, PAPER_ALGORITHMS, SCALES
 from repro.experiments.figures import FIGURES
 from repro.experiments.io import figure_to_markdown, save_figure_csv, save_figure_json
@@ -37,9 +51,22 @@ from repro.experiments.parallel import ParallelSweepRunner
 from repro.experiments.reporting import format_figure, format_results, format_table
 from repro.experiments.runner import ScenarioRunner
 from repro.experiments.tables import table4_datasets, table5_parameters
+from repro.service.facade import MatchingService
+from repro.service.spec import PlatformSpec
 from repro.sharding.partitioner import STRATEGIES
-from repro.simulation.simulator import ENGINES, run_simulation
-from repro.workloads.scenarios import CITY_BUILDERS, ScenarioConfig, build_instance
+from repro.simulation.simulator import ENGINES
+from repro.workloads.scenarios import CITY_BUILDERS, ScenarioConfig
+
+
+def _algorithm_name(name: str) -> str:
+    """Argparse type validating registry names with close-match suggestions."""
+    try:
+        DispatcherSpec.parse(name)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(
+            f"{exc} — run 'repro algorithms' to list every registered dispatcher"
+        ) from exc
+    return name
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,12 +79,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = subparsers.add_parser("simulate", help="run one algorithm on one scenario")
     _add_scenario_arguments(simulate)
-    simulate.add_argument("--algorithm", default="pruneGreedyDP", choices=sorted(ALGORITHMS))
+    simulate.add_argument("--algorithm", default="pruneGreedyDP", type=_algorithm_name,
+                          help="registry name ('repro algorithms' lists them); "
+                               "'sharded:<inner>' wraps in the sharded dispatcher")
+    simulate.add_argument("--spec", type=Path, default=None,
+                          help="load the whole platform from a JSON/TOML PlatformSpec "
+                               "file instead of the scenario flags")
+
+    serve_replay = subparsers.add_parser(
+        "serve-replay",
+        help="stream the workload through the online MatchingService and print "
+             "every incremental decision",
+    )
+    _add_scenario_arguments(serve_replay)
+    serve_replay.add_argument("--algorithm", default="pruneGreedyDP", type=_algorithm_name)
+    serve_replay.add_argument("--spec", type=Path, default=None,
+                              help="load the whole platform from a JSON/TOML "
+                                   "PlatformSpec file instead of the scenario flags")
+    serve_replay.add_argument("--max-requests", type=int, default=None,
+                              help="stop after streaming this many requests")
+    serve_replay.add_argument("--quiet", action="store_true",
+                              help="suppress per-decision lines (print the summary only)")
 
     compare = subparsers.add_parser("compare", help="compare the paper's algorithms on one scenario")
     _add_scenario_arguments(compare)
     compare.add_argument("--algorithms", nargs="*", default=PAPER_ALGORITHMS,
-                         choices=sorted(ALGORITHMS))
+                         type=_algorithm_name)
 
     sweep = subparsers.add_parser(
         "sweep", help="run a parameter sweep over a process pool (--jobs)"
@@ -69,7 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--values", nargs="+", required=True,
                        help="values of the swept parameter (coerced to the field type)")
     sweep.add_argument("--algorithms", nargs="*", default=["pruneGreedyDP"],
-                       choices=sorted(ALGORITHMS))
+                       type=_algorithm_name)
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes (1 = serial; results are identical either way)")
     sweep.add_argument("--replicates", type=int, default=1,
@@ -83,7 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--cities", nargs="*", default=["chengdu-like", "nyc-like"],
                         choices=sorted(CITY_BUILDERS))
     figure.add_argument("--algorithms", nargs="*", default=PAPER_ALGORITHMS,
-                        choices=sorted(ALGORITHMS))
+                        type=_algorithm_name)
     figure.add_argument("--seed", type=int, default=2018)
     figure.add_argument("--output", type=Path, default=None,
                         help="write the raw series to this path (.json, .csv or .md)")
@@ -91,6 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
     datasets = subparsers.add_parser("datasets", help="print Table 4 / Table 5 of the paper")
     datasets.add_argument("--scale", default="small", choices=sorted(SCALES))
     datasets.add_argument("--seed", type=int, default=2018)
+
+    subparsers.add_parser("algorithms", help="list every registered dispatch algorithm")
 
     return parser
 
@@ -138,17 +187,29 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
     )
 
 
-def _dispatcher_config_from_args(
-    args: argparse.Namespace, grid_cell_metres: float | None = None
-) -> DispatcherConfig:
-    config = DispatcherConfig(
+def _dispatcher_spec_from_args(
+    args: argparse.Namespace, algorithm: str = "pruneGreedyDP"
+) -> DispatcherSpec:
+    """The structured dispatcher selection implied by the scenario flags."""
+    spec = DispatcherSpec.parse(algorithm)
+    return dataclasses.replace(
+        spec,
+        sharded=spec.sharded or args.shards > 0,
         num_shards=max(args.shards, 1),
         shard_strategy=args.shard_strategy,
         shard_escalate_k=args.escalate_k,
-    )
-    if grid_cell_metres is not None:
-        config.grid_cell_metres = grid_cell_metres
-    return config
+    ).validate()
+
+
+def _platform_from_args(
+    args: argparse.Namespace, algorithm: str = "pruneGreedyDP"
+) -> PlatformSpec:
+    """One declarative PlatformSpec for the scenario + dispatcher flags."""
+    return PlatformSpec(
+        scenario=_scenario_from_args(args),
+        dispatcher=_dispatcher_spec_from_args(args, algorithm),
+        engine=args.engine,
+    ).validate()
 
 
 def _sharded_names(args: argparse.Namespace, names: Sequence[str]) -> list[str]:
@@ -162,20 +223,54 @@ def _sharded_names(args: argparse.Namespace, names: Sequence[str]) -> list[str]:
 
 
 def command_simulate(args: argparse.Namespace) -> int:
-    config = _scenario_from_args(args)
-    instance = build_instance(config)
-    (algorithm,) = _sharded_names(args, [args.algorithm])
-    dispatcher = make_dispatcher(
-        algorithm, _dispatcher_config_from_args(args, config.grid_km * 1000.0)
-    )
-    result = run_simulation(instance, dispatcher, engine=args.engine)
+    if args.spec is not None:
+        spec = PlatformSpec.from_file(args.spec)
+    else:
+        spec = _platform_from_args(args, args.algorithm)
+    result = MatchingService.from_spec(spec).replay()
     print(format_results([result]))
+    return 0
+
+
+def command_serve_replay(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        spec = PlatformSpec.from_file(args.spec)
+    else:
+        spec = _platform_from_args(args, args.algorithm)
+    service = MatchingService.from_spec(spec)
+    requests = service.instance.requests
+    if args.max_requests is not None:
+        requests = requests[: args.max_requests]
+    print(
+        f"serving {len(requests)} requests through {service.dispatcher.name} "
+        f"on {spec.scenario.city} ({spec.engine} engine)"
+    )
+    on_decision = None if args.quiet else (lambda decision: print(decision.describe()))
+    result = service.replay(requests, on_decision=on_decision)
+    snapshot = service.snapshot()
+    print(
+        f"\nsession closed at t={snapshot.clock:.1f}s: "
+        f"{snapshot.served} served / {snapshot.rejected} rejected"
+        + (f" / {snapshot.cancelled} cancelled" if snapshot.cancelled else "")
+    )
+    print(format_results([result]))
+    return 0
+
+
+def command_algorithms(args: argparse.Namespace) -> int:
+    print("registered dispatch algorithms:")
+    for name in list_dispatchers():
+        print(f"  {name}")
+    print(
+        "\nany algorithm can be wrapped in the sharded dispatcher as "
+        "'sharded:<name>' (or with --shards K on scenario commands)."
+    )
     return 0
 
 
 def command_compare(args: argparse.Namespace) -> int:
     config = _scenario_from_args(args)
-    runner = ScenarioRunner(_dispatcher_config_from_args(args), engine=args.engine)
+    runner = ScenarioRunner(platform=_platform_from_args(args))
     results = runner.compare(config, _sharded_names(args, args.algorithms))
     print(format_results(results))
     return 0
@@ -184,9 +279,7 @@ def command_compare(args: argparse.Namespace) -> int:
 def command_sweep(args: argparse.Namespace) -> int:
     config = _scenario_from_args(args)
     values = [_coerce_sweep_value(args.parameter, raw) for raw in args.values]
-    runner = ParallelSweepRunner(
-        _dispatcher_config_from_args(args), engine=args.engine, jobs=args.jobs
-    )
+    runner = ParallelSweepRunner(platform=_platform_from_args(args), jobs=args.jobs)
     points = runner.sweep(
         args.parameter, values, config, _sharded_names(args, args.algorithms),
         replicates=args.replicates,
@@ -240,7 +333,7 @@ def command_figure(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
     )
-    figure = FIGURES[args.name](experiment, ScenarioRunner(DispatcherConfig()))
+    figure = FIGURES[args.name](experiment, ScenarioRunner())
     print(format_figure(figure))
     if args.output is not None:
         _write_figure(figure, args.output)
@@ -273,10 +366,12 @@ def command_datasets(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "simulate": command_simulate,
+    "serve-replay": command_serve_replay,
     "compare": command_compare,
     "sweep": command_sweep,
     "figure": command_figure,
     "datasets": command_datasets,
+    "algorithms": command_algorithms,
 }
 
 

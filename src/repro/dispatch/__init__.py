@@ -19,10 +19,14 @@ ALGORITHMS = {
 }
 """Registry of dispatcher classes keyed by their benchmark names."""
 
-#: prefix selecting the sharded wrapper: ``"sharded:<inner>"`` wraps any
-#: registry algorithm in a :class:`~repro.sharding.dispatcher.ShardedDispatcher`
-#: (K and the partitioning strategy come from :class:`DispatcherConfig`).
-SHARDED_PREFIX = "sharded:"
+# DispatcherSpec reads ALGORITHMS lazily, so the registry must exist first.
+from repro.dispatch.registry import (  # noqa: E402
+    SHARDED_PREFIX,
+    DispatcherSpec,
+    list_dispatchers,
+    suggest_dispatchers,
+)
+from repro.exceptions import ConfigurationError  # noqa: E402
 
 
 def make_dispatcher(name: str, config: DispatcherConfig | None = None) -> Dispatcher:
@@ -30,24 +34,16 @@ def make_dispatcher(name: str, config: DispatcherConfig | None = None) -> Dispat
 
     ``"sharded:<inner>"`` builds the sharded wrapper around the registry
     algorithm ``<inner>``; plain ``"sharded"`` defaults to pruneGreedyDP.
-    """
-    if name == "sharded" or name.startswith(SHARDED_PREFIX):
-        # imported lazily: repro.sharding itself builds inner dispatchers here
-        from repro.sharding.dispatcher import ShardedDispatcher
 
-        inner = name[len(SHARDED_PREFIX):] if name.startswith(SHARDED_PREFIX) else "pruneGreedyDP"
-        if inner not in ALGORITHMS:
-            raise KeyError(
-                f"unknown sharded inner dispatcher {inner!r}; available: {sorted(ALGORITHMS)}"
-            )
-        return ShardedDispatcher(config, inner=inner)
+    This is the string-keyed compatibility front door; structured callers use
+    :meth:`DispatcherSpec.parse` / :meth:`DispatcherSpec.build` directly (and
+    get :class:`~repro.exceptions.ConfigurationError` instead of ``KeyError``).
+    """
     try:
-        dispatcher_class = ALGORITHMS[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown dispatcher {name!r}; available: {sorted(ALGORITHMS)}"
-        ) from exc
-    return dispatcher_class(config)
+        spec = DispatcherSpec.parse(name)
+    except ConfigurationError as exc:
+        raise KeyError(str(exc)) from exc
+    return spec.build(config=config)
 
 
 __all__ = [
@@ -65,5 +61,8 @@ __all__ = [
     "reinsertion_improvement",
     "ALGORITHMS",
     "SHARDED_PREFIX",
+    "DispatcherSpec",
+    "list_dispatchers",
+    "suggest_dispatchers",
     "make_dispatcher",
 ]

@@ -122,6 +122,18 @@ class Dispatcher(abc.ABC):
             vertex_cells=self.shared_vertex_cells,
         )
 
+    def notify_worker_added(self, worker_id: int) -> None:
+        """A new worker joined the live fleet: index its position.
+
+        Called by the engine / service facade after
+        :meth:`~repro.simulation.fleet.FleetState.add_worker`. The base
+        implementation inserts the worker into the grid index; the sharded
+        dispatcher overrides this to bucket the worker into the shard
+        containing its position.
+        """
+        if self.grid is not None and self.fleet is not None:
+            self.grid.insert(worker_id, self.fleet.peek_state(worker_id).position)
+
     def bind_flush_scheduler(self, schedule: Callable[[float], None] | None) -> None:
         """Attach the event engine's flush scheduler (``None`` detaches).
 

@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.dispatch.base import DispatcherConfig
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ScenarioRunner, SweepPoint
 
@@ -69,7 +68,7 @@ def _run_sweep(
     experiment: ExperimentConfig,
     runner: ScenarioRunner | None = None,
 ) -> FigureResult:
-    runner = runner or ScenarioRunner(DispatcherConfig())
+    runner = runner or ScenarioRunner()
     result = FigureResult(figure=figure, parameter=parameter)
     for city in experiment.cities:
         base = experiment.base_scenario(city)

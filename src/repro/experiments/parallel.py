@@ -30,7 +30,9 @@ from dataclasses import astuple, dataclass, field
 from typing import Iterable, Sequence
 
 from repro.dispatch.base import DispatcherConfig
+from repro.dispatch.registry import DispatcherSpec
 from repro.experiments.runner import ScenarioRunner, SweepPoint
+from repro.service.spec import PlatformSpec
 from repro.simulation.metrics import SimulationResult
 from repro.utils.rng import derive_spawned_seed
 from repro.workloads.scenarios import ScenarioConfig
@@ -47,6 +49,10 @@ class SweepTask:
     config: ScenarioConfig
     engine: str = "event"
     dispatcher_config: DispatcherConfig = field(default_factory=DispatcherConfig)
+    #: force the sharded wrapper even at num_shards=1 (the exactness wrapper);
+    #: carried separately because DispatcherConfig has no such flag.
+    sharded: bool = False
+    collect_completions: bool = True
 
 
 def run_sweep_task(task: SweepTask) -> SimulationResult:
@@ -67,10 +73,23 @@ _PROCESS_RUNNERS: dict[tuple, ScenarioRunner] = {}
 
 
 def _process_runner(task: SweepTask) -> ScenarioRunner:
-    key = (task.engine, astuple(task.dispatcher_config))
+    key = (
+        task.engine,
+        astuple(task.dispatcher_config),
+        task.sharded,
+        task.collect_completions,
+    )
     runner = _PROCESS_RUNNERS.get(key)
     if runner is None:
-        runner = ScenarioRunner(task.dispatcher_config, engine=task.engine)
+        runner = ScenarioRunner(
+            platform=PlatformSpec(
+                dispatcher=DispatcherSpec.from_config(
+                    task.dispatcher_config, sharded=task.sharded
+                ),
+                engine=task.engine,
+                collect_completions=task.collect_completions,
+            )
+        )
         _PROCESS_RUNNERS[key] = runner
     return runner
 
@@ -102,6 +121,8 @@ class ParallelSweepRunner:
         engine: simulation engine to drive.
         jobs: worker processes; 1 runs everything inline, ``None`` uses the
             machine's CPU count.
+        platform: alternative to (dispatcher_config, engine): take both from
+            a :class:`~repro.service.spec.PlatformSpec`.
     """
 
     def __init__(
@@ -109,7 +130,16 @@ class ParallelSweepRunner:
         dispatcher_config: DispatcherConfig | None = None,
         engine: str = "event",
         jobs: int | None = None,
+        *,
+        platform: PlatformSpec | None = None,
     ) -> None:
+        self.sharded = False
+        self.collect_completions = True
+        if platform is not None:
+            dispatcher_config = platform.dispatcher_config()
+            engine = platform.engine
+            self.sharded = platform.dispatcher.sharded
+            self.collect_completions = platform.collect_completions
         self.dispatcher_config = dispatcher_config or DispatcherConfig()
         self.engine = engine
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
@@ -164,6 +194,8 @@ class ParallelSweepRunner:
                             config=point_config,
                             engine=self.engine,
                             dispatcher_config=self.dispatcher_config,
+                            sharded=self.sharded,
+                            collect_completions=self.collect_completions,
                         )
                     )
         return tasks

@@ -5,20 +5,30 @@ across the algorithms being compared — the paper does the same by letting ever
 algorithm use the same graph, shortest-path labels and LRU cache — and returns
 one :class:`~repro.simulation.metrics.SimulationResult` per (scenario,
 algorithm) pair.
+
+Every run is executed by replaying the workload through a
+:class:`~repro.service.facade.MatchingService` built from the runner's
+:class:`~repro.service.spec.PlatformSpec` — batch experiments exercise exactly
+the online-serving code path. The pre-service constructor signature
+(``ScenarioRunner(dispatcher_config, engine=...)``) still works but is
+deprecated in favour of ``ScenarioRunner(platform=PlatformSpec(...))``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.instance import URPSMInstance
-from repro.dispatch import make_dispatcher
 from repro.dispatch.base import DispatcherConfig
+from repro.dispatch.registry import DispatcherSpec
+from repro.exceptions import ConfigurationError
 from repro.network.graph import RoadNetwork
 from repro.network.oracle import DistanceOracle
+from repro.service.facade import MatchingService
+from repro.service.spec import PlatformSpec
 from repro.simulation.metrics import SimulationResult
-from repro.simulation.simulator import run_simulation
 from repro.workloads.scenarios import ScenarioConfig, build_instance, build_network, make_oracle
 
 
@@ -45,23 +55,67 @@ class SweepPoint:
 class ScenarioRunner:
     """Builds instances (caching the city) and runs algorithm comparisons.
 
+    Preferred construction::
+
+        ScenarioRunner(platform=PlatformSpec(dispatcher=..., engine=...))
+
+    The platform spec supplies the dispatcher knobs (sharding layout, batch
+    window, ...) and the engine; each :meth:`compare` call supplies the
+    scenario and the algorithm names.
+
     Args:
-        dispatcher_config: knobs shared by every dispatcher.
-        engine: simulation engine to drive (``"event"`` by default; scenarios
-            with cancellation or shift dynamics require it).
+        dispatcher_config: *(deprecated)* knobs shared by every dispatcher.
+        engine: *(deprecated)* simulation engine to drive.
+        platform: the platform spec; scenario fields of the spec are ignored
+            (scenarios are per-call), dispatcher + engine fields apply.
     """
 
     def __init__(
-        self, dispatcher_config: DispatcherConfig | None = None, engine: str = "event"
+        self,
+        dispatcher_config: DispatcherConfig | None = None,
+        engine: str | None = None,
+        *,
+        platform: PlatformSpec | None = None,
     ) -> None:
-        self.dispatcher_config = dispatcher_config or DispatcherConfig()
-        self.engine = engine
+        if platform is not None and (dispatcher_config is not None or engine is not None):
+            raise ConfigurationError(
+                "pass either platform= or the deprecated (dispatcher_config, engine) "
+                "pair, not both"
+            )
+        if platform is None:
+            if dispatcher_config is not None or engine is not None:
+                warnings.warn(
+                    "ScenarioRunner(dispatcher_config=..., engine=...) is deprecated; "
+                    "construct with ScenarioRunner(platform=PlatformSpec(dispatcher="
+                    "DispatcherSpec(...), engine=...))",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            dispatcher = (
+                DispatcherSpec.from_config(dispatcher_config)
+                if dispatcher_config is not None
+                else DispatcherSpec()
+            )
+            platform = PlatformSpec(dispatcher=dispatcher, engine=engine or "event")
+        self.platform = platform.validate()
         self._network_cache: dict[tuple[str, int], RoadNetwork] = {}
         self._oracle_cache: dict[tuple, DistanceOracle] = {}
         #: how many times each (city, city seed) was actually *built* — sweeps
         #: assert this stays at one build per distinct city.
         self.network_builds: dict[tuple[str, int], int] = {}
         self.oracle_builds: dict[tuple, int] = {}
+
+    # ------------------------------------------------------------ back-compat
+
+    @property
+    def engine(self) -> str:
+        """Simulation engine driven by every run (from the platform spec)."""
+        return self.platform.engine
+
+    @property
+    def dispatcher_config(self) -> DispatcherConfig:
+        """Materialised dispatcher knobs (from the platform spec)."""
+        return self.platform.dispatcher_config()
 
     # --------------------------------------------------------------- caches
 
@@ -100,17 +154,37 @@ class ScenarioRunner:
     def compare(
         self,
         config: ScenarioConfig,
-        algorithms: Sequence[str],
+        algorithms: Sequence[str | DispatcherSpec],
         grid_cell_metres: float | None = None,
     ) -> list[SimulationResult]:
-        """Run every algorithm on a freshly built instance of ``config``."""
+        """Run every algorithm on a freshly built instance of ``config``.
+
+        Each run constructs a :class:`MatchingService` and replays the
+        workload through it. ``algorithms`` entries may be registry names
+        (``"sharded:<inner>"`` included) or full :class:`DispatcherSpec`
+        values. Names inherit the runner's dispatcher knobs with the
+        scenario-derived grid cell (the historical semantics); a full spec is
+        taken as-is — its pinned ``grid_cell_metres`` wins, and only an
+        unpinned (``None``) cell is filled from the scenario.
+        """
         results: list[SimulationResult] = []
         cell_metres = grid_cell_metres if grid_cell_metres is not None else config.grid_km * 1000.0
         for algorithm in algorithms:
             instance = self.instance_for(config)
-            dispatcher_config = replace(self.dispatcher_config, grid_cell_metres=cell_metres)
-            dispatcher = make_dispatcher(algorithm, dispatcher_config)
-            results.append(run_simulation(instance, dispatcher, engine=self.engine))
+            if isinstance(algorithm, DispatcherSpec):
+                spec = algorithm
+                dispatcher_config = spec.to_config(default_grid_cell_metres=cell_metres)
+            else:
+                spec = self.platform.dispatcher.with_algorithm(algorithm)
+                dispatcher_config = spec.to_config()
+                dispatcher_config.grid_cell_metres = cell_metres
+            service = MatchingService(
+                instance,
+                spec.build(config=dispatcher_config),
+                engine=self.platform.engine,
+                collect_completions=self.platform.collect_completions,
+            )
+            results.append(service.replay())
         return results
 
     def sweep(

@@ -174,6 +174,16 @@ class ShardedDispatcher(Dispatcher):
         for shard in self._shards:
             shard.dispatcher.bind_flush_scheduler(schedule)
 
+    def notify_worker_added(self, worker_id: int) -> None:
+        """Bucket a newly added worker into the shard containing its position."""
+        assert self.partition is not None and self.fleet is not None
+        position = self.fleet.peek_state(worker_id).position
+        shard_id = self.partition.shard_of_vertex(position)
+        self._membership[worker_id] = shard_id
+        shard = self._shards[shard_id]
+        shard.view.members.add(worker_id)
+        shard.dispatcher.grid.insert(worker_id, position)
+
     # --------------------------------------------------------------- running
 
     def dispatch(self, request: Request, now: float) -> DispatchOutcome | None:

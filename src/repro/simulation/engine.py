@@ -25,14 +25,32 @@ event kernel:
 :class:`~repro.simulation.simulator.Simulator` remains the public entry point
 and delegates here by default; results on dynamics-free instances are
 metric-identical (served rate, unified cost) to the legacy loop.
+
+Incremental protocol
+--------------------
+
+Batch replay (:meth:`EventEngine.run`) seeds every arrival up front and drains
+the heap in one loop. The online service facade
+(:class:`~repro.service.facade.MatchingService`) instead drives the engine
+*incrementally* through :meth:`EventEngine.start` /
+:meth:`EventEngine.submit` / :meth:`EventEngine.advance_until` /
+:meth:`EventEngine.finish`: each submission schedules its own
+:class:`~repro.simulation.events.RequestArrival` and pumps the heap exactly up
+to (and through) that arrival. Because event types are totally ordered by
+``(time, priority, seq)`` and priorities disambiguate all cross-type ties, the
+incremental drive processes events in the *same order* as the batch replay —
+which is what makes service-driven runs metric-identical to
+:func:`~repro.simulation.simulator.run_simulation`.
 """
 
 from __future__ import annotations
 
 import heapq
 import time as _time
+from typing import Callable
 
 from repro.core.instance import URPSMInstance
+from repro.core.types import Request, Worker
 from repro.dispatch.base import Dispatcher, DispatchOutcome
 from repro.exceptions import DispatchError
 from repro.simulation.events import (
@@ -85,8 +103,25 @@ class EventEngine:
         self._heap: list[tuple[tuple[float, int, int], Event]] = []
         self._seq = 0
         self._requests_by_id = {request.id: request for request in instance.requests}
+        #: ids whose arrival has been fed into the stream (seeded by run() or
+        #: submitted online); guards double submission and distinguishes
+        #: "never submitted" from "already resolved" on cancellation.
+        self._submitted_ids: set[int] = set()
         self._scheduled_flush_times: set[float] = set()
         self._unproductive_flushes = 0
+        self._started = False
+        self._finished = False
+        #: outcome of the most recent RequestArrival (``None`` = deferred);
+        #: read by :meth:`submit` right after pumping through the arrival.
+        self.last_outcome: DispatchOutcome | None = None
+        #: observer called as ``on_outcome(outcome, now)`` for every recorded
+        #: dispatch outcome — the service facade turns these into decisions.
+        self.on_outcome: Callable[[DispatchOutcome, float], None] | None = None
+        #: observer called as ``on_cancellation(request, status, now)`` for
+        #: every processed cancellation (client- or dynamics-initiated) so the
+        #: facade can resolve still-open deferred decisions.
+        self.on_cancellation: Callable[[Request, str, float], None] | None = None
+        self._last_cancel_status = "unknown_request"
         self._handlers = {
             RequestArrival: self._handle_arrival,
             BatchFlush: self._handle_flush,
@@ -111,9 +146,7 @@ class EventEngine:
         self._scheduled_flush_times.add(when)
         self.schedule(BatchFlush(time=when))
 
-    def _seed_events(self) -> None:
-        for request in self.instance.requests:
-            self.schedule(RequestArrival(time=request.release_time, request=request))
+    def _seed_dynamics(self) -> None:
         dynamics = self.instance.dynamics
         if dynamics is None:
             return
@@ -130,33 +163,144 @@ class EventEngine:
 
     # ----------------------------------------------------------------- main
 
+    def start(self) -> None:
+        """Bind the dispatcher and seed the dynamics events (idempotent).
+
+        Called implicitly by :meth:`run` and by every incremental entry point,
+        so drivers never need to sequence it themselves.
+        """
+        if self._started:
+            return
+        self._started = True
+        self.instance.oracle.reset_counters()
+        self.dispatcher.setup(self.instance, self.fleet)
+        self.dispatcher.bind_flush_scheduler(self._schedule_flush)
+        self._seed_dynamics()
+
     def run(self) -> SimulationResult:
-        """Process every event and return the aggregated metrics."""
-        instance = self.instance
-        dispatcher = self.dispatcher
-        instance.oracle.reset_counters()
-        dispatcher.setup(instance, self.fleet)
-        dispatcher.bind_flush_scheduler(self._schedule_flush)
-        self._seed_events()
+        """Batch replay: seed every arrival, process every event, finalise."""
+        self.start()
+        for request in self.instance.requests:
+            self._submitted_ids.add(request.id)
+            self.schedule(RequestArrival(time=request.release_time, request=request))
+        return self.finish()
 
-        heap = self._heap
-        handlers = self._handlers
-        while heap:
-            _, event = heapq.heappop(heap)
-            self.clock = event.time
-            self.fleet.set_clock(event.time)
-            self.events_processed += 1
-            handlers[type(event)](event)
-
+    def finish(self) -> SimulationResult:
+        """Drain the remaining events and return the aggregated metrics."""
+        if self._finished:
+            raise DispatchError("the engine has already been drained")
+        self.start()
+        while self._heap:
+            self._step()
         # all events drained: let every worker finish its remaining route
         self._record_completions(self.fleet.finish_all())
         self._record_completions(self.fleet.drain_completions())
+        self._finished = True
         return self.metrics.finalise(
             total_travel_cost=self.fleet.total_travel_cost(),
-            oracle_counters=instance.oracle.counters,
-            index_memory_bytes=dispatcher.memory_estimate_bytes(),
-            dispatcher_extra=dispatcher.extra_metrics(),
+            oracle_counters=self.instance.oracle.counters,
+            index_memory_bytes=self.dispatcher.memory_estimate_bytes(),
+            dispatcher_extra=self.dispatcher.extra_metrics(),
         )
+
+    def _step(self) -> Event:
+        """Pop and handle the next event; returns the handled event."""
+        _, event = heapq.heappop(self._heap)
+        self.clock = event.time
+        self.fleet.set_clock(event.time)
+        self.events_processed += 1
+        self._handlers[type(event)](event)
+        return event
+
+    # ------------------------------------------------------- online interface
+
+    def submit(self, request: Request) -> DispatchOutcome | None:
+        """Feed one request into the stream and process it immediately.
+
+        Schedules the request's :class:`~repro.simulation.events.
+        RequestArrival` and pumps the heap *through* that arrival, so every
+        event ordered before it (stop completions, batch flushes, shift
+        changes) is processed first — exactly the order the batch replay
+        would use. Returns the dispatch outcome, or ``None`` when a batch
+        dispatcher deferred the request.
+        """
+        self.start()
+        if self._finished:
+            raise DispatchError("cannot submit to a drained engine")
+        if request.release_time < self.clock - 1e-9:
+            raise DispatchError(
+                f"request {request.id} released at t={request.release_time:.3f} but "
+                f"the engine clock is already at t={self.clock:.3f}; submissions "
+                "must be time-ordered"
+            )
+        known = self._requests_by_id.get(request.id)
+        if request.id in self._submitted_ids or (known is not None and known is not request):
+            raise DispatchError(f"duplicate request id {request.id}")
+        self._requests_by_id[request.id] = request
+        self._submitted_ids.add(request.id)
+        arrival = RequestArrival(time=max(request.release_time, self.clock), request=request)
+        self.schedule(arrival)
+        self._pump_through(arrival)
+        return self.last_outcome
+
+    def advance_until(self, now: float) -> None:
+        """Process every event due up to ``now`` and move the clock there."""
+        self.start()
+        if self._finished:
+            raise DispatchError("cannot advance a drained engine")
+        while self._heap and self._heap[0][0][0] <= now:
+            self._step()
+        if now > self.clock:
+            self.clock = now
+            self.fleet.set_clock(now)
+
+    def cancel_request(self, request_id: int) -> str:
+        """Cancel a request "now"; returns the documented cancellation status.
+
+        The cancellation is scheduled as a regular
+        :class:`~repro.simulation.events.RequestCancellation` at the current
+        clock (so pending same-time events keep their documented order) and
+        processed immediately. Status values: ``"unknown_request"``,
+        ``"removed_from_batch"``, ``"removed_from_route"``, ``"too_late"``.
+        """
+        self.start()
+        if self._finished:
+            raise DispatchError("cannot cancel on a drained engine")
+        event = RequestCancellation(time=self.clock, request_id=request_id)
+        self.schedule(event)
+        self._pump_through(event)
+        return self._last_cancel_status
+
+    def add_worker(self, worker: Worker) -> None:
+        """Add a new worker to the live fleet (online fleet growth).
+
+        The worker materialises at its initial location at the current clock
+        and is indexed by the dispatcher (the sharded dispatcher buckets it
+        into the shard containing its position).
+        """
+        self.start()
+        if self._finished:
+            raise DispatchError("cannot add workers to a drained engine")
+        self.fleet.add_worker(worker, at_time=self.clock)
+        self.dispatcher.notify_worker_added(worker.id)
+
+    def set_worker_online(self, worker_id: int, online: bool) -> None:
+        """Toggle a worker's availability (online retire / reinstate)."""
+        self.start()
+        if self._finished:
+            raise DispatchError("cannot toggle workers on a drained engine")
+        self.fleet.set_online(worker_id, online)
+        if online:
+            # materialise so the idle clock starts now, not at the retire time
+            self.fleet.state_of(worker_id)
+            self._record_completions(self.fleet.drain_completions())
+
+    def _pump_through(self, target: Event) -> None:
+        """Process heap events in order until ``target`` has been handled."""
+        while self._heap:
+            if self._step() is target:
+                return
+        raise DispatchError("scheduled event disappeared from the queue")
 
     # -------------------------------------------------------------- handlers
 
@@ -166,13 +310,14 @@ class EventEngine:
             lambda: self.dispatcher.dispatch(event.request, self.clock)
         )
         self.metrics.record_dispatch_time(elapsed)
+        self.last_outcome = outcome
         if outcome is None:
             # deferred: a BatchDispatcher scheduled its own flush through the
             # bound scheduler; cover dispatchers that only expose the polling
             # protocol as well.
             self._ensure_flush_scheduled()
         else:
-            self.metrics.record_outcome(outcome)
+            self._record_outcome(outcome)
         self._unproductive_flushes = 0
         self._post_dispatcher()
 
@@ -188,7 +333,7 @@ class EventEngine:
         outcomes, elapsed = self._timed_call(lambda: dispatcher.flush(event.time))
         self.metrics.record_dispatch_time(elapsed)
         for outcome in outcomes:
-            self.metrics.record_outcome(outcome)
+            self._record_outcome(outcome)
         if outcomes:
             self._unproductive_flushes = 0
         else:
@@ -220,24 +365,42 @@ class EventEngine:
 
     def _handle_cancellation(self, event: RequestCancellation) -> None:
         request = self._requests_by_id.get(event.request_id)
-        if request is None:
+        if request is None or event.request_id not in self._submitted_ids:
+            # never fed into the stream (instance requests are known up front
+            # for replay, but cancelling one before submission is still a
+            # cancellation of an unknown request)
+            self._last_cancel_status = "unknown_request"
             return
         if self.dispatcher.cancel(request):
             # still deferred in a batch window: it never produced an outcome
+            self._last_cancel_status = "removed_from_batch"
             self.metrics.record_cancellation(request, was_assigned=False)
-            return
-        holder = self.fleet.find_assignment(event.request_id)
-        if holder is None:
-            return  # already rejected (irrevocable) or already delivered
-        # materialise first: the pickup may have happened before "now" without
-        # having been observed yet
-        state = self.fleet.state_of(holder.worker.id)
-        self._record_completions(self.fleet.drain_completions())
-        if state.drop_request(event.request_id):
-            self.metrics.record_cancellation(request, was_assigned=True)
-            self._post_dispatcher()
+        else:
+            holder = self.fleet.find_assignment(event.request_id)
+            if holder is None:
+                # already rejected (irrevocable) or already delivered
+                self._last_cancel_status = "too_late"
+            else:
+                # materialise first: the pickup may have happened before "now"
+                # without having been observed yet
+                state = self.fleet.state_of(holder.worker.id)
+                self._record_completions(self.fleet.drain_completions())
+                if state.drop_request(event.request_id):
+                    self._last_cancel_status = "removed_from_route"
+                    self.metrics.record_cancellation(request, was_assigned=True)
+                    self._post_dispatcher()
+                else:
+                    self._last_cancel_status = "too_late"
+        if self.on_cancellation is not None:
+            self.on_cancellation(request, self._last_cancel_status, self.clock)
 
     # --------------------------------------------------------------- helpers
+
+    def _record_outcome(self, outcome: DispatchOutcome) -> None:
+        """Record an outcome, notifying the service observer when bound."""
+        self.metrics.record_outcome(outcome)
+        if self.on_outcome is not None:
+            self.on_outcome(outcome, self.clock)
 
     def _timed_call(self, call):
         """Run ``call`` measuring dispatcher time net of lazy materialisation.

@@ -450,6 +450,47 @@ class FleetState:
         except KeyError as exc:
             raise DispatchError(f"unknown worker {worker_id}") from exc
 
+    # --------------------------------------------------------- fleet growth
+
+    def add_worker(self, worker: Worker, at_time: float | None = None) -> WorkerState:
+        """Add a new worker to the live fleet (online fleet growth).
+
+        The worker appears idle at its initial location at ``at_time``
+        (default: the fleet clock) and is registered in the idle snapshot —
+        and, when the dense mirror is active, in the idle arrays, growing them
+        as needed. The caller (engine / service) is responsible for indexing
+        the worker in the dispatcher's grid.
+        """
+        if worker.id in self.states:
+            raise DispatchError(f"worker {worker.id} is already in the fleet")
+        if at_time is None:
+            at_time = self.clock
+        state = WorkerState(worker, self.oracle, fleet=self)
+        if at_time > 0.0:
+            state.route.start_time = at_time
+            state.route.arr[0] = at_time
+        self.states[worker.id] = state
+        self._idle[worker.id] = (state.route.origin, worker.capacity)
+        if self._idle_mask is not None:
+            if worker.id >= len(self._idle_mask):
+                if worker.id < 4 * len(self.states):
+                    grow = worker.id + 1 - len(self._idle_mask)
+                    self._idle_mask = np.concatenate(
+                        [self._idle_mask, np.zeros(grow, dtype=bool)]
+                    )
+                    self._idle_origin_table = np.concatenate(
+                        [self._idle_origin_table, np.zeros(grow, dtype=np.int64)]
+                    )
+                else:
+                    # ids became sparse: drop the dense mirror, callers fall
+                    # back to the dict snapshot (same results)
+                    self._idle_mask = None
+                    self._idle_origin_table = np.empty(0, dtype=np.int64)
+            if self._idle_mask is not None:
+                self._idle_mask[worker.id] = True
+                self._idle_origin_table[worker.id] = state.route.origin
+        return state
+
     # ---------------------------------------------------------- availability
 
     def is_available(self, worker_id: int) -> bool:

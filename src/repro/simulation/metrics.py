@@ -205,3 +205,13 @@ class MetricsCollector:
     def rejected_requests(self) -> list[Request]:
         """Requests rejected so far."""
         return list(self._rejected)
+
+    @property
+    def live(self) -> SimulationResult:
+        """The in-progress result (live counters; derived metrics unset).
+
+        Read-only observability accessor for service snapshots — the derived
+        fields (unified cost, penalties, means) are only populated by
+        :meth:`finalise`.
+        """
+        return self._result

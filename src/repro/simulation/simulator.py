@@ -27,8 +27,11 @@ shifts) require the event kernel.
 from __future__ import annotations
 
 import time
+import warnings
+from typing import Callable
 
 from repro.core.instance import URPSMInstance
+from repro.core.types import Request, Worker
 from repro.dispatch.base import Dispatcher, DispatchOutcome
 from repro.exceptions import ConfigurationError, DispatchError
 from repro.simulation.engine import MAX_UNPRODUCTIVE_FLUSHES, EventEngine
@@ -67,7 +70,7 @@ class Simulator:
                 instance, dispatcher, collect_completions=collect_completions
             )
         else:
-            self._backend = _LegacyLoop(
+            self._backend = LegacyLoop(
                 instance, dispatcher, collect_completions=collect_completions
             )
 
@@ -99,7 +102,7 @@ class Simulator:
         return self._backend.run()
 
 
-class _LegacyLoop:
+class LegacyLoop:
     """The seed's request-stream loop (eager fleet advancement).
 
     Kept as a verification baseline: the event kernel must match its served
@@ -107,6 +110,12 @@ class _LegacyLoop:
     drain is bounded — a dispatcher whose ``next_flush_time`` never returns
     ``None`` raises :class:`~repro.exceptions.DispatchError` instead of
     spinning forever (the seed's non-termination hazard).
+
+    Like the event kernel, the loop speaks the incremental protocol
+    (:meth:`start` / :meth:`submit` / :meth:`advance_until` / :meth:`finish`)
+    so the online service facade can drive it one request at a time;
+    :meth:`run` is literally ``start`` + ``submit`` per request + ``finish``,
+    which is what makes batch and service-driven runs the same code path.
     """
 
     def __init__(
@@ -130,41 +139,96 @@ class _LegacyLoop:
             instance_name=instance.name,
             alpha=instance.objective.alpha,
         )
+        self.clock: float = 0.0
+        self._started = False
+        self._finished = False
+        self._submitted_ids: set[int] = set()
+        #: observer called as ``on_outcome(outcome, now)`` for every recorded
+        #: dispatch outcome — the service facade turns these into decisions.
+        self.on_outcome: Callable[[DispatchOutcome, float], None] | None = None
 
     # ----------------------------------------------------------------- main
 
+    def start(self) -> None:
+        """Bind the dispatcher to the instance and fleet (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.instance.oracle.reset_counters()
+        self.dispatcher.setup(self.instance, self.fleet)
+
     def run(self) -> SimulationResult:
-        instance = self.instance
-        dispatcher = self.dispatcher
-        oracle = instance.oracle
-        oracle.reset_counters()
-        dispatcher.setup(instance, self.fleet)
+        self.start()
+        for request in self.instance.requests:
+            self.submit(request)
+        return self.finish()
 
-        last_time = 0.0
-        for request in instance.requests:
-            now = request.release_time
-            self._flush_batches_until(now)
-            completions = self.fleet.advance_all(now)
-            self._record_completions(completions)
-            last_time = now
+    def submit(self, request: Request) -> DispatchOutcome | None:
+        """Process one released request (flush due batches, advance, dispatch)."""
+        self.start()
+        if self._finished:
+            raise DispatchError("cannot submit to a drained loop")
+        now = request.release_time
+        if now < self.clock - 1e-9:
+            raise DispatchError(
+                f"request {request.id} released at t={now:.3f} but the loop clock "
+                f"is already at t={self.clock:.3f}; submissions must be time-ordered"
+            )
+        if request.id in self._submitted_ids:
+            raise DispatchError(f"duplicate request id {request.id}")
+        self._submitted_ids.add(request.id)
+        now = max(now, self.clock)
+        self._flush_batches_until(now)
+        self._record_completions(self.fleet.advance_all(now))
+        self.clock = now
 
-            started = time.perf_counter()
-            outcome = dispatcher.dispatch(request, now)
-            elapsed = time.perf_counter() - started
-            self.metrics.record_dispatch_time(elapsed)
-            if outcome is not None:
-                self.metrics.record_outcome(outcome)
+        started = time.perf_counter()
+        outcome = self.dispatcher.dispatch(request, now)
+        elapsed = time.perf_counter() - started
+        self.metrics.record_dispatch_time(elapsed)
+        if outcome is not None:
+            self._record_outcome(outcome)
+        return outcome
 
-        # resolve any deferred batch and let every worker finish its route
-        self._final_flush(last_time)
-        completions = self.fleet.finish_all()
-        self._record_completions(completions)
+    def advance_until(self, now: float) -> None:
+        """Flush due batches and advance the whole fleet up to ``now``."""
+        self.start()
+        if self._finished:
+            raise DispatchError("cannot advance a drained loop")
+        if now <= self.clock:
+            return
+        self._flush_batches_until(now)
+        self._record_completions(self.fleet.advance_all(now))
+        self.clock = now
 
+    def add_worker(self, worker: Worker) -> None:
+        """Add a new worker to the live fleet (online fleet growth)."""
+        self.start()
+        if self._finished:
+            raise DispatchError("cannot add workers to a drained loop")
+        self.fleet.add_worker(worker, at_time=self.clock)
+        self.dispatcher.notify_worker_added(worker.id)
+
+    def set_worker_online(self, worker_id: int, online: bool) -> None:
+        """Toggle a worker's availability (online retire / reinstate)."""
+        self.start()
+        if self._finished:
+            raise DispatchError("cannot toggle workers on a drained loop")
+        self.fleet.set_online(worker_id, online)
+
+    def finish(self) -> SimulationResult:
+        """Drain pending batches, finish every route, finalise the metrics."""
+        if self._finished:
+            raise DispatchError("the loop has already been drained")
+        self.start()
+        self._final_flush(self.clock)
+        self._record_completions(self.fleet.finish_all())
+        self._finished = True
         return self.metrics.finalise(
             total_travel_cost=self.fleet.total_travel_cost(),
-            oracle_counters=oracle.counters,
-            index_memory_bytes=dispatcher.memory_estimate_bytes(),
-            dispatcher_extra=dispatcher.extra_metrics(),
+            oracle_counters=self.instance.oracle.counters,
+            index_memory_bytes=self.dispatcher.memory_estimate_bytes(),
+            dispatcher_extra=self.dispatcher.extra_metrics(),
         )
 
     # --------------------------------------------------------------- batches
@@ -180,6 +244,7 @@ class _LegacyLoop:
                 break
             completions = self.fleet.advance_all(next_flush)
             self._record_completions(completions)
+            self.clock = max(self.clock, next_flush)
             started = time.perf_counter()
             outcomes = dispatcher.flush(next_flush)
             elapsed = time.perf_counter() - started
@@ -197,6 +262,7 @@ class _LegacyLoop:
             flush_time = max(next_flush, last_time)
             completions = self.fleet.advance_all(flush_time)
             self._record_completions(completions)
+            self.clock = max(self.clock, flush_time)
             started = time.perf_counter()
             outcomes = dispatcher.flush(flush_time)
             elapsed = time.perf_counter() - started
@@ -216,9 +282,14 @@ class _LegacyLoop:
 
     # --------------------------------------------------------------- records
 
+    def _record_outcome(self, outcome: DispatchOutcome) -> None:
+        self.metrics.record_outcome(outcome)
+        if self.on_outcome is not None:
+            self.on_outcome(outcome, self.clock)
+
     def _record_outcomes(self, outcomes: list[DispatchOutcome]) -> None:
         for outcome in outcomes:
-            self.metrics.record_outcome(outcome)
+            self._record_outcome(outcome)
 
     def _record_completions(self, completions) -> None:
         if not self.collect_completions:
@@ -229,13 +300,38 @@ class _LegacyLoop:
             self.metrics.record_completion(record, direct)
 
 
+#: backwards-compatible alias (the loop was module-private before the service
+#: facade started driving it incrementally).
+_LegacyLoop = LegacyLoop
+
+
 def run_simulation(
     instance: URPSMInstance,
     dispatcher: Dispatcher,
     collect_completions: bool = True,
     engine: str = "event",
 ) -> SimulationResult:
-    """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(
-        instance, dispatcher, collect_completions=collect_completions, engine=engine
-    ).run()
+    """Replay the instance's request stream and return the aggregated metrics.
+
+    .. deprecated::
+        ``run_simulation(instance, dispatcher, ...)`` is a shim over the
+        online service facade: it builds a
+        :class:`~repro.service.facade.MatchingService` and replays the
+        workload through it (``MatchingService(instance, dispatcher,
+        engine=...).replay()``), so batch runs are the same code path as
+        online serving. Call the facade — or
+        :func:`repro.service.replay_workload` with a
+        :class:`~repro.service.spec.PlatformSpec` — directly.
+    """
+    warnings.warn(
+        "run_simulation(instance, dispatcher, ...) is deprecated; use "
+        "repro.service.MatchingService(instance, dispatcher, engine=...).replay() "
+        "or repro.service.replay_workload(PlatformSpec(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.service.facade import MatchingService  # lazy: service sits above us
+
+    return MatchingService(
+        instance, dispatcher, engine=engine, collect_completions=collect_completions
+    ).replay()

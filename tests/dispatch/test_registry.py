@@ -1,0 +1,151 @@
+"""DispatcherSpec + discovery: the structured dispatcher selection."""
+
+import pytest
+
+from repro.dispatch import (
+    ALGORITHMS,
+    Batch,
+    DispatcherConfig,
+    DispatcherSpec,
+    PruneGreedyDP,
+    list_dispatchers,
+    make_dispatcher,
+    suggest_dispatchers,
+)
+from repro.exceptions import ConfigurationError
+from repro.sharding.dispatcher import ShardedDispatcher
+
+
+class TestDiscovery:
+    def test_list_dispatchers_matches_the_registry(self):
+        assert list_dispatchers() == sorted(ALGORITHMS)
+
+    def test_list_dispatchers_includes_sharded_variants_on_request(self):
+        names = list_dispatchers(include_sharded=True)
+        assert "pruneGreedyDP" in names
+        assert "sharded:pruneGreedyDP" in names
+
+    def test_suggestions_for_typos(self):
+        assert "pruneGreedyDP" in suggest_dispatchers("pruneGreedy")
+        assert "tshare" in suggest_dispatchers("tshar")
+
+
+class TestParse:
+    def test_plain_name(self):
+        spec = DispatcherSpec.parse("batch")
+        assert spec.algorithm == "batch"
+        assert not spec.is_sharded
+        assert spec.name == "batch"
+
+    def test_sharded_prefix(self):
+        spec = DispatcherSpec.parse("sharded:tshare")
+        assert spec.algorithm == "tshare"
+        assert spec.is_sharded
+        assert spec.name == "sharded:tshare"
+
+    def test_bare_sharded_defaults_to_prune_greedy_dp(self):
+        spec = DispatcherSpec.parse("sharded")
+        assert spec.algorithm == "pruneGreedyDP"
+        assert spec.is_sharded
+
+    def test_unknown_name_raises_with_suggestion(self):
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            DispatcherSpec.parse("pruneGreedy")
+
+    def test_unknown_sharded_inner_raises(self):
+        with pytest.raises(ConfigurationError, match="sharded inner"):
+            DispatcherSpec.parse("sharded:bogus")
+
+    def test_parse_accepts_knob_overrides(self):
+        spec = DispatcherSpec.parse("batch", batch_interval=42.0)
+        assert spec.batch_interval == 42.0
+
+    def test_parse_ors_a_sharded_override_with_the_prefix(self):
+        assert DispatcherSpec.parse("sharded:batch", sharded=True).is_sharded
+        assert DispatcherSpec.parse("batch", sharded=True).is_sharded
+        assert not DispatcherSpec.parse("batch", sharded=False).is_sharded
+
+    def test_parse_rejects_an_algorithm_override(self):
+        with pytest.raises(ConfigurationError, match="name argument"):
+            DispatcherSpec.parse("batch", algorithm="nearest")
+
+
+class TestValidation:
+    def test_num_shards_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="num_shards"):
+            DispatcherSpec(num_shards=0).validate()
+
+    def test_unknown_strategy_only_checked_when_sharded(self):
+        # unsharded specs ignore the strategy field entirely
+        DispatcherSpec(shard_strategy="bogus").validate()
+        with pytest.raises(ConfigurationError, match="shard strategy"):
+            DispatcherSpec(shard_strategy="bogus", num_shards=2).validate()
+
+    def test_negative_grid_cell_rejected(self):
+        with pytest.raises(ConfigurationError, match="grid_cell_metres"):
+            DispatcherSpec(grid_cell_metres=-1.0).validate()
+
+
+class TestBuild:
+    def test_builds_the_registry_class(self):
+        assert isinstance(DispatcherSpec.parse("pruneGreedyDP").build(), PruneGreedyDP)
+        assert isinstance(DispatcherSpec.parse("batch").build(), Batch)
+
+    def test_builds_the_sharded_wrapper(self):
+        dispatcher = DispatcherSpec.parse("sharded:batch", num_shards=3).build()
+        assert isinstance(dispatcher, ShardedDispatcher)
+        assert dispatcher.name == "sharded:batch"
+        assert dispatcher.num_shards == 3
+
+    def test_num_shards_above_one_implies_sharding(self):
+        dispatcher = DispatcherSpec(algorithm="nearest", num_shards=2).build()
+        assert isinstance(dispatcher, ShardedDispatcher)
+
+    def test_spec_knobs_reach_the_config(self):
+        dispatcher = DispatcherSpec.parse(
+            "kinetic", kinetic_node_budget=123, grid_cell_metres=750.0
+        ).build()
+        assert dispatcher.config.kinetic_node_budget == 123
+        assert dispatcher.config.grid_cell_metres == 750.0
+
+    def test_default_grid_cell_fills_unpinned_specs(self):
+        dispatcher = DispatcherSpec.parse("nearest").build(default_grid_cell_metres=1234.0)
+        assert dispatcher.config.grid_cell_metres == 1234.0
+
+    def test_explicit_config_wins(self):
+        config = DispatcherConfig(grid_cell_metres=999.0)
+        dispatcher = DispatcherSpec.parse("nearest").build(config=config)
+        assert dispatcher.config is config
+
+
+class TestConfigRoundTrip:
+    def test_from_config_to_config_round_trips(self):
+        config = DispatcherConfig(
+            grid_cell_metres=1500.0,
+            reject_unprofitable=True,
+            batch_interval=9.0,
+            kinetic_node_budget=77,
+            num_shards=2,
+            shard_strategy="kd",
+            shard_escalate_k=5,
+        )
+        spec = DispatcherSpec.from_config(config, algorithm="tshare")
+        assert spec.to_config() == config
+
+    def test_with_algorithm_keeps_the_knobs(self):
+        spec = DispatcherSpec.parse("batch", batch_interval=17.0, num_shards=2)
+        renamed = spec.with_algorithm("sharded:nearest")
+        assert renamed.algorithm == "nearest"
+        assert renamed.is_sharded
+        assert renamed.batch_interval == 17.0
+        assert renamed.num_shards == 2
+
+
+class TestMakeDispatcherCompat:
+    def test_unknown_name_still_raises_key_error(self):
+        with pytest.raises(KeyError, match="unknown dispatcher"):
+            make_dispatcher("does-not-exist")
+
+    def test_key_error_message_carries_suggestions(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            make_dispatcher("pruneGreedy")

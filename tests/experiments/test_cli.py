@@ -113,3 +113,82 @@ class TestCommands:
         capsys.readouterr()
         assert exit_code == 0
         assert "GreedyDP" in output.read_text(encoding="utf-8")
+
+
+class TestOnlineCommands:
+    def test_algorithms_lists_the_registry(self, capsys):
+        exit_code = main(["algorithms"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "pruneGreedyDP" in captured and "tshare" in captured
+        assert "sharded:<name>" in captured
+
+    def test_unknown_algorithm_error_carries_suggestions(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--algorithm", "pruneGreedy"])
+        assert excinfo.value.code == 2
+        captured = capsys.readouterr().err
+        assert "did you mean" in captured
+        assert "pruneGreedyDP" in captured
+        assert "repro algorithms" in captured
+
+    def test_sharded_algorithm_names_accepted(self):
+        args = build_parser().parse_args(["simulate", "--algorithm", "sharded:tshare"])
+        assert args.algorithm == "sharded:tshare"
+
+    def test_serve_replay_streams_decisions(self, capsys):
+        exit_code = main([
+            "serve-replay", "--city", "small-grid", "--workers", "6",
+            "--requests", "8", "--algorithm", "batch", "--seed", "3",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "deferred to batch window" in captured
+        assert "-> worker" in captured
+        assert "session closed" in captured
+        assert "unified_cost" in captured
+
+    def test_serve_replay_quiet_and_limited(self, capsys):
+        exit_code = main([
+            "serve-replay", "--city", "small-grid", "--workers", "6",
+            "--requests", "20", "--max-requests", "5", "--seed", "3", "--quiet",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "serving 5 requests" in captured
+        assert "-> worker" not in captured
+
+    def test_serve_replay_from_spec_file(self, capsys, tmp_path):
+        spec_path = tmp_path / "platform.json"
+        spec_path.write_text(json.dumps({
+            "scenario": {"city": "small-grid", "num_workers": 6,
+                         "num_requests": 8, "seed": 3},
+            "dispatcher": {"algorithm": "nearest"},
+            "engine": "event",
+        }), encoding="utf-8")
+        exit_code = main(["serve-replay", "--spec", str(spec_path)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "nearest" in captured and "session closed" in captured
+
+    def test_simulate_from_spec_file_matches_flags(self, capsys, tmp_path):
+        spec_path = tmp_path / "platform.json"
+        spec_path.write_text(json.dumps({
+            "scenario": {"city": "small-grid", "num_workers": 6,
+                         "num_requests": 20, "seed": 3},
+            "dispatcher": {"algorithm": "GreedyDP"},
+        }), encoding="utf-8")
+        assert main(["simulate", "--spec", str(spec_path)]) == 0
+        from_spec = capsys.readouterr().out
+        assert main([
+            "simulate", "--city", "small-grid", "--workers", "6", "--requests", "20",
+            "--algorithm", "GreedyDP", "--seed", "3",
+        ]) == 0
+        from_flags = capsys.readouterr().out
+        # identical deterministic columns (wall-clock response time may differ)
+        def deterministic(output: str) -> list[str]:
+            rows = [line.split() for line in output.splitlines() if line.strip()]
+            return [" ".join(row[:4] + row[5:]) for row in rows]
+
+        assert "GreedyDP" in from_spec
+        assert deterministic(from_spec) == deterministic(from_flags)

@@ -172,3 +172,35 @@ class TestCityMemoization:
             _BASE.with_overrides(num_workers=4, num_requests=5, seed=99), ["nearest"]
         )
         assert sum(runner.network_builds.values()) == 2
+
+
+class TestPlatformThreading:
+    def test_platform_collect_completions_reaches_the_workers(self):
+        from repro.service.spec import PlatformSpec
+
+        runner = ParallelSweepRunner(
+            jobs=1, platform=PlatformSpec(collect_completions=False)
+        )
+        tasks = runner.plan("num_workers", [4], _BASE, ["nearest"])
+        assert all(not task.collect_completions for task in tasks)
+        (result,) = runner.run(tasks)
+        # completions were not collected: no waits / detours were recorded
+        assert result.mean_wait_seconds == 0.0
+        assert result.mean_detour_ratio == 0.0
+
+    def test_platform_sharded_flag_reaches_the_workers(self):
+        from repro.dispatch.registry import DispatcherSpec
+        from repro.service.spec import PlatformSpec
+
+        runner = ParallelSweepRunner(
+            jobs=1,
+            platform=PlatformSpec(
+                dispatcher=DispatcherSpec(sharded=True, num_shards=1)
+            ),
+        )
+        tasks = runner.plan("num_workers", [4], _BASE, ["nearest"])
+        assert all(task.sharded for task in tasks)
+        (result,) = runner.run(tasks)
+        # the exactness wrapper ran: sharding counters are reported
+        assert result.algorithm == "sharded:nearest"
+        assert result.extra["sharding_shards"] == 1.0

@@ -1,0 +1,112 @@
+"""Deprecation shims: old entry points warn and route through the facade."""
+
+import warnings
+
+import pytest
+
+from repro.dispatch import DispatcherConfig, DispatcherSpec, make_dispatcher
+from repro.experiments.runner import ScenarioRunner
+from repro.service import MatchingService, PlatformSpec
+from repro.simulation.simulator import Simulator, run_simulation
+from repro.workloads.scenarios import ScenarioConfig, build_instance
+
+_SCENARIO = ScenarioConfig(city="small-grid", num_workers=8, num_requests=40, seed=3)
+
+
+def _fingerprint(result):
+    return (
+        result.total_requests,
+        result.served_requests,
+        result.rejected_requests,
+        result.unified_cost,
+        result.total_travel_cost,
+        result.distance_queries,
+        result.candidates_considered,
+        result.insertions_evaluated,
+    )
+
+
+def _dispatcher():
+    return make_dispatcher(
+        "pruneGreedyDP", DispatcherConfig(grid_cell_metres=_SCENARIO.grid_km * 1000.0)
+    )
+
+
+class TestRunSimulationShim:
+    def test_warns_and_routes_through_the_facade(self):
+        instance = build_instance(_SCENARIO)
+        with pytest.warns(DeprecationWarning, match="MatchingService"):
+            shimmed = run_simulation(instance, _dispatcher())
+
+        service_instance = build_instance(_SCENARIO)
+        direct = MatchingService(service_instance, _dispatcher()).replay()
+        assert _fingerprint(shimmed) == _fingerprint(direct)
+
+    def test_matches_the_direct_engine_drive_on_both_engines(self):
+        for engine in ("event", "legacy"):
+            instance = build_instance(_SCENARIO)
+            with pytest.warns(DeprecationWarning):
+                shimmed = run_simulation(instance, _dispatcher(), engine=engine)
+            baseline = Simulator(
+                build_instance(_SCENARIO), _dispatcher(), engine=engine
+            ).run()
+            assert _fingerprint(shimmed) == _fingerprint(baseline)
+
+
+class TestScenarioRunnerShim:
+    def test_old_signature_warns(self):
+        with pytest.warns(DeprecationWarning, match="PlatformSpec"):
+            ScenarioRunner(DispatcherConfig(batch_interval=3.0), engine="legacy")
+
+    def test_engine_keyword_alone_warns(self):
+        with pytest.warns(DeprecationWarning):
+            runner = ScenarioRunner(engine="legacy")
+        assert runner.engine == "legacy"
+
+    def test_default_construction_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            runner = ScenarioRunner()
+        assert runner.engine == "event"
+
+    def test_platform_construction_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            runner = ScenarioRunner(platform=PlatformSpec(engine="legacy"))
+        assert runner.engine == "legacy"
+
+    def test_old_and_new_styles_produce_identical_results(self):
+        config = DispatcherConfig(grid_cell_metres=2000.0, batch_interval=4.0)
+        with pytest.warns(DeprecationWarning):
+            old_style = ScenarioRunner(config, engine="event")
+        new_style = ScenarioRunner(
+            platform=PlatformSpec(dispatcher=DispatcherSpec.from_config(config))
+        )
+        old_results = old_style.compare(_SCENARIO, ["pruneGreedyDP", "batch"])
+        new_results = new_style.compare(_SCENARIO, ["pruneGreedyDP", "batch"])
+        assert [_fingerprint(result) for result in old_results] == [
+            _fingerprint(result) for result in new_results
+        ]
+
+    def test_platform_and_deprecated_args_conflict(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="not both"):
+            ScenarioRunner(DispatcherConfig(), platform=PlatformSpec())
+
+
+class TestCompareSpecSemantics:
+    def test_explicit_spec_keeps_its_pinned_grid_cell(self):
+        runner = ScenarioRunner()
+        pinned = DispatcherSpec(algorithm="nearest", grid_cell_metres=500.0)
+        unpinned = DispatcherSpec(algorithm="nearest")
+        config = _SCENARIO.with_overrides(grid_km=2.0)
+        pinned_result, unpinned_result, named_result = runner.compare(
+            config, [pinned, unpinned, "nearest"]
+        )
+        # grid memory scales with the cell count, so a 500 m cell over the
+        # same city yields a strictly larger index than the 2 km scenario cell
+        assert pinned_result.index_memory_bytes > unpinned_result.index_memory_bytes
+        # an unpinned spec and a bare name both derive the scenario cell
+        assert unpinned_result.index_memory_bytes == named_result.index_memory_bytes
+        assert unpinned_result.unified_cost == named_result.unified_cost

@@ -1,0 +1,156 @@
+"""PlatformSpec: builder, validation, serialisation round-trips."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.dispatch.registry import DispatcherSpec
+from repro.exceptions import ConfigurationError
+from repro.service.spec import PlatformSpec
+from repro.workloads.scenarios import ScenarioConfig
+
+
+class TestBuilder:
+    def test_fluent_builder_composes_everything(self):
+        spec = (PlatformSpec.builder()
+                .city("nyc-like", seed=7, city_seed=11)
+                .workload(num_workers=25, num_requests=120, deadline_minutes=15.0)
+                .oracle(precompute="apsp")
+                .dispatcher("batch", batch_interval=12.0)
+                .sharding(num_shards=4, strategy="kd", escalate_k=3)
+                .engine("event")
+                .build())
+        assert spec.scenario.city == "nyc-like"
+        assert spec.scenario.seed == 7 and spec.scenario.city_seed == 11
+        assert spec.scenario.num_workers == 25
+        assert spec.scenario.oracle_precompute == "apsp"
+        assert spec.dispatcher.algorithm == "batch"
+        assert spec.dispatcher.batch_interval == 12.0
+        assert spec.dispatcher.num_shards == 4
+        assert spec.dispatcher.shard_strategy == "kd"
+        assert spec.dispatcher.is_sharded
+        assert spec.dispatcher.name == "sharded:batch"
+        assert spec.engine == "event"
+
+    def test_builder_accepts_sharded_names(self):
+        spec = PlatformSpec.builder().dispatcher("sharded:tshare").build()
+        assert spec.dispatcher.algorithm == "tshare"
+        assert spec.dispatcher.is_sharded
+
+    def test_builder_rejects_unknown_workload_field(self):
+        with pytest.raises(ConfigurationError, match="num_worker"):
+            PlatformSpec.builder().workload(num_worker=10)
+
+    def test_builder_rejects_unknown_dispatcher_knob(self):
+        with pytest.raises(ConfigurationError, match="batch_interval"):
+            PlatformSpec.builder().dispatcher("batch", batch_intervall=3.0)
+
+    def test_defaults_are_valid(self):
+        spec = PlatformSpec()
+        assert spec.validate() is spec
+        assert spec.dispatcher.algorithm == "pruneGreedyDP"
+
+
+class TestValidation:
+    def test_unknown_engine(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            PlatformSpec(engine="warp").validate()
+
+    def test_unknown_city_with_suggestion(self):
+        spec = PlatformSpec(scenario=ScenarioConfig(city="nyc-lik"))
+        with pytest.raises(ConfigurationError, match="did you mean 'nyc-like'"):
+            spec.validate()
+
+    def test_unknown_algorithm_with_suggestion(self):
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            PlatformSpec(dispatcher=DispatcherSpec(algorithm="pruneGreedy")).validate()
+
+    def test_legacy_engine_rejects_dynamics(self):
+        spec = PlatformSpec(
+            scenario=ScenarioConfig(cancellation_rate=0.1), engine="legacy"
+        )
+        with pytest.raises(ConfigurationError, match="require"):
+            spec.validate()
+
+    def test_dispatcher_config_derives_grid_cell_from_scenario(self):
+        spec = PlatformSpec(scenario=ScenarioConfig(grid_km=3.0))
+        assert spec.dispatcher_config().grid_cell_metres == 3000.0
+
+    def test_explicit_grid_cell_wins(self):
+        spec = PlatformSpec(
+            scenario=ScenarioConfig(grid_km=3.0),
+            dispatcher=DispatcherSpec(grid_cell_metres=500.0),
+        )
+        assert spec.dispatcher_config().grid_cell_metres == 500.0
+
+
+class TestSerialisation:
+    def _spec(self) -> PlatformSpec:
+        return (PlatformSpec.builder()
+                .city("small-grid", seed=5)
+                .workload(num_workers=9, num_requests=40)
+                .dispatcher("batch", batch_interval=9.0)
+                .sharding(num_shards=2)
+                .engine("legacy")
+                .build())
+
+    def test_dict_round_trip(self):
+        spec = self._spec()
+        assert PlatformSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_top_level_key(self):
+        with pytest.raises(ConfigurationError, match="engine"):
+            PlatformSpec.from_dict({"engin": "event"})
+
+    def test_from_dict_rejects_unknown_scenario_key(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'num_workers'"):
+            PlatformSpec.from_dict({"scenario": {"num_wrkers": 5}})
+
+    def test_json_file_round_trip(self, tmp_path):
+        spec = self._spec()
+        path = tmp_path / "platform.json"
+        spec.to_json(path)
+        loaded = PlatformSpec.from_file(path)
+        assert loaded == spec
+        # the satellite contract: from_file <-> to_dict round-trips exactly
+        assert loaded.to_dict() == spec.to_dict()
+        assert json.loads(path.read_text(encoding="utf-8")) == spec.to_dict()
+
+    def test_toml_file_loads(self, tmp_path):
+        path = tmp_path / "platform.toml"
+        path.write_text(
+            """
+engine = "event"
+
+[scenario]
+city = "small-grid"
+num_workers = 9
+num_requests = 40
+seed = 5
+
+[dispatcher]
+algorithm = "batch"
+batch_interval = 9.0
+num_shards = 2
+sharded = true
+""",
+            encoding="utf-8",
+        )
+        loaded = PlatformSpec.from_file(path)
+        expected = dataclasses.replace(self._spec(), engine="event")
+        assert loaded == expected
+        # TOML and JSON payloads describing the same platform agree
+        assert loaded.to_dict() == expected.to_dict()
+
+    def test_from_file_rejects_unknown_suffix(self, tmp_path):
+        path = tmp_path / "platform.yaml"
+        path.write_text("{}", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="use .json or .toml"):
+            PlatformSpec.from_file(path)
+
+
+class TestDispatcherSpecRoundTrip:
+    def test_dispatcher_spec_dict_round_trip(self):
+        spec = DispatcherSpec.parse("sharded:kinetic", num_shards=3, kinetic_node_budget=99)
+        assert DispatcherSpec.from_dict(spec.to_dict()) == spec
