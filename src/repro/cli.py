@@ -154,6 +154,11 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--alpha", type=float, default=1.0)
     parser.add_argument("--grid-km", type=float, default=2.0)
     parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--oracle-backend", default="auto",
+                        choices=["auto", "apsp", "ch", "hub_labels", "dijkstra"],
+                        help="distance backend: dense all-pairs matrix, contraction "
+                             "hierarchy, flat hub labels, or cached Dijkstra; 'auto' "
+                             "picks by network size (all are value-exact)")
     parser.add_argument("--cancellation-rate", type=float, default=0.0,
                         help="per-request rider-cancellation probability (event engine only)")
     parser.add_argument("--shift-hours", type=float, default=0.0,
@@ -182,6 +187,7 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
         alpha=args.alpha,
         grid_km=args.grid_km,
         seed=args.seed,
+        oracle_backend=getattr(args, "oracle_backend", None),
         cancellation_rate=args.cancellation_rate,
         shift_hours=args.shift_hours,
     )

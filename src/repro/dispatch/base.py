@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Callable, ClassVar
 from repro.core.instance import URPSMInstance
 from repro.core.types import Request
 from repro.index.grid import GridIndex
-from repro.network.oracle import DistanceOracle
+from repro.network.oracle import DistanceOracle, OracleCounters
 
 if TYPE_CHECKING:  # imported lazily to avoid a dispatch <-> simulation cycle
     from repro.simulation.fleet import FleetState
@@ -64,6 +64,16 @@ class DispatcherConfig:
             (see :data:`repro.sharding.partitioner.STRATEGIES`).
         shard_escalate_k: how many nearest neighbouring shards a request
             tries after its origin shard, before falling back globally.
+        shard_oracle_backend: distance backend of the per-shard oracles of
+            the sharded dispatcher — ``"shared"`` (default: every shard
+            queries the instance's global oracle, bit-exact with the
+            unsharded run), a backend name (``"apsp"``, ``"ch"``,
+            ``"hub_labels"``, ``"dijkstra"``), or ``"auto"`` to pick a
+            locality-appropriate backend from the full network size (the
+            graph the index is built on) and each shard's expected query
+            share. Shards resolving to the same backend share one oracle
+            build; all backends stay value-exact (they answer over the full
+            network), so only counter attribution moves into the shards.
     """
 
     grid_cell_metres: float = 2000.0
@@ -73,6 +83,7 @@ class DispatcherConfig:
     num_shards: int = 1
     shard_strategy: str = "grid"
     shard_escalate_k: int = 2
+    shard_oracle_backend: str = "shared"
 
 
 class Dispatcher(abc.ABC):
@@ -105,10 +116,15 @@ class Dispatcher(abc.ABC):
         """Bind the dispatcher to a problem instance and a fleet.
 
         Subclasses overriding this must call ``super().setup(...)`` first.
+        The oracle is taken from the fleet (view) when it exposes one — a
+        shard fleet view may carry a shard-local oracle backend — and falls
+        back to the instance's shared oracle (for a plain
+        :class:`~repro.simulation.fleet.FleetState` the two are the same
+        object).
         """
         self.instance = instance
         self.fleet = fleet
-        self.oracle = instance.oracle
+        self.oracle = getattr(fleet, "oracle", None) or instance.oracle
         self.grid = self._build_grid(instance)
         for state in fleet:
             self.grid.insert(state.worker.id, state.position)
@@ -121,6 +137,17 @@ class Dispatcher(abc.ABC):
             self.config.grid_cell_metres,
             vertex_cells=self.shared_vertex_cells,
         )
+
+    def oracle_counter_totals(self) -> "OracleCounters | None":
+        """Complete oracle-counter totals, or ``None`` when the instance's
+        oracle already counted everything.
+
+        Dispatchers that route queries through additional oracles (the
+        sharded dispatcher's per-shard backends) override this so the
+        headline ``distance_queries``/``dijkstra_runs`` of the simulation
+        result include that work instead of silently dropping it.
+        """
+        return None
 
     def notify_worker_added(self, worker_id: int) -> None:
         """A new worker joined the live fleet: index its position.

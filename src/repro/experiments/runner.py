@@ -139,6 +139,7 @@ class ScenarioRunner:
             config.effective_city_seed,
             config.use_hub_labels,
             config.oracle_precompute,
+            config.oracle_backend,
         )
         if key not in self._oracle_cache:
             self._oracle_cache[key] = make_oracle(self.network_for(config), config)

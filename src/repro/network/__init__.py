@@ -1,6 +1,17 @@
 """Road-network substrate: graph model, shortest paths, hub labels, oracle, generators."""
 
+from repro.network.backends import (
+    BACKEND_NAMES,
+    APSPBackend,
+    CHBackend,
+    DijkstraBackend,
+    DistanceBackend,
+    HubLabelBackend,
+    make_backend,
+    select_backend_name,
+)
 from repro.network.cache import CacheStatistics, LRUCache
+from repro.network.ch import ContractionHierarchy, build_contraction_hierarchy
 from repro.network.generators import (
     cycle_network,
     grid_city,
@@ -8,7 +19,12 @@ from repro.network.generators import (
     ring_radial_city,
 )
 from repro.network.graph import CSRAdjacency, Edge, RoadNetwork, Vertex, connected_components
-from repro.network.hub_labeling import HubLabels, build_hub_labels
+from repro.network.hub_labeling import (
+    HubLabels,
+    HubLabelsReference,
+    build_hub_labels,
+    build_hub_labels_reference,
+)
 from repro.network.io import load_network, network_from_dict, network_to_dict, save_network
 from repro.network.landmarks import LandmarkIndex, build_landmark_index
 from repro.network.oracle import DistanceOracle, OracleCounters
@@ -21,9 +37,20 @@ from repro.network.shortest_path import (
     shortest_path,
     single_source_distances,
     single_source_distances_array,
+    truncated_multi_target_distances,
 )
 
 __all__ = [
+    "BACKEND_NAMES",
+    "APSPBackend",
+    "CHBackend",
+    "ContractionHierarchy",
+    "DijkstraBackend",
+    "DistanceBackend",
+    "HubLabelBackend",
+    "build_contraction_hierarchy",
+    "make_backend",
+    "select_backend_name",
     "CacheStatistics",
     "LRUCache",
     "cycle_network",
@@ -36,7 +63,9 @@ __all__ = [
     "Vertex",
     "connected_components",
     "HubLabels",
+    "HubLabelsReference",
     "build_hub_labels",
+    "build_hub_labels_reference",
     "load_network",
     "network_from_dict",
     "network_to_dict",
@@ -53,4 +82,5 @@ __all__ = [
     "shortest_path",
     "single_source_distances",
     "single_source_distances_array",
+    "truncated_multi_target_distances",
 ]

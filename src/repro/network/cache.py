@@ -16,6 +16,9 @@ from typing import Generic, Hashable, TypeVar
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
+#: internal sentinel distinguishing "key absent" from "key maps to None/0/...".
+_MISSING = object()
+
 
 @dataclass
 class CacheStatistics:
@@ -63,12 +66,19 @@ class LRUCache(Generic[K, V]):
     def __contains__(self, key: K) -> bool:
         return key in self._entries
 
-    def get(self, key: K) -> V | None:
-        """Return the cached value for ``key`` or ``None``; updates recency."""
-        value = self._entries.get(key)
-        if value is None and key not in self._entries:
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Return the cached value for ``key`` or ``default``; updates recency.
+
+        Presence is decided by a sentinel, not truthiness: a legitimately
+        cached ``None``/``0``-like value is returned (and counted) as a hit,
+        while an absent key is a miss even when ``default`` is falsy. Callers
+        that may cache falsy values should pass their own sentinel as
+        ``default`` to tell the two apart.
+        """
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
             self.statistics.misses += 1
-            return None
+            return default
         self.statistics.hits += 1
         self._entries.move_to_end(key)
         return value

@@ -11,6 +11,15 @@ landmark labelling** (Akiba et al., SIGMOD 2013), which computes an equivalent
   L(u)[h] + L(v)[h]``;
 * pruning during construction keeps labels small on road-like networks.
 
+The query-serving representation is **array-native**: the per-vertex labels
+are frozen into three flat numpy arrays (``indptr`` row pointers, ``hubs``
+sorted hub indices, ``dists`` distances), the scalar query is a sorted
+merge-join (:func:`numpy.intersect1d` on two label slices) and
+:meth:`HubLabels.query_many` answers a whole batch with one scatter +
+segment-minimum pass. The seed's dict-of-dict labelling survives as
+:class:`HubLabelsReference` / :func:`build_hub_labels_reference` — the
+baseline the equivalence property tests compare the arrays against.
+
 For very large networks the construction cost can dominate; the
 :class:`~repro.network.oracle.DistanceOracle` therefore treats hub labels as an
 optional accelerator and falls back to cached Dijkstra otherwise.
@@ -22,6 +31,8 @@ import heapq
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.network.graph import RoadNetwork, Vertex
 
 INFINITY = math.inf
@@ -29,7 +40,102 @@ INFINITY = math.inf
 
 @dataclass
 class HubLabels:
-    """A 2-hop labelling of a road network.
+    """An array-native 2-hop labelling of a road network.
+
+    Labels live in three flat arrays: the label of the vertex at CSR position
+    ``p`` is ``hubs[indptr[p]:indptr[p+1]]`` (hub *order indices*, ascending)
+    with distances in the matching slice of ``dists``. Hubs are numbered by
+    their construction order, so every label is sorted by hub index for free
+    (pruned labelling appends hubs in processing order) and queries are
+    sorted merge-joins.
+
+    Attributes:
+        indptr: ``(N+1,)`` int64 — per-vertex label row pointers.
+        hubs: ``(total,)`` int64 — hub order indices, ascending per vertex.
+        dists: ``(total,)`` float64 — distance from the vertex to each hub.
+        position: mapping ``vertex id -> CSR position`` (shared with the CSR).
+        order: the vertex order (most "important" first) used during
+            construction; ``order[hubs[k]]`` recovers the hub's vertex id.
+    """
+
+    indptr: np.ndarray
+    hubs: np.ndarray
+    dists: np.ndarray
+    position: dict[Vertex, int]
+    order: list[Vertex] = field(default_factory=list)
+
+    def query(self, u: Vertex, v: Vertex) -> float:
+        """Exact shortest distance between ``u`` and ``v`` (``inf`` if disconnected)."""
+        if u == v:
+            return 0.0
+        pu, pv = self.position[u], self.position[v]
+        indptr = self.indptr
+        hubs_u = self.hubs[indptr[pu]:indptr[pu + 1]]
+        hubs_v = self.hubs[indptr[pv]:indptr[pv + 1]]
+        if hubs_u.size == 0 or hubs_v.size == 0:
+            return INFINITY
+        _, iu, iv = np.intersect1d(hubs_u, hubs_v, assume_unique=True, return_indices=True)
+        if iu.size == 0:
+            return INFINITY
+        dists_u = self.dists[indptr[pu]:indptr[pu + 1]]
+        dists_v = self.dists[indptr[pv]:indptr[pv + 1]]
+        return float(np.min(dists_u[iu] + dists_v[iv]))
+
+    def query_many(self, source: Vertex, targets_positions: np.ndarray) -> np.ndarray:
+        """Distances from ``source`` to many CSR positions, vectorized.
+
+        One dense scatter of the source label plus a single gather/segment-min
+        over the concatenated target label slices — no per-target Python loop.
+        Returns exactly the floats the scalar :meth:`query` would (the same
+        ``label_u + label_v`` sums feed the same minimum).
+        """
+        indptr = self.indptr
+        ps = self.position[source]
+        n = indptr.size - 1
+        count = targets_positions.size
+        result = np.full(count, INFINITY, dtype=np.float64)
+        source_hubs = self.hubs[indptr[ps]:indptr[ps + 1]]
+        if source_hubs.size:
+            # dense source label: hub order index -> distance from source
+            dense = np.full(n, INFINITY, dtype=np.float64)
+            dense[source_hubs] = self.dists[indptr[ps]:indptr[ps + 1]]
+            starts = indptr[targets_positions]
+            counts = indptr[targets_positions + 1] - starts
+            total = int(counts.sum())
+            if total:
+                # ragged arange: flat indices of every target's label entries
+                cumulative = np.cumsum(counts)
+                flat = np.arange(total, dtype=np.int64) + np.repeat(
+                    starts - (cumulative - counts), counts
+                )
+                sums = dense[self.hubs[flat]] + self.dists[flat]
+                nonempty = counts > 0
+                segment_starts = (cumulative - counts)[nonempty]
+                result[nonempty] = np.minimum.reduceat(sums, segment_starts)
+        result[targets_positions == ps] = 0.0
+        return result
+
+    @property
+    def total_label_entries(self) -> int:
+        """Total number of (hub, distance) entries across all labels."""
+        return int(self.hubs.size)
+
+    @property
+    def average_label_size(self) -> float:
+        """Average label size per vertex."""
+        n = self.indptr.size - 1
+        if n == 0:
+            return 0.0
+        return self.total_label_entries / n
+
+
+@dataclass
+class HubLabelsReference:
+    """The seed's dict-of-dict 2-hop labelling (equivalence baseline).
+
+    Kept verbatim so the property tests can assert that the array-native
+    :class:`HubLabels` answers exactly the same queries; the oracle itself
+    only ever serves queries from the flat arrays.
 
     Attributes:
         labels: per-vertex mapping ``hub -> distance``.
@@ -82,10 +188,10 @@ def degree_order(network: RoadNetwork) -> list[Vertex]:
     return sorted(network.vertices(), key=lambda v: (-network.degree(v), v))
 
 
-def build_hub_labels(
+def build_hub_labels_reference(
     network: RoadNetwork, order: list[Vertex] | None = None
-) -> HubLabels:
-    """Construct a pruned 2-hop labelling of ``network``.
+) -> HubLabelsReference:
+    """Construct the dict-of-dict pruned 2-hop labelling of ``network``.
 
     Args:
         network: the road network (undirected, non-negative costs).
@@ -93,19 +199,60 @@ def build_hub_labels(
             :func:`degree_order`.
 
     Returns:
-        A :class:`HubLabels` instance answering exact distance queries.
+        A :class:`HubLabelsReference` instance answering exact distance
+        queries.
     """
     if order is None:
         order = degree_order(network)
     labels: dict[Vertex, dict[Vertex, float]] = {vertex: {} for vertex in network.vertices()}
-    result = HubLabels(labels=labels, order=list(order))
+    result = HubLabelsReference(labels=labels, order=list(order))
 
     for hub in order:
         _pruned_dijkstra_from_hub(network, hub, result)
     return result
 
 
-def _pruned_dijkstra_from_hub(network: RoadNetwork, hub: Vertex, labelling: HubLabels) -> None:
+def build_hub_labels(
+    network: RoadNetwork, order: list[Vertex] | None = None
+) -> HubLabels:
+    """Construct the array-native pruned 2-hop labelling of ``network``.
+
+    Runs the same pruned construction as :func:`build_hub_labels_reference`
+    (so both labellings certify identical distances), then freezes the labels
+    into the flat arrays :class:`HubLabels` queries operate on. Hub indices
+    are the hubs' positions in the construction ``order``; pruned labelling
+    visits hubs in that order, so every per-vertex label is already sorted.
+    """
+    reference = build_hub_labels_reference(network, order=order)
+    csr = network.csr
+    position = csr.position
+    order_index = {vertex: index for index, vertex in enumerate(reference.order)}
+    n = csr.num_vertices
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    hub_chunks: list[list[int]] = [[] for _ in range(n)]
+    dist_chunks: list[list[float]] = [[] for _ in range(n)]
+    for vertex, label in reference.labels.items():
+        p = position[vertex]
+        # insertion order == hub processing order == ascending order index
+        hub_chunks[p] = [order_index[hub] for hub in label]
+        dist_chunks[p] = list(label.values())
+    for p in range(n):
+        indptr[p + 1] = indptr[p] + len(hub_chunks[p])
+    total = int(indptr[-1])
+    hubs = np.empty(total, dtype=np.int64)
+    dists = np.empty(total, dtype=np.float64)
+    for p in range(n):
+        begin, end = indptr[p], indptr[p + 1]
+        hubs[begin:end] = hub_chunks[p]
+        dists[begin:end] = dist_chunks[p]
+    return HubLabels(
+        indptr=indptr, hubs=hubs, dists=dists, position=position, order=list(reference.order)
+    )
+
+
+def _pruned_dijkstra_from_hub(
+    network: RoadNetwork, hub: Vertex, labelling: HubLabelsReference
+) -> None:
     """Run a pruned Dijkstra from ``hub`` and extend the labels it covers.
 
     The search runs on the network's CSR adjacency — the relaxation loop walks

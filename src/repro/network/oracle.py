@@ -5,9 +5,10 @@ backed by a hub-label index plus an LRU cache; all compared algorithms share
 the same oracle so that effectiveness/efficiency comparisons are fair. The
 :class:`DistanceOracle` mirrors that setup:
 
-* **exact distances** come from (in order of preference) the LRU cache, the
-  optional hub-label index, or an on-the-fly bidirectional Dijkstra whose
-  result is cached;
+* **exact distances** come from a pluggable
+  :class:`~repro.network.backends.DistanceBackend` — the dense APSP matrix,
+  a contraction hierarchy, array-native hub labels, or cached on-the-fly
+  Dijkstra (``backend="auto"`` picks by network size and query volume);
 * **exact paths** (vertex sequences) are needed by the simulator to move
   workers along their planned routes; they are cached separately;
 * **admissible lower bounds** (Euclidean distance divided by the maximum
@@ -17,20 +18,24 @@ the same oracle so that effectiveness/efficiency comparisons are fair. The
 Besides the scalar queries, the oracle exposes **batched APIs** —
 :meth:`DistanceOracle.distances_many`, :meth:`DistanceOracle.distance_pairs`
 and :meth:`DistanceOracle.euclidean_lower_bounds` — that answer a whole
-candidate set in one vectorized pass over the network's CSR arrays. The
-batched calls return exactly the values (and bump exactly the counters) of
-the equivalent scalar loops; the decision phase and the linear DP insertion
-use them to replace ~3n scalar oracle calls per insertion with a handful of
-numpy reductions.
+candidate set in one pass: a fancy-indexing gather on the APSP matrix, a
+bucket sweep on the contraction hierarchy, a vectorized label join on the
+hub labels, or one truncated multi-target Dijkstra on the fallback. The
+batched calls return exactly the values (and bump exactly the
+``distance_queries`` counters) of the equivalent scalar loops.
 
 Because the network is undirected, both LRU caches use symmetric
 ``(min, max)`` keys — a cached ``u -> v`` path answers the ``v -> u`` query
-reversed, doubling the effective cache capacity.
+reversed, doubling the effective cache capacity. Only the Dijkstra backend
+consults the distance LRU; the precomputed backends answer directly, which
+the cache statistics report as ``"bypassed (<backend>)"`` rather than a
+misleading 0.0 hit rate.
 
 The oracle also counts exact queries. The paper reports "tens of billions of
 shortest distance queries saved" by the pruning strategy of Lemma 8; our
-benchmarks report the same counter deltas, alongside the cache hit/miss/
-eviction statistics surfaced through :meth:`OracleCounters.snapshot`.
+benchmarks report the same counter deltas, alongside per-backend query/settle
+counters and the cache hit/miss/eviction statistics surfaced through
+:meth:`OracleCounters.snapshot`.
 """
 
 from __future__ import annotations
@@ -42,14 +47,21 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.exceptions import DisconnectedError
+from repro.network.backends import (
+    APSPBackend,
+    CHBackend,
+    DistanceBackend,
+    HubLabelBackend,
+    make_backend,
+    select_backend_name,
+)
 from repro.network.cache import LRUCache
 from repro.network.graph import RoadNetwork, Vertex
-from repro.network.hub_labeling import HubLabels, build_hub_labels
+from repro.network.hub_labeling import HubLabels
 from repro.network.landmarks import LandmarkIndex
 from repro.network.shortest_path import (
     bidirectional_dijkstra,
     bidirectional_dijkstra_reference,
-    single_source_distances_array,
 )
 
 
@@ -59,15 +71,30 @@ class OracleCounters:
 
     When the counters belong to a live oracle, the two LRU caches are
     attached so :meth:`snapshot` can surface their hit/miss/eviction
-    statistics next to the query counts.
+    statistics next to the query counts, and ``backend``/``cache_bypassed``
+    describe the attached distance backend so bypassed caches are reported
+    honestly instead of as a 0.0 hit rate.
     """
 
     distance_queries: int = 0
     path_queries: int = 0
     lower_bound_queries: int = 0
     dijkstra_runs: int = 0
+    #: per-backend distance queries answered (backend name -> count).
+    backend_queries: dict[str, int] = field(default_factory=dict)
+    #: per-backend vertices settled by internal searches (search effort).
+    backend_settled: dict[str, int] = field(default_factory=dict)
+    backend: str = "dijkstra"
+    cache_bypassed: bool = False
     distance_cache: "LRUCache | None" = field(default=None, repr=False, compare=False)
     path_cache: "LRUCache | None" = field(default=None, repr=False, compare=False)
+
+    def record_backend(self, name: str, queries: int = 0, settled: int = 0) -> None:
+        """Attribute ``queries`` answered / ``settled`` vertices to a backend."""
+        if queries:
+            self.backend_queries[name] = self.backend_queries.get(name, 0) + queries
+        if settled:
+            self.backend_settled[name] = self.backend_settled.get(name, 0) + settled
 
     @classmethod
     def merge(cls, counters: "Iterable[OracleCounters]") -> "OracleCounters":
@@ -85,16 +112,29 @@ class OracleCounters:
             total.path_queries += item.path_queries
             total.lower_bound_queries += item.lower_bound_queries
             total.dijkstra_runs += item.dijkstra_runs
+            for name, value in item.backend_queries.items():
+                total.backend_queries[name] = total.backend_queries.get(name, 0) + value
+            for name, value in item.backend_settled.items():
+                total.backend_settled[name] = total.backend_settled.get(name, 0) + value
         return total
 
-    def snapshot(self) -> dict[str, int | float]:
-        """Return the counters (and any attached cache statistics) as a dict."""
-        snapshot: dict[str, int | float] = {
+    def snapshot(self) -> dict[str, int | float | str]:
+        """Return the counters (and any attached cache statistics) as a dict.
+
+        The distance-cache hit rate of a backend that never consults the LRU
+        is reported as ``"bypassed (<backend>)"`` — a 0.0 would misread as
+        "the cache never helps" when the cache simply never ran.
+        """
+        snapshot: dict[str, int | float | str] = {
             "distance_queries": self.distance_queries,
             "path_queries": self.path_queries,
             "lower_bound_queries": self.lower_bound_queries,
             "dijkstra_runs": self.dijkstra_runs,
         }
+        for name, value in sorted(self.backend_queries.items()):
+            snapshot[f"backend_{name}_queries"] = value
+        for name, value in sorted(self.backend_settled.items()):
+            snapshot[f"backend_{name}_settled"] = value
         for prefix, cache in (
             ("distance_cache", self.distance_cache),
             ("path_cache", self.path_cache),
@@ -105,7 +145,10 @@ class OracleCounters:
             snapshot[f"{prefix}_hits"] = statistics.hits
             snapshot[f"{prefix}_misses"] = statistics.misses
             snapshot[f"{prefix}_evictions"] = statistics.evictions
-            snapshot[f"{prefix}_hit_rate"] = statistics.hit_rate
+            if prefix == "distance_cache" and self.cache_bypassed:
+                snapshot[f"{prefix}_hit_rate"] = f"bypassed ({self.backend})"
+            else:
+                snapshot[f"{prefix}_hit_rate"] = statistics.hit_rate
         return snapshot
 
 
@@ -115,15 +158,18 @@ class DistanceOracle:
     Args:
         network: the road network to answer queries on.
         use_hub_labels: build a pruned 2-hop labelling up front (equivalent to
-            ``precompute="hub_labels"``).
-        precompute: acceleration structure built eagerly — ``None`` (cache +
-            Dijkstra only), ``"hub_labels"`` (2-hop labels), or ``"apsp"``
-            (dense all-pairs matrix; the fastest choice for networks up to a
-            few thousand vertices, which is what the paper's O(1)-query
-            assumption models).
+            ``backend="hub_labels"``).
+        precompute: legacy accelerator spelling — ``None`` (cache + Dijkstra
+            only), ``"hub_labels"`` or ``"apsp"``; superseded by ``backend``.
+        backend: distance backend name — ``"apsp"``, ``"ch"``,
+            ``"hub_labels"``, ``"dijkstra"`` or ``"auto"`` (pick by network
+            size / ``query_volume_hint``). All backends are value-exact; they
+            differ only in build cost and query speed.
         cache_size: capacity of the distance LRU cache.
         path_cache_size: capacity of the path LRU cache.
         landmark_index: optional :class:`LandmarkIndex` to sharpen lower bounds.
+        query_volume_hint: expected number of exact queries, consulted by the
+            ``"auto"`` policy (tiny workloads skip preprocessing entirely).
     """
 
     def __init__(
@@ -134,55 +180,50 @@ class DistanceOracle:
         cache_size: int = 200_000,
         path_cache_size: int = 20_000,
         landmark_index: LandmarkIndex | None = None,
+        backend: str | None = None,
+        query_volume_hint: int | None = None,
     ) -> None:
         self.network = network
         self._distance_cache: LRUCache[tuple[Vertex, Vertex], float] = LRUCache(cache_size)
         self._path_cache: LRUCache[tuple[Vertex, Vertex], tuple[Vertex, ...]] = LRUCache(
             path_cache_size
         )
-        self.counters = OracleCounters(
-            distance_cache=self._distance_cache, path_cache=self._path_cache
-        )
         if precompute is None and use_hub_labels:
             precompute = "hub_labels"
         if precompute not in (None, "hub_labels", "apsp"):
             raise ValueError(f"unknown precompute mode {precompute!r}")
-        # snapshot used to index the APSP matrix (its row/column order is
-        # frozen at build time); geometric queries read the live network.csr
-        # and max_speed instead, so Euclidean lower bounds track vertex/edge
-        # additions (note the APSP/hub-label accelerators themselves are
-        # still construction-time snapshots)
+        if backend is None:
+            backend = precompute if precompute is not None else "dijkstra"
+        elif precompute is not None and precompute != backend:
+            raise ValueError(
+                f"conflicting accelerators: precompute={precompute!r} vs backend={backend!r}"
+            )
+        if backend == "auto":
+            backend = select_backend_name(network.csr.num_vertices, query_volume_hint)
+        # snapshot used to index the precomputed backends (their row/position
+        # order is frozen at build time); geometric queries read the live
+        # network.csr and max_speed instead, so Euclidean lower bounds track
+        # vertex/edge additions (note the precomputed accelerators themselves
+        # are still construction-time snapshots)
         self._csr = network.csr
-        self._hub_labels: HubLabels | None = None
-        self._apsp: np.ndarray | None = None
-        self._vertex_index: dict[Vertex, int] | None = None
-        if precompute == "hub_labels":
-            self._hub_labels = build_hub_labels(network)
-        elif precompute == "apsp":
-            self._build_apsp()
-        self._landmarks = landmark_index
-        if landmark_index is not None:
-            landmark_index.ensure_arrays(self._csr.position, self._csr.num_vertices)
         #: ablation switch for benchmarks: route every path/distance miss
         #: through the seed's dict-of-dict bidirectional Dijkstra to
         #: reconstruct the pre-CSR hot path.
         self.legacy_reference_mode = False
+        self.counters = OracleCounters(
+            distance_cache=self._distance_cache, path_cache=self._path_cache
+        )
+        self._backend: DistanceBackend = make_backend(backend, network, self)
+        self.counters.backend = self._backend.name
+        self.counters.cache_bypassed = not self._backend.uses_distance_cache
+        self._landmarks = landmark_index
+        if landmark_index is not None:
+            landmark_index.ensure_arrays(self._csr.position, self._csr.num_vertices)
         #: opt-in: answer path misses by walking the APSP matrix greedily
         #: (fastest, but may pick a different equal-cost path than Dijkstra,
         #: so downstream query counters can drift by a few ties; off by
         #: default to keep runs counter-identical with the reference path).
         self.apsp_path_walk = False
-
-    def _build_apsp(self) -> None:
-        """Precompute the dense all-pairs shortest-distance matrix (CSR rows)."""
-        csr = self._csr
-        n = csr.num_vertices
-        matrix = np.empty((n, n), dtype=np.float64)
-        vertex_ids = csr.vertex_ids_list
-        for row in range(n):
-            matrix[row] = single_source_distances_array(self.network, vertex_ids[row])
-        self._apsp = matrix
-        self._vertex_index = csr.position
 
     # ----------------------------------------------------------------- exact
 
@@ -193,50 +234,36 @@ class DistanceOracle:
         mirrors how the paper counts algorithm-issued queries.
         """
         self.counters.distance_queries += 1
+        self.counters.record_backend(self._backend.name, queries=1)
         return self._distance_uncounted(u, v)
 
     def _distance_uncounted(self, u: Vertex, v: Vertex) -> float:
         """The :meth:`distance` core without counter bookkeeping."""
         if u == v:
             return 0.0
-        if self._apsp is not None and self._vertex_index is not None:
-            return float(self._apsp[self._vertex_index[u], self._vertex_index[v]])
-        key = (u, v) if u <= v else (v, u)
-        cached = self._distance_cache.get(key)
-        if cached is not None:
-            return cached
-        if self._hub_labels is not None:
-            result = self._hub_labels.query(u, v)
-        else:
-            result = self._run_dijkstra(key[0], key[1])
-        self._distance_cache.put(key, result)
-        return result
+        return self._backend.distance(u, v)
 
     def distances_many(self, source: Vertex, targets: Sequence[Vertex]) -> np.ndarray:
         """Exact distances from ``source`` to every vertex in ``targets``.
 
         Semantically identical to ``[distance(source, t) for t in targets]``
-        — same values, same counter increments — but answered in one
-        vectorized pass when the dense APSP table is available.
+        — same values, same counter increments — but answered in one batched
+        backend pass (matrix gather, bucket sweep, label join, or a single
+        truncated multi-target Dijkstra that consults and populates the
+        distance cache and dedupes repeated targets).
         """
         count = len(targets)
         self.counters.distance_queries += count
         if count == 0:
             return np.empty(0, dtype=np.float64)
-        if self._apsp is not None and self._vertex_index is not None:
-            row = self._apsp[self._vertex_index[source]]
-            return row[self._csr.positions_of(targets)]
-        return np.fromiter(
-            (self._distance_uncounted(source, target) for target in targets),
-            dtype=np.float64,
-            count=count,
-        )
+        self.counters.record_backend(self._backend.name, queries=count)
+        return self._backend.distances_many(source, targets)
 
     def distance_pairs(self, us: Sequence[Vertex], vs: Sequence[Vertex]) -> np.ndarray:
         """Exact distances between elementwise pairs ``(us[k], vs[k])``.
 
         Semantically identical to ``[distance(u, v) for u, v in zip(us, vs)]``
-        (values and counters); one fancy-indexing pass on the APSP table.
+        (values and counters); one batched backend pass.
         """
         count = len(us)
         if count != len(vs):
@@ -244,13 +271,8 @@ class DistanceOracle:
         self.counters.distance_queries += count
         if count == 0:
             return np.empty(0, dtype=np.float64)
-        if self._apsp is not None and self._vertex_index is not None:
-            return self._apsp[self._csr.positions_of(us), self._csr.positions_of(vs)]
-        return np.fromiter(
-            (self._distance_uncounted(u, v) for u, v in zip(us, vs)),
-            dtype=np.float64,
-            count=count,
-        )
+        self.counters.record_backend(self._backend.name, queries=count)
+        return self._backend.distance_pairs(us, vs)
 
     def endpoint_distances(
         self, vertices: Sequence[Vertex], origin: Vertex, destination: Vertex
@@ -259,9 +281,7 @@ class DistanceOracle:
 
         Semantically identical (values and counters) to the scalar pair
         ``[distance(v, origin) for v], [distance(v, destination) for v]`` —
-        the orientation matters: the gathered APSP elements are the very rows
-        the scalar calls read, so the floats are bit-for-bit the same. One
-        position translation serves both endpoints; this is the grouped call
+        one translation pass serves both endpoints; this is the grouped call
         behind the linear DP's batch prefetch (Lemma 9).
         """
         count = len(vertices)
@@ -269,25 +289,8 @@ class DistanceOracle:
         if count == 0:
             empty = np.empty(0, dtype=np.float64)
             return empty, empty
-        if self._apsp is not None and self._vertex_index is not None:
-            positions = self._csr.positions_of(vertices)
-            index = self._vertex_index
-            return (
-                self._apsp[positions, index[origin]],
-                self._apsp[positions, index[destination]],
-            )
-        return (
-            np.fromiter(
-                (self._distance_uncounted(v, origin) for v in vertices),
-                dtype=np.float64,
-                count=count,
-            ),
-            np.fromiter(
-                (self._distance_uncounted(v, destination) for v in vertices),
-                dtype=np.float64,
-                count=count,
-            ),
-        )
+        self.counters.record_backend(self._backend.name, queries=2 * count)
+        return self._backend.endpoint_distances(vertices, origin, destination)
 
     def path(self, u: Vertex, v: Vertex) -> list[Vertex]:
         """Exact shortest path (vertex sequence) from ``u`` to ``v``.
@@ -308,7 +311,7 @@ class DistanceOracle:
         if cached is not None:
             return list(cached) if forward else list(reversed(cached))
         path = None
-        if self._apsp is not None and self.apsp_path_walk and not self.legacy_reference_mode:
+        if self.has_apsp and self.apsp_path_walk and not self.legacy_reference_mode:
             path = self._apsp_path(u, v)
         if path is None:
             search = (
@@ -355,18 +358,6 @@ class DistanceOracle:
             if current == target:
                 return path
         return None  # no progress within |V| hops: degenerate zero-cost ties
-
-    def _run_dijkstra(self, u: Vertex, v: Vertex) -> float:
-        """Point-to-point Dijkstra; ``(u, v)`` is already a symmetric key."""
-        search = (
-            bidirectional_dijkstra_reference
-            if self.legacy_reference_mode
-            else bidirectional_dijkstra
-        )
-        cost, path = search(self.network, u, v)
-        self.counters.dijkstra_runs += 1
-        self._path_cache.put((u, v), tuple(path))
-        return cost
 
     # ---------------------------------------------------------- lower bounds
 
@@ -469,25 +460,56 @@ class DistanceOracle:
     # ------------------------------------------------------------- management
 
     @property
+    def backend(self) -> DistanceBackend:
+        """The attached distance backend."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the attached distance backend."""
+        return self._backend.name
+
+    @property
     def has_hub_labels(self) -> bool:
         """Whether a hub-label index is attached."""
-        return self._hub_labels is not None
+        return isinstance(self._backend, HubLabelBackend)
 
     @property
     def hub_labels(self) -> HubLabels | None:
         """The attached hub-label index, if any."""
-        return self._hub_labels
+        if isinstance(self._backend, HubLabelBackend):
+            return self._backend.labels
+        return None
 
     @property
     def has_apsp(self) -> bool:
         """Whether the dense all-pairs table is attached."""
-        return self._apsp is not None
+        return isinstance(self._backend, APSPBackend)
 
-    def cache_statistics(self) -> dict[str, float]:
-        """Hit rates and sizes of the distance/path caches."""
+    @property
+    def _apsp(self) -> np.ndarray | None:
+        """The dense all-pairs matrix, if the APSP backend is attached."""
+        if isinstance(self._backend, APSPBackend):
+            return self._backend.matrix
+        return None
+
+    @property
+    def has_contraction_hierarchy(self) -> bool:
+        """Whether a contraction hierarchy is attached."""
+        return isinstance(self._backend, CHBackend)
+
+    def cache_statistics(self) -> dict[str, float | str]:
+        """Hit rates and sizes of the distance/path caches.
+
+        A backend that never consults the distance LRU reports
+        ``"bypassed (<backend>)"`` instead of a misleading 0.0 hit rate.
+        """
+        distance_hit_rate: float | str = self._distance_cache.statistics.hit_rate
+        if self.counters.cache_bypassed:
+            distance_hit_rate = f"bypassed ({self._backend.name})"
         return {
             "distance_cache_size": float(len(self._distance_cache)),
-            "distance_cache_hit_rate": self._distance_cache.statistics.hit_rate,
+            "distance_cache_hit_rate": distance_hit_rate,
             "path_cache_size": float(len(self._path_cache)),
             "path_cache_hit_rate": self._path_cache.statistics.hit_rate,
         }
@@ -496,7 +518,10 @@ class DistanceOracle:
         """Zero the oracle counters and cache statistics (caches keep their
         contents), so every simulation run reports per-run numbers."""
         self.counters = OracleCounters(
-            distance_cache=self._distance_cache, path_cache=self._path_cache
+            distance_cache=self._distance_cache,
+            path_cache=self._path_cache,
+            backend=self._backend.name,
+            cache_bypassed=not self._backend.uses_distance_cache,
         )
         self._distance_cache.reset_statistics()
         self._path_cache.reset_statistics()

@@ -237,13 +237,23 @@ class PlatformSpecBuilder:
         return self
 
     def oracle(
-        self, precompute: str | None = None, use_hub_labels: bool | None = None
+        self,
+        precompute: str | None = None,
+        use_hub_labels: bool | None = None,
+        backend: str | None = None,
     ) -> "PlatformSpecBuilder":
-        """Configure the distance-oracle acceleration."""
+        """Configure the distance-oracle acceleration.
+
+        ``backend`` selects a distance backend by name (``"auto"``,
+        ``"apsp"``, ``"ch"``, ``"hub_labels"``, ``"dijkstra"``) and wins over
+        the legacy ``precompute``/``use_hub_labels`` spellings.
+        """
         if precompute is not None:
             self._scenario["oracle_precompute"] = precompute
         if use_hub_labels is not None:
             self._scenario["use_hub_labels"] = use_hub_labels
+        if backend is not None:
+            self._scenario["oracle_backend"] = backend
         return self
 
     # -------------------------------------------------------------- dispatcher

@@ -36,12 +36,22 @@ class ShardFleetView:
         shard_id: which shard this view exposes.
         members: the worker ids currently bucketed in the shard; the set is
             owned (and mutated) by the sharded dispatcher.
+        oracle: optional shard-local distance oracle (a locality-appropriate
+            backend over the full network, value-exact with the shared one);
+            ``None`` exposes the fleet's shared oracle.
     """
 
-    def __init__(self, fleet: "FleetState", shard_id: int, members: set[int]) -> None:
+    def __init__(
+        self,
+        fleet: "FleetState",
+        shard_id: int,
+        members: set[int],
+        oracle: "DistanceOracle | None" = None,
+    ) -> None:
         self._fleet = fleet
         self.shard_id = shard_id
         self.members = members
+        self._oracle = oracle
 
     # -------------------------------------------------- delegated properties
 
@@ -67,8 +77,8 @@ class ShardFleetView:
 
     @property
     def oracle(self) -> "DistanceOracle":
-        """The shared distance oracle."""
-        return self._fleet.oracle
+        """The shard-local oracle when attached, else the shared one."""
+        return self._oracle if self._oracle is not None else self._fleet.oracle
 
     @property
     def idle_snapshot(self) -> dict[int, tuple["Vertex", int]]:

@@ -196,9 +196,13 @@ class EventEngine:
         self._record_completions(self.fleet.finish_all())
         self._record_completions(self.fleet.drain_completions())
         self._finished = True
+        # dispatchers owning extra oracles (sharded, local backends) fold
+        # their counters into the headline totals; None = everything already
+        # lives on the instance's oracle
+        totals = self.dispatcher.oracle_counter_totals()
         return self.metrics.finalise(
             total_travel_cost=self.fleet.total_travel_cost(),
-            oracle_counters=self.instance.oracle.counters,
+            oracle_counters=totals if totals is not None else self.instance.oracle.counters,
             index_memory_bytes=self.dispatcher.memory_estimate_bytes(),
             dispatcher_extra=self.dispatcher.extra_metrics(),
         )

@@ -58,7 +58,10 @@ class SimulationResult:
     mean_wait_seconds: float = 0.0
     mean_detour_ratio: float = 0.0
 
-    extra: dict[str, float] = field(default_factory=dict)
+    #: dispatcher/oracle-reported extras; mostly floats, plus string markers
+    #: such as ``oracle_backend`` and a bypassed cache's
+    #: ``distance_cache_hit_rate = "bypassed (<backend>)"``.
+    extra: dict[str, float | str] = field(default_factory=dict)
 
     @property
     def served_rate(self) -> float:
@@ -186,13 +189,16 @@ class MetricsCollector:
         result.lower_bound_queries = oracle_counters.lower_bound_queries
         result.index_memory_bytes = index_memory_bytes
         # surface the oracle LRU cache statistics (hits/misses/evictions/
-        # hit rate) next to the query counters in experiment reports
+        # hit rate) and the per-backend counters next to the query counters
+        # in experiment reports; a bypassed distance cache stays the string
+        # marker "bypassed (<backend>)" rather than a misleading 0.0
         base_counters = {
             "distance_queries", "path_queries", "lower_bound_queries", "dijkstra_runs",
         }
         for key, value in oracle_counters.snapshot().items():
             if key not in base_counters:
-                result.extra[key] = float(value)
+                result.extra[key] = value if isinstance(value, str) else float(value)
+        result.extra["oracle_backend"] = oracle_counters.backend
         if dispatcher_extra:
             result.extra.update(dispatcher_extra)
         if self._waits:

@@ -37,13 +37,20 @@ from repro.workloads.workers import (
 CITY_BUILDERS = {
     "nyc-like": lambda seed: grid_city(rows=36, columns=36, block_metres=280.0, seed=seed,
                                        name="nyc-like"),
+    "metro-grid": lambda seed: grid_city(rows=60, columns=60, block_metres=260.0, seed=seed,
+                                         name="metro-grid"),
     "chengdu-like": lambda seed: ring_radial_city(rings=8, radials=24, ring_spacing_metres=700.0,
                                                   seed=seed, name="chengdu-like"),
     "small-grid": lambda seed: grid_city(rows=12, columns=12, block_metres=250.0, seed=seed,
                                          name="small-grid"),
     "random": lambda seed: random_geometric_city(num_vertices=250, seed=seed, name="random"),
 }
-"""Named synthetic cities available to scenarios."""
+"""Named synthetic cities available to scenarios.
+
+``metro-grid`` (~3.6k vertices) sits past the dense-APSP comfort zone on
+purpose: it is the workload where the hierarchical oracle backends earn
+their keep (the ``"auto"`` policy picks the contraction hierarchy there).
+"""
 
 
 @dataclass(frozen=True)
@@ -66,9 +73,15 @@ class ScenarioConfig:
             under many workload seeds pin ``city_seed`` so every replicate
             shares one road network (and the runner's network/oracle cache).
         use_hub_labels: force hub labels as the oracle accelerator.
-        oracle_precompute: oracle acceleration mode — ``"auto"`` (dense
-            all-pairs table for networks up to a few thousand vertices, hub
-            labels otherwise), ``"apsp"``, ``"hub_labels"`` or ``"none"``.
+        oracle_precompute: legacy oracle acceleration spelling — ``"auto"``,
+            ``"apsp"``, ``"hub_labels"`` or ``"none"``; superseded by
+            ``oracle_backend`` when that is set.
+        oracle_backend: distance backend — ``"auto"`` (dense all-pairs table
+            for networks up to a couple thousand vertices, a contraction
+            hierarchy beyond, flat hub labels for very large graphs),
+            ``"apsp"``, ``"ch"``, ``"hub_labels"`` or ``"dijkstra"``. Every
+            backend is value-exact; the choice only trades build cost
+            against query speed.
         cancellation_rate: probability that a rider cancels their request
             between release and deadline (0 disables; requires the event
             kernel).
@@ -90,6 +103,7 @@ class ScenarioConfig:
     city_seed: int | None = None
     use_hub_labels: bool = False
     oracle_precompute: str = "auto"
+    oracle_backend: str | None = None
     cancellation_rate: float = 0.0
     shift_hours: float = 0.0
 
@@ -129,19 +143,25 @@ def build_network(config: ScenarioConfig) -> RoadNetwork:
 
 
 def make_oracle(network: RoadNetwork, config: ScenarioConfig) -> DistanceOracle:
-    """Build the distance oracle for ``config``, choosing the accelerator.
+    """Build the distance oracle for ``config``, choosing the backend.
 
-    ``"auto"`` picks a dense all-pairs table for networks of up to a few
-    thousand vertices (the regime of the synthetic cities) and falls back to
-    hub labels beyond that; the paper similarly assumes an effectively O(1)
-    shortest-distance oracle (hub labelling + LRU cache).
+    ``oracle_backend`` wins when set; otherwise the legacy
+    ``use_hub_labels``/``oracle_precompute`` spelling is honoured.
+    ``"auto"`` defers to :func:`repro.network.backends.select_backend_name`
+    — a dense all-pairs table for networks up to a couple thousand vertices
+    (the regime of the synthetic cities), a contraction hierarchy for
+    city-scale graphs, flat hub labels beyond; the paper similarly assumes
+    an effectively O(1) shortest-distance oracle (hub labelling + LRU
+    cache). Every backend is value-exact, so the choice never changes
+    simulation outcomes.
     """
-    mode = "hub_labels" if config.use_hub_labels else config.oracle_precompute
-    if mode == "auto":
-        mode = "apsp" if network.num_vertices <= 4000 else "hub_labels"
+    if config.oracle_backend is not None:
+        mode = config.oracle_backend
+    else:
+        mode = "hub_labels" if config.use_hub_labels else config.oracle_precompute
     if mode == "none":
-        return DistanceOracle(network)
-    return DistanceOracle(network, precompute=mode)
+        mode = "dijkstra"
+    return DistanceOracle(network, backend=mode)
 
 
 def build_instance(

@@ -64,6 +64,21 @@ def test_service_replay_matches_direct_engine_drive(algorithm, engine):
     assert _fingerprint(replayed, service_instance) == _fingerprint(direct, direct_instance)
 
 
+@pytest.mark.parametrize("backend", ["dijkstra", "apsp", "ch", "hub_labels"])
+def test_service_replay_matches_direct_drive_under_every_backend(backend):
+    """The oracle backend must never change what the service replays."""
+    scenario = _STANDARD.with_overrides(oracle_backend=backend)
+    direct_instance = build_instance(scenario)
+    direct = Simulator(direct_instance, _dispatcher("pruneGreedyDP")).run()
+
+    service_instance = build_instance(scenario)
+    service = MatchingService(service_instance, _dispatcher("pruneGreedyDP"))
+    replayed = service.replay()
+
+    assert service_instance.oracle.backend_name == backend
+    assert _fingerprint(replayed, service_instance) == _fingerprint(direct, direct_instance)
+
+
 def test_decision_stream_is_consistent_with_the_metrics():
     """The typed decision stream agrees with the aggregated result."""
     instance = build_instance(_STANDARD)
