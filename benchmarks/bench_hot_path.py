@@ -34,7 +34,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import platform
 import sys
 import time
@@ -43,7 +42,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+from _trajectory import append_trajectory  # noqa: E402
 from repro.core.insertion.linear_dp import LinearDPInsertion  # noqa: E402
 from repro.core.route import Route  # noqa: E402
 from repro.dispatch import DispatcherConfig  # noqa: E402
@@ -154,17 +155,6 @@ def bench_scenario(name: str, workers: int | None, repeats: int) -> dict:
     return entry
 
 
-def append_trajectory(path: Path, entries: list[dict]) -> None:
-    """Append the run entries to the JSON perf-trajectory file."""
-    if path.exists():
-        document = json.loads(path.read_text())
-    else:
-        document = {"benchmark": "hot_path", "runs": []}
-    document["runs"].extend(entries)
-    path.write_text(json.dumps(document, indent=2) + "\n")
-    print(f"trajectory written to {path} ({len(document['runs'])} runs total)")
-
-
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -192,7 +182,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         print(f"== hot-path benchmark: {name} ==")
         entries.append(bench_scenario(name, args.workers, args.repeats))
-    append_trajectory(args.output, entries)
+    append_trajectory(args.output, "hot_path", entries)
 
     if not all(entry["identical_metrics"] for entry in entries):
         print("FAIL: array-native metrics diverge from the legacy scalar path")

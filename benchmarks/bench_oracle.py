@@ -36,7 +36,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import platform
 import sys
 import time
@@ -47,7 +46,9 @@ import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+from _trajectory import append_trajectory  # noqa: E402
 from repro.core.instance import URPSMInstance  # noqa: E402
 from repro.dispatch import DispatcherConfig  # noqa: E402
 from repro.dispatch.greedy_dp import PruneGreedyDP  # noqa: E402
@@ -223,17 +224,6 @@ def bench_scenario(name: str, workers: int | None, repeats: int, all_backends: b
     return entry
 
 
-def append_trajectory(path: Path, entries: list[dict]) -> None:
-    """Append the run entries to the JSON perf-trajectory file."""
-    if path.exists():
-        document = json.loads(path.read_text())
-    else:
-        document = {"benchmark": "oracle", "runs": []}
-    document["runs"].extend(entries)
-    path.write_text(json.dumps(document, indent=2) + "\n")
-    print(f"trajectory written to {path} ({len(document['runs'])} runs total)")
-
-
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -270,7 +260,7 @@ def main(argv: list[str] | None = None) -> int:
         bench_scenario(name, args.workers, args.repeats, args.all_backends)
         for name in names
     ]
-    append_trajectory(args.output, entries)
+    append_trajectory(args.output, "oracle", entries)
 
     if not all(entry["identical_metrics"] for entry in entries):
         print("FAIL: a backend's simulation metrics diverge from the Dijkstra baseline")

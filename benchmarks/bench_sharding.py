@@ -28,7 +28,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import platform
 import sys
 import time
@@ -37,7 +36,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+from _trajectory import append_trajectory  # noqa: E402
 from repro.dispatch import DispatcherConfig, make_dispatcher  # noqa: E402
 from repro.workloads.scenarios import (  # noqa: E402
     ScenarioConfig,
@@ -160,17 +161,6 @@ def bench_scenario(
     }
 
 
-def append_trajectory(path: Path, entries: list[dict]) -> None:
-    """Append the run entries to the JSON perf-trajectory file."""
-    if path.exists():
-        document = json.loads(path.read_text())
-    else:
-        document = {"benchmark": "sharding", "runs": []}
-    document["runs"].extend(entries)
-    path.write_text(json.dumps(document, indent=2) + "\n")
-    print(f"trajectory written to {path} ({len(document['runs'])} runs total)")
-
-
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -204,7 +194,7 @@ def main(argv: list[str] | None = None) -> int:
         entries.append(
             bench_scenario(name, args.workers, args.repeats, args.shards, args.strategy)
         )
-    append_trajectory(args.output, entries)
+    append_trajectory(args.output, "sharding", entries)
 
     if not all(entry["k1_identical"] for entry in entries):
         print("FAIL: sharded K=1 metrics diverge from the unsharded baseline")

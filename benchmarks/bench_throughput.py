@@ -1,0 +1,262 @@
+"""Serving throughput: in-process loop vs the multiprocess cluster front door.
+
+Replays the same workload through the :class:`MatchingService` session API in
+three configurations — the plain single-process loop, the in-process sharded
+wrapper, and the :class:`ClusterMatchingService` shard-worker processes — at
+K ∈ {1, 2, 4}, recording for each:
+
+* sustained throughput (requests / total wall, submissions + drain);
+* per-decision latency percentiles (p50 / p99 over every ``submit`` call).
+
+**Gate:** at every K>1 the cluster replay must be **bit-identical** to the
+in-process ``sharded:<inner>`` wrapper at the same K — served requests,
+unified cost, mean wait and mean detour all compare exact. At K=1 the
+in-process wrapper stays bit-locked to the *lazy* unsharded dispatcher while
+the cluster materialises exact positions for replica sync, so the two float
+associations differ in the last ULP: served counts still compare exact and
+the cost/wait/detour metrics are gated at 1e-9 relative. Any divergence
+exits non-zero.
+
+Throughput numbers are environment-dependent: on a single-CPU container the
+worker processes time-share one core with the front door, so the cluster
+cannot beat the in-process loop there — ``cpu_count`` is recorded in every
+entry so trajectory readers can interpret the ratios. Cluster K=4 vs cluster
+K=1 is the scaling signal that survives a serialised scheduler.
+
+Usage::
+
+    python benchmarks/bench_throughput.py                  # standard @ 300 workers
+    python benchmarks/bench_throughput.py --smoke          # CI-sized, K=2 only
+    python benchmarks/bench_throughput.py --shards 1 2 4 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import os
+import platform
+import statistics
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from _trajectory import append_trajectory  # noqa: E402
+from repro.cluster.service import ClusterMatchingService  # noqa: E402
+from repro.dispatch import DispatcherConfig, make_dispatcher  # noqa: E402
+from repro.service.facade import MatchingService  # noqa: E402
+from repro.workloads.scenarios import (  # noqa: E402
+    ScenarioConfig,
+    build_instance,
+    build_network,
+    make_oracle,
+    paper_default_scenario,
+)
+
+SCENARIOS = {
+    "standard": lambda workers: paper_default_scenario(num_workers=workers or 300),
+    "smoke": lambda workers: ScenarioConfig(
+        city="small-grid", num_workers=workers or 30, num_requests=150, seed=2018
+    ),
+}
+
+ALGORITHMS = ("pruneGreedyDP", "batch")
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run_once(config, network, algorithm: str, mode: str, shards: int):
+    """One full service replay; returns (stats dict, result)."""
+    oracle = make_oracle(network, config)
+    instance = build_instance(config, network=network, oracle=oracle)
+    dispatcher_config = DispatcherConfig(
+        grid_cell_metres=config.grid_km * 1000.0, num_shards=max(shards, 1)
+    )
+    name = algorithm if mode == "in-process" else f"{mode}:{algorithm}"
+    dispatcher = make_dispatcher(name, dispatcher_config)
+    if mode == "cluster":
+        service = ClusterMatchingService(instance, dispatcher)
+    else:
+        service = MatchingService(instance, dispatcher)
+    latencies = []
+    started = time.perf_counter()
+    try:
+        for request in instance.requests:
+            decision_started = time.perf_counter()
+            service.submit(request)
+            latencies.append(time.perf_counter() - decision_started)
+        result = service.drain()
+    finally:
+        close = getattr(service, "close", None)
+        if close is not None:
+            close()
+    wall = time.perf_counter() - started
+    latencies.sort()
+    stats = {
+        "wall_s": round(wall, 4),
+        "requests_per_s": round(len(latencies) / wall, 1) if wall > 0 else 0.0,
+        "p50_latency_ms": round(_percentile(latencies, 0.50) * 1e3, 4),
+        "p99_latency_ms": round(_percentile(latencies, 0.99) * 1e3, 4),
+    }
+    return stats, result
+
+
+def fingerprint(result) -> dict:
+    return {
+        "served": result.served_requests,
+        "unified_cost": result.unified_cost,
+        "mean_wait_s": result.mean_wait_seconds,
+        "mean_detour_ratio": result.mean_detour_ratio,
+    }
+
+
+def equivalent(cluster_print: dict, sharded_print: dict, shards: int) -> bool:
+    """Cluster vs in-process sharded at the same K must agree.
+
+    Bit-exact at K>1 (both regimes materialise at every arrival/flush); at
+    K=1 the in-process wrapper is lazy while the cluster is exact-positions,
+    so the float metrics are compared at 1e-9 relative (see module docstring).
+    """
+    if shards > 1:
+        return cluster_print == sharded_print
+    if cluster_print["served"] != sharded_print["served"]:
+        return False
+    return all(
+        math.isclose(cluster_print[key], sharded_print[key], rel_tol=1e-9, abs_tol=1e-9)
+        for key in ("unified_cost", "mean_wait_s", "mean_detour_ratio")
+    )
+
+
+def bench_scenario(
+    name: str, workers: int | None, repeats: int, shard_counts: list[int]
+) -> dict:
+    config = SCENARIOS[name](workers)
+    network = build_network(config)
+
+    def best_of(algorithm: str, mode: str, shards: int):
+        best_stats, last_result = None, None
+        for repeat in range(repeats):
+            stats, last_result = run_once(config, network, algorithm, mode, shards)
+            if best_stats is None or stats["wall_s"] < best_stats["wall_s"]:
+                best_stats = stats
+            label = mode if mode == "in-process" else f"{mode} K={shards}"
+            print(
+                f"  [{name}/{algorithm}] repeat {repeat + 1}/{repeats} {label:>16}: "
+                f"{stats['wall_s']:6.2f}s  {stats['requests_per_s']:7.1f} req/s  "
+                f"p99 {stats['p99_latency_ms']:.2f}ms"
+            )
+        return best_stats, last_result
+
+    sweeps, all_equivalent = [], True
+    for algorithm in ALGORITHMS:
+        baseline_stats, baseline_result = best_of(algorithm, "in-process", 0)
+        points = []
+        for shards in shard_counts:
+            sharded_stats, sharded_result = best_of(algorithm, "sharded", shards)
+            cluster_stats, cluster_result = best_of(algorithm, "cluster", shards)
+            identical = equivalent(
+                fingerprint(cluster_result), fingerprint(sharded_result), shards
+            )
+            all_equivalent = all_equivalent and identical
+            points.append(
+                {
+                    "shards": shards,
+                    "sharded": sharded_stats,
+                    "cluster": cluster_stats,
+                    "cluster_vs_in_process": round(
+                        baseline_stats["wall_s"] / cluster_stats["wall_s"], 3
+                    ),
+                    "metrics_identical_to_sharded": identical,
+                    "cluster_worker_failures": cluster_result.extra.get(
+                        "cluster_worker_failures"
+                    ),
+                }
+            )
+            print(
+                f"  [{name}/{algorithm}] K={shards}: cluster "
+                f"{cluster_stats['requests_per_s']} req/s vs sharded "
+                f"{sharded_stats['requests_per_s']} req/s, identical: {identical}"
+            )
+        sweeps.append(
+            {
+                "algorithm": algorithm,
+                "in_process": {**baseline_stats, "fingerprint": fingerprint(baseline_result)},
+                "sweep": points,
+            }
+        )
+
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scenario": name,
+        "city": config.city,
+        "workers": config.num_workers,
+        "requests": config.num_requests,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "algorithms": sweeps,
+        "all_equivalent": all_equivalent,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="standard",
+        help="named scenario to run (default: standard)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: smoke scenario, one repeat, K=2 only",
+    )
+    parser.add_argument("--workers", type=int, default=None, help="override the fleet size")
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="runs per configuration (best-of)"
+    )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4], help="shard counts to sweep"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_throughput.json",
+        help="perf-trajectory JSON file to append to",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.scenario, args.repeats, args.shards = "smoke", 1, [2]
+
+    print(f"== throughput benchmark: {args.scenario} ==")
+    entry = bench_scenario(args.scenario, args.workers, args.repeats, args.shards)
+    append_trajectory(args.output, "throughput", [entry])
+
+    if not entry["all_equivalent"]:
+        print("FAIL: cluster metrics diverge from the in-process sharded wrapper")
+        return 1
+    for sweep in entry["algorithms"]:
+        points = ", ".join(
+            f"K={p['shards']}: {p['cluster']['requests_per_s']} req/s"
+            for p in sweep["sweep"]
+        )
+        print(
+            f"{sweep['algorithm']}: in-process "
+            f"{sweep['in_process']['requests_per_s']} req/s; cluster {points}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -100,6 +100,14 @@ def build_parser() -> argparse.ArgumentParser:
                               help="stop after streaming this many requests")
     serve_replay.add_argument("--quiet", action="store_true",
                               help="suppress per-decision lines (print the summary only)")
+    serve_replay.add_argument("--cluster", action="store_true",
+                              help="serve through shard worker processes (one per "
+                                   "spatial shard; size the worker pool with "
+                                   "--shards K) instead of the in-process dispatcher")
+    serve_replay.add_argument("--max-pending", type=int, default=1024,
+                              help="cluster backpressure: outstanding per-shard "
+                                   "commands admitted before requests are rejected "
+                                   "as saturated")
 
     compare = subparsers.add_parser("compare", help="compare the paper's algorithms on one scenario")
     _add_scenario_arguments(compare)
@@ -215,6 +223,8 @@ def _platform_from_args(
         scenario=_scenario_from_args(args),
         dispatcher=_dispatcher_spec_from_args(args, algorithm),
         engine=args.engine,
+        cluster=getattr(args, "cluster", False),
+        cluster_max_pending=getattr(args, "max_pending", 1024),
     ).validate()
 
 
@@ -269,7 +279,9 @@ def command_algorithms(args: argparse.Namespace) -> int:
         print(f"  {name}")
     print(
         "\nany algorithm can be wrapped in the sharded dispatcher as "
-        "'sharded:<name>' (or with --shards K on scenario commands)."
+        "'sharded:<name>' (or with --shards K on scenario commands), or run "
+        "on shard-worker processes as 'cluster:<name>' (serve-replay "
+        "--cluster)."
     )
     return 0
 

@@ -1,0 +1,24 @@
+"""Multiprocess shard-worker serving cluster.
+
+The K spatial shards of the sharded dispatcher run as long-lived worker
+processes behind a front door exposing the standard
+:class:`~repro.service.facade.MatchingService` session API:
+
+* :class:`~repro.cluster.service.ClusterMatchingService` — the facade;
+* :class:`~repro.cluster.dispatcher.ClusterDispatcher` — routing, batch
+  window mirroring, escalation-by-message-passing, backpressure, crash
+  detection and clean shutdown;
+* :mod:`repro.cluster.worker` — the per-shard worker-process runtime
+  (deterministic full-fleet replica + inner dispatcher);
+* :mod:`repro.cluster.messages` — the picklable wire protocol.
+
+Cluster replays are metric-identical (served rate, unified cost, waits,
+detours) to the in-process :class:`~repro.sharding.dispatcher.
+ShardedDispatcher` at the same K — enforced by ``tests/cluster`` and by the
+equivalence gate of ``benchmarks/bench_throughput.py``.
+"""
+
+from repro.cluster.dispatcher import ClusterDispatcher
+from repro.cluster.service import ClusterMatchingService
+
+__all__ = ["ClusterDispatcher", "ClusterMatchingService"]

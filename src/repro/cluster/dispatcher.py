@@ -1,0 +1,919 @@
+"""Front door of the shard-worker cluster: routing, escalation, resilience.
+
+:class:`ClusterDispatcher` implements the full
+:class:`~repro.dispatch.base.Dispatcher` interface by delegating each shard's
+work to a long-lived worker *process* (one per spatial shard) over a duplex
+pipe, instead of calling an in-process inner dispatcher. It mirrors
+:class:`~repro.sharding.dispatcher.ShardedDispatcher` decision for decision:
+
+* requests route to the shard containing their origin; a failed immediate
+  dispatch **escalates** to the nearest adjacent shards and then globally, so
+  a request is only rejected once every live shard has been considered;
+* batch windows are **buffered** at the front door with the exact float
+  arithmetic of :class:`~repro.dispatch.base.BatchDispatcher` — deferrals
+  touch no fleet state, so they accumulate locally (their depth is the
+  backpressure signal) and ship inside the flush command as ``(request,
+  defer clock)`` pairs the worker replays, one round trip per window instead
+  of one per request; cancelling a buffered request never crosses the pipe,
+  and every reply piggybacks the worker's true ``next_flush_time`` to keep
+  the mirror honest;
+* fleet state is synchronised by shipping absolute per-worker **plan
+  snapshots** keyed on a ``(plan_version, online)`` cursor per shard — only
+  plans that changed since a shard was last commanded cross the pipe — plus
+  **membership moves**: the front door re-buckets moved workers against the
+  partition on the authoritative fleet (the exact mirror of
+  ``ShardedDispatcher._resync``, run at the same decision points) and
+  piggybacks the deltas, so each replica advances only its *own members* and
+  per-command work stays proportional to the shard, not the fleet.
+
+Resilience:
+
+* **backpressure** — when a shard's deferred-request queue (buffered window
+  plus worker-held re-deferrals) reaches ``max_pending``, new requests for it
+  are admission-rejected with the explicit ``saturated`` rejection reason
+  instead of queueing unboundedly;
+* **crash detection** — a broken pipe or reply timeout marks the worker dead:
+  its process is reaped, its deferred requests re-route to the nearest live
+  shard, and subsequent traffic escalates over the surviving shards; with no
+  survivor, requests are rejected rather than lost;
+* **clean shutdown** — :meth:`close` is idempotent, always joins (or
+  terminates) every worker process, and is wired into the service facade's
+  ``drain()``/context-manager exits, so no run leaves orphans behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time as _time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.cluster.messages import (
+    AddWorkerCommand,
+    CancelCommand,
+    DispatchCommand,
+    FlushCommand,
+    ShardInit,
+    ShutdownCommand,
+    StatsCommand,
+    StatsReply,
+    WorkerPlan,
+)
+from repro.cluster.worker import plan_snapshot, shard_worker_main
+from repro.core.types import Request, Stop
+from repro.dispatch.base import Dispatcher, DispatcherConfig, DispatchOutcome
+from repro.exceptions import ConfigurationError, DispatchError
+from repro.network.oracle import OracleCounters
+from repro.sharding.partitioner import Partition, SpatialPartitioner
+from repro.utils.rng import derive_spawned_seed
+
+if TYPE_CHECKING:
+    from repro.core.instance import URPSMInstance
+    from repro.simulation.fleet import FleetState
+
+
+@dataclass
+class _ShardHandle:
+    """Front-door bookkeeping for one shard worker process."""
+
+    shard_id: int
+    process: multiprocessing.process.BaseProcess
+    connection: object  # multiprocessing.connection.Connection
+    alive: bool = True
+    #: sync cursor: worker id -> (plan_version, online) as last shipped.
+    cursor: dict[int, tuple[int, bool]] = field(default_factory=dict)
+    #: mirror of the shard's BatchDispatcher window (None = no pending flush).
+    next_flush: float | None = None
+    #: the shard's open batch window, buffered front-door side until flush.
+    window: list[tuple[Request, float]] = field(default_factory=list)
+    #: deferred request ids the *worker* still holds (re-deferrals after a
+    #: flush), in defer order.
+    pending_ids: list[int] = field(default_factory=list)
+    #: membership (worker, shard) deltas not yet shipped to this shard.
+    pending_moves: list[tuple[int, int]] = field(default_factory=list)
+    #: authoritative ``advance_all`` clocks not yet shipped to this shard —
+    #: the replica replays member advancement through them (anchor floats are
+    #: grouping-dependent, see ``DispatchCommand.advance_clocks``).
+    pending_clocks: list[float] = field(default_factory=list)
+    #: fire-and-forget commands (worker additions) awaiting their ack.
+    pending_acks: int = 0
+    dispatch_calls: int = 0
+
+
+class ClusterDispatcher(Dispatcher):
+    """Routes requests to shard worker *processes*, escalating on failure.
+
+    Args:
+        config: shared dispatcher knobs (``num_shards``, ``shard_strategy``,
+            ``shard_escalate_k``, ``shard_oracle_backend`` parameterise the
+            sharding exactly as for the in-process sharded dispatcher).
+        inner: registry name of the per-shard algorithm.
+        num_shards / strategy / escalate_k: overrides of the config fields.
+        seed: platform seed; per-worker-process streams are derived from it
+            with :func:`~repro.utils.rng.derive_spawned_seed`.
+        max_pending: bounded-queue backpressure — deferred requests tolerated
+            per shard (buffered window plus worker-held re-deferrals) before
+            admission-rejecting.
+        dispatch_timeout: hard cap in seconds on waiting for one reply before
+            declaring the worker dead.
+    """
+
+    name = "cluster"
+    #: shard routing is position-dependent (which shard answers first depends
+    #: on where workers currently are), and the replicas re-derive exact
+    #: positions deterministically — so the authoritative fleet must always
+    #: be materialised, even at K=1. Consequence: at K=1 the in-process
+    #: ``sharded:<inner>`` wrapper stays bit-locked to the *lazy* unsharded
+    #: dispatcher (touch-driven advancement), a different float association
+    #: for partial-advance anchors — decisions still match, and metrics agree
+    #: to ~1e-9 relative instead of bit-for-bit. At K>1 both regimes
+    #: materialise at every arrival and flush, so replays are bit-identical.
+    requires_exact_positions = True
+
+    def __init__(
+        self,
+        config: DispatcherConfig | None = None,
+        inner: str = "pruneGreedyDP",
+        num_shards: int | None = None,
+        strategy: str | None = None,
+        escalate_k: int | None = None,
+        seed: int = 0,
+        max_pending: int = 1024,
+        dispatch_timeout: float = 60.0,
+    ) -> None:
+        super().__init__(config)
+        if not isinstance(inner, str):
+            raise ConfigurationError("cluster inner dispatcher must be a registry name")
+        if inner.startswith(("sharded", "cluster")):
+            raise ConfigurationError(f"cannot nest {inner!r} inside a cluster")
+        self.inner = inner
+        self.num_shards = num_shards if num_shards is not None else self.config.num_shards
+        self.strategy = strategy if strategy is not None else self.config.shard_strategy
+        self.escalate_k = (
+            escalate_k if escalate_k is not None else self.config.shard_escalate_k
+        )
+        if self.num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {self.num_shards}")
+        self.seed = seed
+        self.max_pending = max_pending
+        self.dispatch_timeout = dispatch_timeout
+        self.name = f"cluster:{inner}"
+        self.partition: Partition | None = None
+        self._handles: list[_ShardHandle] = []
+        self._closed = False
+        #: authoritative Request objects by id (replies reference ids only).
+        self._requests: dict[int, Request] = {}
+        #: authoritative worker -> shard bucketing (kept by _resync_membership).
+        self._membership: dict[int, int] = {}
+        # routing counters (mirror of the in-process sharded dispatcher)
+        self.local_hits = 0
+        self.escalations = 0
+        self.cross_shard_assignments = 0
+        self.cross_shard_moves = 0
+        self.global_fallbacks = 0
+        self.rejections = 0
+        # cluster-specific counters
+        self.admission_rejections = 0
+        self.worker_failures = 0
+        self.commands_sent = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def setup(self, instance: "URPSMInstance", fleet: "FleetState") -> None:
+        """Partition the city and fork one worker process per shard."""
+        self.instance = instance
+        self.fleet = fleet
+        self.oracle = instance.oracle
+        self.partition = SpatialPartitioner(self.num_shards, self.strategy).partition(
+            instance.network
+        )
+        membership: dict[int, int] = {}
+        for worker_id in fleet.states:
+            membership[worker_id] = self.partition.shard_of_vertex(
+                fleet.peek_state(worker_id).position
+            )
+        self._membership = dict(membership)
+        context = (
+            multiprocessing.get_context("fork")
+            if "fork" in multiprocessing.get_all_start_methods()
+            else multiprocessing.get_context()
+        )
+        self._handles = []
+        try:
+            for shard_id in range(self.num_shards):
+                init = ShardInit(
+                    shard_id=shard_id,
+                    num_shards=self.num_shards,
+                    inner=self.inner,
+                    config=self.config,
+                    partition=self.partition,
+                    instance=instance,
+                    membership=membership,
+                    seed=derive_spawned_seed(self.seed, "cluster-shard", shard_id),
+                )
+                parent, child = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=shard_worker_main,
+                    args=(child, init),
+                    name=f"repro-shard-{shard_id}",
+                    daemon=True,
+                )
+                process.start()
+                child.close()
+                handle = _ShardHandle(shard_id, process, parent)
+                for worker_id in fleet.states:
+                    state = fleet.peek_state(worker_id)
+                    handle.cursor[worker_id] = (state.plan_version, state.online)
+                self._handles.append(handle)
+            for handle in self._handles:
+                ready = self._recv(handle)
+                if ready is None:
+                    raise DispatchError(
+                        f"shard worker {handle.shard_id} died during startup"
+                    )
+                if ready.error:
+                    raise DispatchError(
+                        f"shard worker {handle.shard_id} failed to start:\n{ready.error}"
+                    )
+        except Exception:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Shut every worker process down; idempotent, never leaves orphans."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            if handle.alive:
+                try:
+                    handle.connection.send(ShutdownCommand())
+                except (BrokenPipeError, OSError):
+                    pass
+            handle.process.join(1.5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(5.0)
+            handle.alive = False
+            try:
+                handle.connection.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ClusterDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # last-resort reaping; close() is the real path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # --------------------------------------------------------- communication
+
+    def _live(self) -> list[_ShardHandle]:
+        return [handle for handle in self._handles if handle.alive]
+
+    def _send(self, handle: _ShardHandle, command) -> bool:
+        try:
+            handle.connection.send(command)
+        except (BrokenPipeError, OSError):
+            self._mark_dead(handle)
+            return False
+        self.commands_sent += 1
+        return True
+
+    def _recv(self, handle: _ShardHandle):
+        """Blocking receive with liveness polling; ``None`` = worker died."""
+        deadline = _time.monotonic() + self.dispatch_timeout
+        while True:
+            try:
+                if handle.connection.poll(0.1):
+                    reply = handle.connection.recv()
+                    if getattr(reply, "error", None):
+                        self._mark_dead(handle)
+                        raise DispatchError(
+                            f"shard worker {handle.shard_id} failed:\n{reply.error}"
+                        )
+                    return reply
+            except (EOFError, OSError):
+                self._mark_dead(handle)
+                return None
+            if not handle.process.is_alive():
+                # one last poll: the worker may have replied right before exiting
+                try:
+                    if handle.connection.poll(0):
+                        continue
+                except (EOFError, OSError):
+                    pass
+                self._mark_dead(handle)
+                return None
+            if _time.monotonic() > deadline:
+                self._mark_dead(handle)
+                return None
+
+    def _drain_acks(self, handle: _ShardHandle, *, block: bool) -> None:
+        """Consume outstanding fire-and-forget replies (FIFO, in order).
+
+        Non-blocking drains run opportunistically before each send (the
+        backpressure accounting); blocking drains run before any round-trip
+        receive, because replies share the pipe and arrive in command order.
+        """
+        while handle.alive and handle.pending_acks > 0:
+            if block:
+                reply = self._recv(handle)
+                if reply is None:
+                    return
+            else:
+                try:
+                    if not handle.connection.poll(0):
+                        return
+                except (EOFError, OSError):
+                    self._mark_dead(handle)
+                    return
+                reply = self._recv(handle)
+                if reply is None:
+                    return
+            handle.pending_acks -= 1
+            handle.next_flush = reply.next_flush
+
+    def _roundtrip(self, handle: _ShardHandle, command):
+        """Drain acks, send, and receive the command's own reply."""
+        self._drain_acks(handle, block=True)
+        if not handle.alive or not self._send(handle, command):
+            return None
+        return self._recv(handle)
+
+    def _mark_dead(self, handle: _ShardHandle) -> None:
+        if not handle.alive:
+            return
+        handle.alive = False
+        self.worker_failures += 1
+        handle.next_flush = None
+        handle.pending_acks = 0
+        handle.pending_moves.clear()
+        handle.pending_clocks.clear()
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(5.0)
+        try:
+            handle.connection.close()
+        except OSError:
+            pass
+        window, handle.window = handle.window, []
+        orphans, handle.pending_ids = handle.pending_ids, []
+        for request, clock in window:
+            self._redefer(request, clock)
+        for request_id in orphans:
+            request = self._requests.get(request_id)
+            if request is not None:
+                self._redefer(request)
+
+    def _redefer(self, request: Request, clock: float | None = None) -> None:
+        """Re-route an orphaned deferred request to the nearest live shard."""
+        target = self._first_live_target(request)
+        if target is None:
+            return  # no survivor; the flush path will reject what it never sees
+        if clock is None:
+            clock = self.fleet.clock if self.fleet is not None else 0.0
+        self._defer_to(target, request, clock)
+
+    def _first_live_target(self, request: Request) -> _ShardHandle | None:
+        home = self.partition.shard_of_vertex(request.origin)
+        if self._handles[home].alive:
+            return self._handles[home]
+        neighbours, remaining = self._escalation_targets(request, home)
+        for shard_id in neighbours + remaining:
+            if self._handles[shard_id].alive:
+                return self._handles[shard_id]
+        return None
+
+    # ------------------------------------------------------------- plan sync
+
+    def _resync_membership(self) -> None:
+        """Re-bucket moved workers; buffer the deltas for every live shard.
+
+        The exact mirror of ``ShardedDispatcher._resync``, computed on the
+        authoritative fleet at the same decision points (dispatch and flush),
+        so replica membership never depends on replica-side advancement. The
+        deltas ride on each shard's next command of any kind.
+        """
+        fleet = self.fleet
+        partition = self.partition
+        assert fleet is not None and partition is not None
+        for worker_id in fleet.drain_moved():
+            shard_id = partition.shard_of_vertex(fleet.peek_state(worker_id).position)
+            if shard_id != self._membership[worker_id]:
+                self._membership[worker_id] = shard_id
+                self.cross_shard_moves += 1
+                # the receiving shard stopped hearing about this worker's plan
+                # while it belonged elsewhere; forget its cursor stamp so the
+                # current snapshot ships together with the move
+                self._handles[shard_id].cursor.pop(worker_id, None)
+                for handle in self._handles:
+                    if handle.alive:
+                        handle.pending_moves.append((worker_id, shard_id))
+
+    def _take_moves(self, handle: _ShardHandle) -> tuple[tuple[int, int], ...]:
+        """Membership deltas to piggyback on ``handle``'s next command."""
+        if not handle.pending_moves:
+            return ()
+        moves = tuple(handle.pending_moves)
+        handle.pending_moves.clear()
+        return moves
+
+    def _note_advance_clock(self, now: float) -> None:
+        """Record one authoritative ``advance_all`` clock for every shard.
+
+        The engine materialises the whole fleet before each ``dispatch`` and
+        ``flush`` call (``requires_exact_positions``), so those entry points
+        are exactly the ``advance_all`` clock sequence the replicas must
+        replay. Consecutive duplicates are no-op advances — skip them.
+        """
+        for handle in self._handles:
+            if handle.alive and (
+                not handle.pending_clocks or handle.pending_clocks[-1] != now
+            ):
+                handle.pending_clocks.append(now)
+
+    def _take_clocks(self, handle: _ShardHandle) -> tuple[float, ...]:
+        """Advance clocks to piggyback on ``handle``'s next advancing command."""
+        if not handle.pending_clocks:
+            return ()
+        clocks = tuple(handle.pending_clocks)
+        handle.pending_clocks.clear()
+        return clocks
+
+    def _sync_payload(self, handle: _ShardHandle) -> tuple[WorkerPlan, ...]:
+        """Member plans changed since ``handle`` was last commanded.
+
+        A replica only reads the plans of its *own members* (its decisions
+        never touch other shards' workers), so each plan change crosses one
+        pipe, not K — a worker migrating in gets its snapshot shipped with
+        the move because ``_resync_membership`` dropped its cursor stamp.
+        """
+        fleet = self.fleet
+        assert fleet is not None
+        membership = self._membership
+        shard_id = handle.shard_id
+        changed: list[WorkerPlan] = []
+        cursor = handle.cursor
+        for worker_id in fleet.states:
+            if membership.get(worker_id) != shard_id:
+                continue
+            state = fleet.peek_state(worker_id)
+            stamp = (state.plan_version, state.online)
+            if cursor.get(worker_id) != stamp:
+                cursor[worker_id] = stamp
+                changed.append(plan_snapshot(state))
+        return tuple(changed)
+
+    def _own_request(self, shipped: Request) -> Request:
+        return self._requests.get(shipped.id, shipped)
+
+    def _apply_plan(
+        self, handle: _ShardHandle, plan: WorkerPlan
+    ) -> "dict[int, ServiceRecord]":
+        """Install a worker's new plan (computed by a replica) authoritatively.
+
+        The replica ran the *real* inner dispatcher on bit-identical state, so
+        its resulting route — anchor, stop sequence, concrete path — IS what
+        an in-process run would have produced; the plan is adopted wholesale.
+        Two pieces of bookkeeping need replaying rather than adopting:
+
+        * the worker is first materialised to the clock along its *old* route
+          (``state_of``), mirroring the replica's pre-decision advancement —
+          that walk charges travelled cost and buffers completions on the
+          authoritative side exactly as an in-process touch would;
+        * movement the replica did *during* the decision is invisible here (a
+          batch insertion can anchor a route in the past, and a later
+          same-command touch walks the worker forward along the new legs,
+          completing past-due stops) — ``plan.walked_cost`` carries that
+          travelled delta, and service-record times completed replica-side
+          are adopted.
+
+        Deliveries completed during the decision are *returned* (request id →
+        record) rather than buffered: the caller pushes them into the
+        engine's completion buffer following the reply's ``completed_ids``
+        stamping order, because metric means sum left-to-right.
+
+        Stops and records are re-keyed onto the front door's own
+        :class:`Request` objects so the engine's completion records and
+        cancellation lookups keep referencing the instances it handed out.
+        """
+        from repro.core.route import Route
+        from repro.simulation.fleet import ServiceRecord
+
+        fleet = self.fleet
+        assert fleet is not None
+        state = fleet.state_of(plan.worker_id)
+        current = state.route
+        stops = [
+            Stop(vertex=stop.vertex, request=self._own_request(stop.request), kind=stop.kind)
+            for stop in plan.stops
+        ]
+        if plan.walked_cost != 0.0:
+            # the replica moved the worker during the decision; its anchor is
+            # the only correct one (the authoritative route cannot re-derive
+            # legs of a plan it never saw)
+            origin, start_time = plan.origin, plan.start_time
+            state.travelled_cost += plan.walked_cost
+        else:
+            # anchors agree up to the last ULP; prefer the authoritative bits
+            # (both fleets advanced to the same clock, but through different
+            # step groupings, so the replica's floats can drift)
+            origin, start_time = current.origin, current.start_time
+        state.replace_route(
+            Route(
+                worker=state.worker,
+                origin=origin,
+                start_time=start_time,
+                stops=stops,
+                concrete_path=plan.concrete_path,
+            )
+        )
+        records: dict[int, ServiceRecord] = {}
+        completed: dict[int, ServiceRecord] = {}
+        for record in plan.records:
+            existing = state.assigned_requests.get(record.request.id)
+            if existing is not None:
+                if existing.pickup_time is None and record.pickup_time is not None:
+                    existing.pickup_time = record.pickup_time
+                if existing.dropoff_time is None and record.dropoff_time is not None:
+                    existing.dropoff_time = record.dropoff_time
+                    completed[record.request.id] = existing
+                records[record.request.id] = existing
+            else:
+                fresh = ServiceRecord(
+                    request=self._own_request(record.request),
+                    worker_id=plan.worker_id,
+                    pickup_time=record.pickup_time,
+                    dropoff_time=record.dropoff_time,
+                )
+                if fresh.dropoff_time is not None:
+                    # assigned and delivered within one command
+                    completed[record.request.id] = fresh
+                records[record.request.id] = fresh
+            fleet._assignment_hint[record.request.id] = plan.worker_id
+        state.assigned_requests = records
+        # the shard that produced this plan already holds it; record the new
+        # authoritative stamp so the next sync does not echo it back
+        handle.cursor[plan.worker_id] = (state.plan_version, state.online)
+        return completed
+
+    def _push_completions(
+        self, records: "dict[int, ServiceRecord]", ordered_ids: tuple[int, ...]
+    ) -> None:
+        """Buffer decision-time deliveries in the replica's stamping order."""
+        if not records:
+            return
+        completions = self.fleet._completions
+        for request_id in ordered_ids:
+            record = records.pop(request_id, None)
+            if record is not None:
+                completions.append(record)
+        # a delivery the replica did not report in order still counts once
+        completions.extend(records.values())
+
+    # --------------------------------------------------------------- running
+
+    def dispatch(self, request: Request, now: float) -> DispatchOutcome | None:
+        assert self.partition is not None and self.fleet is not None
+        self._note_advance_clock(now)
+        self._resync_membership()
+        self._requests[request.id] = request
+        home = self.partition.shard_of_vertex(request.origin)
+        handle = self._handles[home]
+        if self.is_batched:
+            if not handle.alive:
+                handle = self._first_live_target(request)
+                if handle is None:
+                    self.rejections += 1
+                    return self._unserved(request)
+            return self._defer_to(handle, request, now)
+        if not handle.alive:
+            return self._escalate(request, now, home, self._unserved(request))
+        reply = self._roundtrip(
+            handle,
+            DispatchCommand(
+                now,
+                request,
+                self._sync_payload(handle),
+                moves=self._take_moves(handle),
+                advance_clocks=self._take_clocks(handle),
+            ),
+        )
+        handle.dispatch_calls += 1
+        if reply is None:
+            return self._escalate(request, now, home, self._unserved(request))
+        handle.next_flush = reply.next_flush
+        outcome = reply.outcome.to_outcome(request)
+        if outcome.served:
+            self._push_completions(
+                self._apply_plan(handle, reply.plan), reply.completed_ids
+            )
+            self.local_hits += 1
+            return outcome
+        if self.num_shards == 1:
+            self.rejections += 1
+            return outcome
+        return self._escalate(request, now, home, outcome)
+
+    def _defer_to(
+        self, handle: _ShardHandle, request: Request, now: float
+    ) -> DispatchOutcome | None:
+        """Buffer a request into a shard's batch window (no pipe traffic).
+
+        Deferrals read no fleet state, so the window accumulates front-door
+        side and ships inside the flush command; its depth is the bounded
+        queue the backpressure policy enforces.
+        """
+        if len(handle.window) + len(handle.pending_ids) >= self.max_pending:
+            self.admission_rejections += 1
+            self.rejections += 1
+            return replace(self._unserved(request), rejection_reason="saturated")
+        handle.dispatch_calls += 1
+        handle.window.append((request, now))
+        # exact float mirror of BatchDispatcher.defer
+        if handle.next_flush is None:
+            handle.next_flush = now + self.config.batch_interval
+            if self._flush_scheduler is not None:
+                self._flush_scheduler(handle.next_flush)
+        return None
+
+    @staticmethod
+    def _unserved(request: Request) -> DispatchOutcome:
+        return DispatchOutcome(request=request, served=False)
+
+    def _escalate(
+        self, request: Request, now: float, home: int, local: DispatchOutcome
+    ) -> DispatchOutcome:
+        """Retry on neighbouring shards, then globally (message-passing RPCs)."""
+        self.escalations += 1
+        neighbours, remaining = self._escalation_targets(request, home)
+        candidates = local.candidates_considered
+        insertions = local.insertions_evaluated
+        decision_rejected = local.decision_rejected
+        last = local
+        for phase, shard_ids in enumerate((neighbours, remaining)):
+            live = [s for s in shard_ids if self._handles[s].alive]
+            if phase == 1 and live:
+                self.global_fallbacks += 1
+            for shard_id in live:
+                handle = self._handles[shard_id]
+                reply = self._roundtrip(
+                    handle,
+                    DispatchCommand(
+                        now,
+                        request,
+                        self._sync_payload(handle),
+                        moves=self._take_moves(handle),
+                        advance_clocks=self._take_clocks(handle),
+                    ),
+                )
+                handle.dispatch_calls += 1
+                if reply is None:
+                    continue
+                handle.next_flush = reply.next_flush
+                attempt = reply.outcome.to_outcome(request)
+                candidates += attempt.candidates_considered
+                insertions += attempt.insertions_evaluated
+                decision_rejected = decision_rejected and attempt.decision_rejected
+                last = attempt
+                if attempt.served:
+                    self._push_completions(
+                        self._apply_plan(handle, reply.plan), reply.completed_ids
+                    )
+                    self.cross_shard_assignments += 1
+                    return replace(
+                        attempt,
+                        candidates_considered=candidates,
+                        insertions_evaluated=insertions,
+                    )
+        self.rejections += 1
+        return replace(
+            last,
+            candidates_considered=candidates,
+            insertions_evaluated=insertions,
+            decision_rejected=decision_rejected,
+        )
+
+    def _escalation_targets(self, request: Request, home: int) -> tuple[list[int], list[int]]:
+        """Identical ordering to the in-process sharded dispatcher."""
+        partition = self.partition
+        assert partition is not None
+        csr = partition.network.csr
+        origin_position = csr.position_of(request.origin)
+        ordered = [
+            int(shard_id)
+            for shard_id in partition.shards_by_distance(
+                float(csr.xs[origin_position]), float(csr.ys[origin_position])
+            )
+            if int(shard_id) != home
+        ]
+        adjacent = partition.shard_adjacency[home]
+        neighbours = [s for s in ordered if s in adjacent][: self.escalate_k]
+        remaining = [s for s in ordered if s not in neighbours]
+        return neighbours, remaining
+
+    # ------------------------------------------------------- batch protocol
+
+    @property
+    def is_batched(self) -> bool:
+        from repro.dispatch import ALGORITHMS, BatchDispatcher  # lazy import cycle guard
+
+        inner_class = ALGORITHMS.get(self.inner)
+        return bool(inner_class is not None and issubclass(inner_class, BatchDispatcher))
+
+    def next_flush_time(self) -> float | None:
+        times = [
+            handle.next_flush
+            for handle in self._handles
+            if handle.alive and handle.next_flush is not None
+        ]
+        return min(times) if times else None
+
+    def flush(self, now: float) -> list[DispatchOutcome]:
+        """Flush every due shard: parallel fan-out, deterministic apply order.
+
+        Sync payloads for all due shards are computed *before* any command is
+        sent (due shards never observe each other's flush results — their
+        member sets are disjoint, exactly as in-process), then replies are
+        received and applied in shard-id order, matching the in-process
+        iteration order outcome for outcome.
+        """
+        self._note_advance_clock(now)
+        self._resync_membership()
+        due: list[tuple[_ShardHandle, int, FlushCommand]] = []
+        for handle in self._handles:
+            if not handle.alive:
+                continue
+            self._drain_acks(handle, block=True)
+            if not handle.alive:
+                continue
+            if handle.next_flush is not None and handle.next_flush <= now + 1e-9:
+                due.append(
+                    (
+                        handle,
+                        len(handle.window),
+                        FlushCommand(
+                            now,
+                            self._sync_payload(handle),
+                            deferrals=tuple(handle.window),
+                            moves=self._take_moves(handle),
+                            advance_clocks=self._take_clocks(handle),
+                        ),
+                    )
+                )
+        for handle, _, command in due:
+            self._send(handle, command)
+        outcomes: list[DispatchOutcome] = []
+        for handle, shipped, _ in due:
+            if not handle.alive:
+                continue
+            reply = self._recv(handle)
+            if reply is None:
+                continue
+            # a worker death mid-flush re-defers its window into live shards;
+            # only drop what this command actually shipped, never re-deferrals
+            # appended to the buffer while the reply was in flight
+            del handle.window[:shipped]
+            handle.next_flush = reply.next_flush
+            handle.pending_ids = [
+                request_id
+                for request_id in reply.pending_ids
+                if request_id in self._requests
+            ]
+            fresh: dict[int, "ServiceRecord"] = {}
+            for worker_id in sorted(reply.plans):
+                fresh.update(self._apply_plan(handle, reply.plans[worker_id]))
+            self._push_completions(fresh, reply.completed_ids)
+            for payload in reply.outcomes:
+                outcome = payload.to_outcome(self._own_request_by_id(payload.request_id))
+                if outcome.served:
+                    self.local_hits += 1
+                else:
+                    self.rejections += 1
+                outcomes.append(outcome)
+        return outcomes
+
+    def _own_request_by_id(self, request_id: int) -> Request:
+        request = self._requests.get(request_id)
+        if request is None:
+            raise DispatchError(f"unknown request id {request_id} in flush reply")
+        return request
+
+    def cancel(self, request: Request) -> bool:
+        """Drop a deferred request; buffered windows cancel without a pipe trip.
+
+        Only requests a worker still holds (re-deferrals surviving a flush)
+        need the round trip; mirroring ``BatchDispatcher.cancel``, an emptied
+        window keeps its scheduled flush (which then comes up empty).
+        """
+        for handle in self._handles:
+            if not handle.alive:
+                continue
+            for index, (pending, _) in enumerate(handle.window):
+                if pending.id == request.id:
+                    del handle.window[index]
+                    return True
+        for handle in self._handles:
+            if handle.alive and request.id in handle.pending_ids:
+                reply = self._roundtrip(
+                    handle,
+                    CancelCommand(
+                        self.fleet.clock,
+                        request,
+                        self._sync_payload(handle),
+                        moves=self._take_moves(handle),
+                    ),
+                )
+                if reply is None:
+                    # worker died; _mark_dead re-deferred its window (possibly
+                    # including this request) into live shards — re-scan them
+                    return self.cancel(request)
+                handle.next_flush = reply.next_flush
+                if reply.removed and request.id in handle.pending_ids:
+                    handle.pending_ids.remove(request.id)
+                return reply.removed
+        return False
+
+    def notify_worker_added(self, worker_id: int) -> None:
+        """Broadcast the new worker to every live replica (fire-and-forget)."""
+        assert self.fleet is not None and self.partition is not None
+        state = self.fleet.peek_state(worker_id)
+        # record the bucketing each replica will derive for the newcomer, so
+        # the next membership resync does not echo it back as a move
+        self._membership[worker_id] = self.partition.shard_of_vertex(state.position)
+        for handle in self._live():
+            self._drain_acks(handle, block=False)
+            command = AddWorkerCommand(
+                self.fleet.clock, state.worker, moves=self._take_moves(handle)
+            )
+            if self._send(handle, command):
+                handle.pending_acks += 1
+                handle.cursor[worker_id] = (state.plan_version, state.online)
+
+    # --------------------------------------------------------------- metrics
+
+    def queue_depth(self) -> int:
+        """Deferred requests awaiting a decision across all live shards."""
+        return sum(
+            len(handle.window) + len(handle.pending_ids) for handle in self._live()
+        )
+
+    def memory_estimate_bytes(self) -> int:
+        return 0  # worker grids live in the shard processes
+
+    def oracle_counter_totals(self) -> OracleCounters | None:
+        """Front-door oracle work + every live replica's (gathered via RPC).
+
+        Replicas re-derive fleet materialisation locally, so these totals
+        intentionally include that duplicated work — they describe what the
+        cluster actually computed, not what a single process would have.
+        """
+        totals = OracleCounters.merge([self.oracle.counters])
+        for handle in self._live():
+            reply = self._roundtrip(handle, StatsCommand())
+            if not isinstance(reply, StatsReply):
+                continue
+            counters = reply.counters
+            totals.distance_queries += int(counters.get("distance_queries", 0))
+            totals.path_queries += int(counters.get("path_queries", 0))
+            totals.lower_bound_queries += int(counters.get("lower_bound_queries", 0))
+            totals.dijkstra_runs += int(counters.get("dijkstra_runs", 0))
+            for name, value in counters.get("backend_queries", {}).items():
+                totals.backend_queries[name] = totals.backend_queries.get(name, 0) + value
+            for name, value in counters.get("backend_settled", {}).items():
+                totals.backend_settled[name] = totals.backend_settled.get(name, 0) + value
+        shared = self.oracle.counters
+        totals.distance_cache = shared.distance_cache
+        totals.path_cache = shared.path_cache
+        totals.backend = shared.backend
+        totals.cache_bypassed = shared.cache_bypassed
+        return totals
+
+    def extra_metrics(self) -> dict[str, float]:
+        assert self.partition is not None
+        extra = {
+            "cluster_shards": float(self.num_shards),
+            "cluster_live_workers": float(len(self._live())),
+            "cluster_local_hits": float(self.local_hits),
+            "cluster_escalations": float(self.escalations),
+            "cluster_cross_shard_assignments": float(self.cross_shard_assignments),
+            "cluster_cross_shard_moves": float(self.cross_shard_moves),
+            "cluster_global_fallbacks": float(self.global_fallbacks),
+            "cluster_rejections": float(self.rejections),
+            "cluster_admission_rejections": float(self.admission_rejections),
+            "cluster_worker_failures": float(self.worker_failures),
+            "cluster_commands_sent": float(self.commands_sent),
+            "cluster_boundary_vertices": float(self.partition.num_boundary_vertices()),
+        }
+        for handle in self._handles:
+            extra[f"cluster_shard{handle.shard_id}_dispatch_calls"] = float(
+                handle.dispatch_calls
+            )
+        return extra

@@ -1,0 +1,249 @@
+"""Wire protocol of the shard-worker cluster.
+
+Every value crossing a worker-process boundary is one of the picklable
+dataclasses below. The protocol is deliberately small:
+
+* the front door ships **plan snapshots** (:class:`WorkerPlan`) and
+  **membership moves** (``(worker, shard)`` re-bucketing deltas computed on
+  the authoritative fleet) piggybacked on every command, so each worker
+  process keeps a deterministic replica without a shared-memory fleet;
+* workers answer with **outcome payloads** (:class:`OutcomePayload`) plus the
+  new plan of the assigned worker, and always piggyback their inner
+  dispatcher's ``next_flush_time`` so the front door mirrors the batch
+  windows without extra round trips;
+* replies carry an optional ``error`` traceback string — an exception inside
+  a worker surfaces as a :class:`~repro.exceptions.DispatchError` at the
+  front door instead of a silent hang.
+
+Plan snapshots are *absolute* state (origin, start time, stops, service
+records), so applying one and advancing a member to the command clock
+reproduces exactly the state the authoritative fleet materialises —
+advancement along planned routes is path-independent in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.instance import URPSMInstance
+from repro.core.types import Request, Stop, Worker
+from repro.dispatch.base import DispatcherConfig, DispatchOutcome
+from repro.sharding.partitioner import Partition
+
+
+@dataclass(frozen=True, slots=True)
+class RecordSnapshot:
+    """One service record of a worker's plan (request + progress times)."""
+
+    request: Request
+    pickup_time: float | None
+    dropoff_time: float | None
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerPlan:
+    """Absolute snapshot of one worker's plan, shipped on plan changes."""
+
+    worker_id: int
+    origin: int
+    start_time: float
+    stops: tuple[Stop, ...]
+    records: tuple[RecordSnapshot, ...]
+    online: bool
+    plan_version: int
+    concrete_path: tuple[int, ...] | None = None
+    #: travelled cost the replica accumulated for this worker *during the
+    #: command that produced the plan* (a batch insertion can anchor a route
+    #: in the past, and a later same-command touch then walks the worker
+    #: forward along the new legs). The front door replays advancement up to
+    #: the command clock itself, so this delta is exactly the movement it
+    #: cannot re-derive locally and must credit to the authoritative state.
+    walked_cost: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class OutcomePayload:
+    """A :class:`DispatchOutcome` minus the request object (the receiver has it)."""
+
+    request_id: int
+    served: bool
+    worker_id: int | None
+    increased_cost: float
+    candidates_considered: int
+    insertions_evaluated: int
+    decision_rejected: bool
+
+    @classmethod
+    def from_outcome(cls, outcome: DispatchOutcome) -> "OutcomePayload":
+        return cls(
+            request_id=outcome.request.id,
+            served=outcome.served,
+            worker_id=outcome.worker_id,
+            increased_cost=outcome.increased_cost,
+            candidates_considered=outcome.candidates_considered,
+            insertions_evaluated=outcome.insertions_evaluated,
+            decision_rejected=outcome.decision_rejected,
+        )
+
+    def to_outcome(self, request: Request) -> DispatchOutcome:
+        return DispatchOutcome(
+            request=request,
+            served=self.served,
+            worker_id=self.worker_id,
+            increased_cost=self.increased_cost,
+            candidates_considered=self.candidates_considered,
+            insertions_evaluated=self.insertions_evaluated,
+            decision_rejected=self.decision_rejected,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ShardInit:
+    """Everything a worker process needs to build its shard replica."""
+
+    shard_id: int
+    num_shards: int
+    inner: str
+    config: DispatcherConfig
+    partition: Partition
+    instance: URPSMInstance
+    membership: dict[int, int]
+    seed: int
+
+
+# ------------------------------------------------------------------ commands
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchCommand:
+    """Dispatch one request on the shard's inner dispatcher."""
+
+    clock: float
+    request: Request
+    plans: tuple[WorkerPlan, ...]
+    #: membership re-bucketing deltas since this shard was last commanded.
+    moves: tuple[tuple[int, int], ...] = ()
+    #: every clock the authoritative fleet ran ``advance_all`` at since this
+    #: shard was last commanded (arrivals to *other* shards, deferred
+    #: arrivals). Partial advancement's anchor arithmetic is grouping-
+    #: dependent — ``start_time = arr[0] + moved_cost`` associates edge costs
+    #: by advancement step — so the replica must advance its members at
+    #: exactly the same clock sequence to keep its floats bit-identical.
+    advance_clocks: tuple[float, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class FlushCommand:
+    """Flush the shard's batch window at ``clock``.
+
+    Deferrals are buffered at the front door (they touch no fleet state) and
+    shipped here as ``(request, defer clock)`` pairs; the worker replays them
+    through its inner's ``defer`` in order, reproducing the exact window the
+    in-process dispatcher would have accumulated — one round trip per window
+    instead of one per request.
+    """
+
+    clock: float
+    plans: tuple[WorkerPlan, ...]
+    deferrals: tuple[tuple[Request, float], ...] = ()
+    moves: tuple[tuple[int, int], ...] = ()
+    #: authoritative ``advance_all`` clock sequence (see ``DispatchCommand``);
+    #: for a batch shard this covers every buffered arrival's clock.
+    advance_clocks: tuple[float, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class CancelCommand:
+    """Drop a deferred request from the shard's batch window."""
+
+    clock: float
+    request: Request
+    plans: tuple[WorkerPlan, ...]
+    moves: tuple[tuple[int, int], ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class AddWorkerCommand:
+    """A worker joined the live fleet; every replica registers it."""
+
+    clock: float
+    worker: Worker
+    moves: tuple[tuple[int, int], ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class StatsCommand:
+    """Request the replica's oracle counters (end-of-run reporting)."""
+
+
+@dataclass(frozen=True, slots=True)
+class ShutdownCommand:
+    """Clean shutdown: the worker acknowledges and exits its loop."""
+
+
+# ------------------------------------------------------------------- replies
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchReply:
+    outcome: OutcomePayload | None
+    plan: WorkerPlan | None
+    next_flush: float | None
+    #: request ids delivered *during* the decision, in the exact order the
+    #: replica stamped them — the front door pushes the matching authoritative
+    #: records into the engine's completion buffer in this order (metric
+    #: means sum left-to-right, so completion order is value-significant).
+    completed_ids: tuple[int, ...] = ()
+    error: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class FlushReply:
+    outcomes: tuple[OutcomePayload, ...]
+    #: final plan per worker that gained assignments during the flush.
+    plans: dict[int, WorkerPlan]
+    #: requests still deferred after the flush (re-deferrals), in order.
+    pending_ids: tuple[int, ...]
+    next_flush: float | None
+    #: deliveries stamped during the flush, in replica stamping order (see
+    #: :class:`DispatchReply`).
+    completed_ids: tuple[int, ...] = ()
+    error: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class CancelReply:
+    removed: bool
+    next_flush: float | None
+    error: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class AckReply:
+    next_flush: float | None = None
+    error: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class StatsReply:
+    counters: dict[str, object] = field(default_factory=dict)
+    error: str | None = None
+
+
+__all__ = [
+    "AckReply",
+    "AddWorkerCommand",
+    "CancelCommand",
+    "CancelReply",
+    "DispatchCommand",
+    "DispatchReply",
+    "FlushCommand",
+    "FlushReply",
+    "OutcomePayload",
+    "RecordSnapshot",
+    "ShardInit",
+    "ShutdownCommand",
+    "StatsCommand",
+    "StatsReply",
+    "WorkerPlan",
+]

@@ -21,6 +21,7 @@ ALGORITHMS = {
 
 # DispatcherSpec reads ALGORITHMS lazily, so the registry must exist first.
 from repro.dispatch.registry import (  # noqa: E402
+    CLUSTER_PREFIX,
     SHARDED_PREFIX,
     DispatcherSpec,
     list_dispatchers,
@@ -33,7 +34,9 @@ def make_dispatcher(name: str, config: DispatcherConfig | None = None) -> Dispat
     """Instantiate a dispatcher from the registry by name.
 
     ``"sharded:<inner>"`` builds the sharded wrapper around the registry
-    algorithm ``<inner>``; plain ``"sharded"`` defaults to pruneGreedyDP.
+    algorithm ``<inner>``; ``"cluster:<inner>"`` builds the multiprocess
+    cluster front door; plain ``"sharded"``/``"cluster"`` default to
+    pruneGreedyDP.
 
     This is the string-keyed compatibility front door; structured callers use
     :meth:`DispatcherSpec.parse` / :meth:`DispatcherSpec.build` directly (and
@@ -61,6 +64,7 @@ __all__ = [
     "reinsertion_improvement",
     "ALGORITHMS",
     "SHARDED_PREFIX",
+    "CLUSTER_PREFIX",
     "DispatcherSpec",
     "list_dispatchers",
     "suggest_dispatchers",

@@ -43,6 +43,10 @@ class DispatchOutcome:
     insertions_evaluated: int = 0
     decision_rejected: bool = False
     """True when the decision phase rejected the request before planning."""
+    rejection_reason: str | None = None
+    """Explicit rejection code overriding the derived reason ladder — set by
+    admission control (``"saturated"``) when a request is rejected without
+    ever reaching a planning phase."""
 
 
 @dataclass

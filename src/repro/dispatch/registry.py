@@ -34,6 +34,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: prefix historically selecting the sharded wrapper (``"sharded:<inner>"``).
 SHARDED_PREFIX = "sharded:"
 
+#: prefix selecting the multiprocess cluster front door (``"cluster:<inner>"``).
+CLUSTER_PREFIX = "cluster:"
+
 
 def _registry() -> dict:
     from repro.dispatch import ALGORITHMS  # lazy: registry.py is imported by the package
@@ -55,7 +58,7 @@ def list_dispatchers(include_sharded: bool = False) -> list[str]:
 
 def suggest_dispatchers(name: str, limit: int = 3) -> list[str]:
     """Registry names close to ``name`` (for "did you mean" errors)."""
-    candidates = list_dispatchers(include_sharded=True) + ["sharded"]
+    candidates = list_dispatchers(include_sharded=True) + ["sharded", "cluster"]
     return difflib.get_close_matches(name, candidates, n=limit, cutoff=0.4)
 
 
@@ -97,6 +100,10 @@ class DispatcherSpec:
         sharded: wrap the algorithm in the sharded dispatcher even at
             ``num_shards=1`` (the exactness wrapper); ``num_shards > 1``
             implies sharding regardless of this flag.
+        cluster: run the shards as long-lived worker *processes* behind the
+            :class:`~repro.cluster.dispatcher.ClusterDispatcher` front door
+            instead of the in-process sharded wrapper. Takes precedence over
+            ``sharded`` when both are set.
         num_shards: spatial shards ``K`` of the sharded wrapper.
         shard_strategy: partitioning strategy (see
             :data:`repro.sharding.partitioner.STRATEGIES`).
@@ -115,6 +122,7 @@ class DispatcherSpec:
 
     algorithm: str = "pruneGreedyDP"
     sharded: bool = False
+    cluster: bool = False
     num_shards: int = 1
     shard_strategy: str = "grid"
     shard_escalate_k: int = 2
@@ -141,16 +149,25 @@ class DispatcherSpec:
                 "not as an override"
             )
         sharded = bool(overrides.pop("sharded", False))
+        cluster = bool(overrides.pop("cluster", False))
         algorithm = name
         if name == "sharded":
             sharded, algorithm = True, "pruneGreedyDP"
+        elif name == "cluster":
+            cluster, algorithm = True, "pruneGreedyDP"
         elif name.startswith(SHARDED_PREFIX):
             sharded, algorithm = True, name[len(SHARDED_PREFIX):]
             if algorithm not in _registry():
                 raise _unknown_name_error("sharded inner dispatcher", algorithm)
+        elif name.startswith(CLUSTER_PREFIX):
+            cluster, algorithm = True, name[len(CLUSTER_PREFIX):]
+            if algorithm not in _registry():
+                raise _unknown_name_error("cluster inner dispatcher", algorithm)
         if algorithm not in _registry():
             raise _unknown_name_error("dispatcher", algorithm)
-        return cls(algorithm=algorithm, sharded=sharded, **overrides).validate()
+        return cls(
+            algorithm=algorithm, sharded=sharded, cluster=cluster, **overrides
+        ).validate()
 
     @classmethod
     def from_config(
@@ -194,7 +211,7 @@ class DispatcherSpec:
             raise ConfigurationError(
                 f"shard_escalate_k must be >= 0, got {self.shard_escalate_k}"
             )
-        if self.is_sharded:
+        if self.is_sharded or self.cluster:
             from repro.sharding.partitioner import STRATEGIES  # lazy import cycle guard
 
             if self.shard_strategy not in STRATEGIES:
@@ -227,7 +244,9 @@ class DispatcherSpec:
 
     @property
     def name(self) -> str:
-        """Display/registry name (``sharded:<inner>`` for sharded specs)."""
+        """Display/registry name (``sharded:``/``cluster:`` prefixed variants)."""
+        if self.cluster:
+            return f"{CLUSTER_PREFIX}{self.algorithm}"
         return f"{SHARDED_PREFIX}{self.algorithm}" if self.is_sharded else self.algorithm
 
     def with_algorithm(self, name: str) -> "DispatcherSpec":
@@ -283,6 +302,10 @@ class DispatcherSpec:
         self.validate()
         if config is None:
             config = self.to_config(default_grid_cell_metres)
+        if self.cluster:
+            from repro.cluster.dispatcher import ClusterDispatcher  # lazy import cycle guard
+
+            return ClusterDispatcher(config, inner=self.algorithm)
         if self.is_sharded:
             from repro.sharding.dispatcher import ShardedDispatcher  # lazy import cycle guard
 
@@ -299,6 +322,7 @@ class DispatcherSpec:
 __all__ = [
     "DispatcherSpec",
     "SHARDED_PREFIX",
+    "CLUSTER_PREFIX",
     "list_dispatchers",
     "suggest_dispatchers",
     "unknown_fields_error",

@@ -99,7 +99,17 @@ class MatchingService:
         network: RoadNetwork | None = None,
         oracle: DistanceOracle | None = None,
     ) -> "MatchingService":
-        """Build the whole platform (instance + dispatcher) from one spec."""
+        """Build the whole platform (instance + dispatcher) from one spec.
+
+        Specs with ``cluster=True`` build a
+        :class:`~repro.cluster.service.ClusterMatchingService` (shard worker
+        processes behind the same session API) instead of the in-process
+        facade.
+        """
+        if (spec.cluster or spec.dispatcher.cluster) and cls is MatchingService:
+            from repro.cluster.service import ClusterMatchingService  # lazy cycle guard
+
+            return ClusterMatchingService.from_spec(spec, network=network, oracle=oracle)
         spec.validate()
         instance = spec.build_instance(network=network, oracle=oracle)
         return cls(
@@ -188,12 +198,18 @@ class MatchingService:
     def retire_worker(self, worker_id: int) -> None:
         """Stop assigning to a worker (its route in progress still completes)."""
         self._ensure_open()
+        self._require_known_worker(worker_id)
         self._backend.set_worker_online(worker_id, False)
 
     def reinstate_worker(self, worker_id: int) -> None:
         """Bring a retired worker back on shift."""
         self._ensure_open()
+        self._require_known_worker(worker_id)
         self._backend.set_worker_online(worker_id, True)
+
+    def _require_known_worker(self, worker_id: int) -> None:
+        if worker_id not in self.fleet.states:
+            raise DispatchError(f"unknown worker id {worker_id}")
 
     def advance_to(self, now: float) -> list[AssignmentDecision]:
         """Advance simulated time to ``now``, processing everything due.
@@ -215,6 +231,25 @@ class MatchingService:
             self._result = self._backend.finish()
         return self._result
 
+    def _queue_depth(self) -> int:
+        """Dispatcher commands sent but not yet acknowledged.
+
+        The in-process facade calls its dispatcher synchronously, so nothing
+        is ever in flight; the cluster facade overrides this with the
+        front door's outstanding-ack count.
+        """
+        return 0
+
+    def _requests_inflight(self) -> int:
+        """Accepted riders not yet dropped off (open service records)."""
+        fleet = self._backend.fleet
+        return sum(
+            1
+            for state in fleet.states.values()
+            for record in state.assigned_requests.values()
+            if not record.completed
+        )
+
     def snapshot(self) -> ServiceSnapshot:
         """Point-in-time view of the platform (no state mutation)."""
         fleet = self._backend.fleet
@@ -233,6 +268,8 @@ class MatchingService:
             rejected=live.rejected_requests,
             cancelled=live.cancelled_requests,
             events_processed=getattr(self._backend, "events_processed", 0),
+            requests_inflight=self._requests_inflight(),
+            queue_depth=self._queue_depth(),
         )
 
     # ------------------------------------------------------------------ replay

@@ -46,6 +46,10 @@ class RejectionReason(str, enum.Enum):
     #: the decision phase (Lemma 8 pruning / profitability) rejected the
     #: request before or instead of planning.
     DECISION_PHASE = "decision_phase"
+    #: admission control rejected the request before it reached a planning
+    #: phase — the target shard's command queue exceeded the cluster's
+    #: bounded-queue backpressure limit.
+    SATURATED = "saturated"
 
 
 class CancellationStatus(str, enum.Enum):
@@ -93,7 +97,9 @@ class AssignmentDecision:
             status, reason = DecisionStatus.ACCEPTED, None
         else:
             status = DecisionStatus.REJECTED
-            if outcome.candidates_considered == 0:
+            if outcome.rejection_reason is not None:
+                reason = RejectionReason(outcome.rejection_reason)
+            elif outcome.candidates_considered == 0:
                 reason = RejectionReason.NO_CANDIDATES
             elif outcome.decision_rejected:
                 reason = RejectionReason.DECISION_PHASE
@@ -161,6 +167,13 @@ class ServiceSnapshot:
     ``workers_idle`` counts workers idle *as of their last materialisation*
     (the event engine advances workers lazily, so a worker whose route just
     finished may still be counted busy until it is next touched).
+
+    The serving-observability counters are shared by both facades:
+    ``decisions_pending`` — submissions deferred into batch windows whose
+    decision has not resolved yet; ``requests_inflight`` — accepted riders
+    not yet dropped off; ``queue_depth`` — requests queued towards shard
+    worker processes awaiting a decision (always 0 for the in-process
+    facade, whose dispatcher calls are synchronous).
     """
 
     clock: float
@@ -175,6 +188,8 @@ class ServiceSnapshot:
     rejected: int
     cancelled: int
     events_processed: int = 0
+    requests_inflight: int = 0
+    queue_depth: int = 0
 
 
 __all__ = [

@@ -55,12 +55,23 @@ class PlatformSpec:
         engine: ``"event"`` (default) or ``"legacy"``.
         collect_completions: track waiting times / detour ratios of completed
             requests.
+        cluster: serve through the multiprocess shard-worker cluster
+            (:class:`~repro.cluster.service.ClusterMatchingService`) instead
+            of the in-process facade; requires ``engine="event"``.
+        cluster_max_pending: bounded-queue backpressure — deferred requests
+            tolerated per shard worker before new requests are
+            admission-rejected as ``saturated``.
+        cluster_dispatch_timeout: seconds to wait for one shard-worker reply
+            before declaring the worker dead and re-routing its requests.
     """
 
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
     dispatcher: DispatcherSpec = field(default_factory=DispatcherSpec)
     engine: str = "event"
     collect_completions: bool = True
+    cluster: bool = False
+    cluster_max_pending: int = 1024
+    cluster_dispatch_timeout: float = 60.0
 
     # -------------------------------------------------------------- validation
 
@@ -87,6 +98,18 @@ class PlatformSpec:
                 "scenario dynamics (cancellation_rate, shift_hours) require "
                 "engine='event'"
             )
+        if self.cluster or self.dispatcher.cluster:
+            if self.engine != "event":
+                raise ConfigurationError("cluster serving requires engine='event'")
+            if self.cluster_max_pending < 1:
+                raise ConfigurationError(
+                    f"cluster_max_pending must be >= 1, got {self.cluster_max_pending}"
+                )
+            if self.cluster_dispatch_timeout <= 0:
+                raise ConfigurationError(
+                    "cluster_dispatch_timeout must be positive, got "
+                    f"{self.cluster_dispatch_timeout}"
+                )
         return self
 
     # --------------------------------------------------------------- builders
@@ -143,12 +166,23 @@ class PlatformSpec:
             "dispatcher": self.dispatcher.to_dict(),
             "engine": self.engine,
             "collect_completions": self.collect_completions,
+            "cluster": self.cluster,
+            "cluster_max_pending": self.cluster_max_pending,
+            "cluster_dispatch_timeout": self.cluster_dispatch_timeout,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "PlatformSpec":
         """Build a validated spec from a plain mapping (JSON/TOML payloads)."""
-        known = {"scenario", "dispatcher", "engine", "collect_completions"}
+        known = {
+            "scenario",
+            "dispatcher",
+            "engine",
+            "collect_completions",
+            "cluster",
+            "cluster_max_pending",
+            "cluster_dispatch_timeout",
+        }
         unknown = set(data) - known
         if unknown:
             raise _unknown_keys_error("platform spec", unknown, known)
@@ -163,6 +197,9 @@ class PlatformSpec:
             dispatcher=DispatcherSpec.from_dict(dispatcher_data),
             engine=data.get("engine", "event"),
             collect_completions=data.get("collect_completions", True),
+            cluster=data.get("cluster", False),
+            cluster_max_pending=data.get("cluster_max_pending", 1024),
+            cluster_dispatch_timeout=data.get("cluster_dispatch_timeout", 60.0),
         ).validate()
 
     @classmethod
@@ -213,6 +250,9 @@ class PlatformSpecBuilder:
         self._algorithm: str | None = None
         self._engine = "event"
         self._collect_completions = True
+        self._cluster = False
+        self._cluster_max_pending = 1024
+        self._cluster_dispatch_timeout = 60.0
 
     # ---------------------------------------------------------------- scenario
 
@@ -291,6 +331,27 @@ class PlatformSpecBuilder:
         self._engine = name
         return self
 
+    def cluster(
+        self,
+        num_shards: int | None = None,
+        max_pending: int | None = None,
+        dispatch_timeout: float | None = None,
+    ) -> "PlatformSpecBuilder":
+        """Serve through the multiprocess shard-worker cluster.
+
+        ``num_shards`` sets the worker-process count (it is the sharding K);
+        omitted, the previously configured sharding layout is reused.
+        """
+        self._cluster = True
+        if num_shards is not None:
+            self._dispatcher["num_shards"] = num_shards
+            self._dispatcher["sharded"] = True
+        if max_pending is not None:
+            self._cluster_max_pending = max_pending
+        if dispatch_timeout is not None:
+            self._cluster_dispatch_timeout = dispatch_timeout
+        return self
+
     def collect_completions(self, flag: bool) -> "PlatformSpecBuilder":
         """Toggle completion bookkeeping (waits, detours)."""
         self._collect_completions = flag
@@ -312,6 +373,9 @@ class PlatformSpecBuilder:
             dispatcher=dispatcher,
             engine=self._engine,
             collect_completions=self._collect_completions,
+            cluster=self._cluster,
+            cluster_max_pending=self._cluster_max_pending,
+            cluster_dispatch_timeout=self._cluster_dispatch_timeout,
         ).validate()
 
 

@@ -243,6 +243,35 @@ class TestFleetEvents:
         service.reinstate_worker(worker_id)
         assert service.fleet.is_available(worker_id)
 
+    def test_retire_unknown_worker_raises(self):
+        service = _service()
+        with pytest.raises(DispatchError, match="unknown worker id 999"):
+            service.retire_worker(999)
+
+    def test_reinstate_unknown_worker_raises(self):
+        service = _service()
+        with pytest.raises(DispatchError, match="unknown worker id"):
+            service.reinstate_worker(-1)
+
+    def test_retired_worker_finishes_its_active_route(self):
+        service = _service()
+        request = service.instance.requests[0]
+        decision = service.submit(request)
+        assert decision.accepted
+        service.retire_worker(decision.worker_id)
+        # no new assignments, but the route in progress still completes
+        assert not service.fleet.is_available(decision.worker_id)
+        result = service.drain()
+        assert result.served_requests == 1
+
+    def test_reinstate_after_drain_raises(self):
+        service = _service()
+        worker_id = service.instance.workers[0].id
+        service.retire_worker(worker_id)
+        service.drain()
+        with pytest.raises(DispatchError, match="drained"):
+            service.reinstate_worker(worker_id)
+
     def test_fleet_events_work_on_legacy_engine_too(self):
         service = _service(engine="legacy")
         for worker in service.instance.workers:
