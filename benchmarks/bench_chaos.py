@@ -1,0 +1,248 @@
+"""Chaos benchmark: seeded fault injection against the shard-worker cluster.
+
+Replays the chaos scenario (K=4, both ``pruneGreedyDP`` and ``batch``)
+through :class:`ClusterMatchingService` under deterministic fault plans from
+``tests/cluster/chaos.py`` and gates the self-healing guarantees:
+
+* **between-windows bit-identity** — a worker killed between batch windows
+  (and between commands for the immediate dispatcher) must leave the replay
+  bit-identical to the fault-free run: served/rejected counts, unified cost,
+  mean wait and mean detour all compare exact;
+* **mid-window completion** — a worker killed mid-round-trip (command sent,
+  reply lost) must still finish the replay with every request decided
+  exactly once, no hang and no unhandled exception; the served-rate delta
+  against the fault-free run is recorded (the exactly-once design makes it
+  0.0, and that too is gated);
+* **rerun determinism** — the same seeded fault plan twice produces the
+  same fingerprint, the same fired-fault trace and the same recovery
+  counters.
+
+Any gate failure exits non-zero. Every entry lands in the perf trajectory
+(``BENCH_chaos.json`` by default) with the recovery telemetry
+(failures / restarts / retries / degraded dispatches) per run.
+
+Usage::
+
+    python benchmarks/bench_chaos.py            # full gate matrix
+    python benchmarks/bench_chaos.py --smoke    # CI preset (same scenario,
+                                                # kill gates only)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from _trajectory import append_trajectory  # noqa: E402
+from tests.cluster.chaos import (  # noqa: E402
+    DEFAULT_SCENARIO,
+    DEFAULT_SHARDS,
+    Fault,
+    run_chaos,
+    seeded_faults,
+)
+
+ALGORITHMS = ("pruneGreedyDP", "batch")
+
+#: per-algorithm extra kwargs for :func:`run_chaos`
+_RUN_KWARGS = {"pruneGreedyDP": {}, "batch": {"batch_interval": 30.0}}
+
+
+def _run(algorithm: str, faults=(), **overrides):
+    kwargs = dict(_RUN_KWARGS[algorithm])
+    kwargs.update(overrides)
+    started = time.perf_counter()
+    chaos = run_chaos(algorithm, faults, **kwargs)
+    wall = time.perf_counter() - started
+    return chaos, round(wall, 4)
+
+
+def _telemetry(chaos) -> dict:
+    return {
+        "worker_failures": chaos.worker_failures,
+        "worker_restarts": chaos.worker_restarts,
+        "retries": chaos.retries,
+        "degraded_dispatches": chaos.degraded_dispatches,
+        "shard_health": list(chaos.shard_health),
+        "faults_fired": len(chaos.fired),
+    }
+
+
+def bench_algorithm(algorithm: str, smoke: bool) -> tuple[dict, list[str]]:
+    """Run every gate for one algorithm; returns (entry, failure messages)."""
+    failures: list[str] = []
+    baseline, baseline_wall = _run(algorithm)
+    print(
+        f"  [{algorithm}] fault-free: served {baseline.result.served_requests}"
+        f"/{baseline.result.total_requests} in {baseline_wall}s"
+    )
+
+    gates = {}
+
+    # gate 1: kill between windows/commands -> bit-identical
+    between = [Fault("kill", shard=0, at_command=1, phase="before_send")]
+    chaos, wall = _run(algorithm, between)
+    identical = chaos.fingerprint == baseline.fingerprint
+    if not chaos.fired:
+        failures.append(f"{algorithm}: between-windows kill never fired")
+    if not identical:
+        failures.append(
+            f"{algorithm}: between-windows kill diverged: "
+            f"{chaos.fingerprint} != {baseline.fingerprint}"
+        )
+    if chaos.orphans:
+        failures.append(f"{algorithm}: between-windows kill left orphan processes")
+    gates["kill_between_windows"] = {
+        "wall_s": wall,
+        "bit_identical": identical,
+        **_telemetry(chaos),
+    }
+    print(f"  [{algorithm}] kill between windows: bit-identical={identical}")
+
+    # gate 2: kill mid-round-trip -> completes, exactly-once, served-rate delta
+    mid = [
+        Fault("delay", shard=0, at_command=1, seconds=0.5),
+        Fault("kill", shard=0, at_command=1, phase="after_send"),
+    ]
+    chaos, wall = _run(algorithm, mid)
+    total = DEFAULT_SCENARIO.num_requests
+    complete = (
+        chaos.result.total_requests == total
+        and chaos.result.served_requests + chaos.result.rejected_requests == total
+    )
+    if not complete:
+        failures.append(
+            f"{algorithm}: mid-window kill lost requests "
+            f"({chaos.result.served_requests}+{chaos.result.rejected_requests}"
+            f" of {total})"
+        )
+    served_rate_delta = round(
+        chaos.result.served_rate - baseline.result.served_rate, 12
+    )
+    if chaos.fingerprint != baseline.fingerprint:
+        failures.append(f"{algorithm}: mid-window kill diverged from fault-free run")
+    gates["kill_mid_window"] = {
+        "wall_s": wall,
+        "complete": complete,
+        "served_rate_delta": served_rate_delta,
+        "bit_identical": chaos.fingerprint == baseline.fingerprint,
+        **_telemetry(chaos),
+    }
+    print(
+        f"  [{algorithm}] kill mid-window: complete={complete} "
+        f"served-rate delta={served_rate_delta}"
+    )
+
+    if not smoke:
+        # gate 3: seeded random fault plan, run twice -> deterministic
+        faults = seeded_faults(DEFAULT_SCENARIO.seed, num_shards=DEFAULT_SHARDS)
+        first, wall_first = _run(algorithm, faults)
+        second, wall_second = _run(algorithm, faults)
+        deterministic = (
+            first.fingerprint == second.fingerprint
+            and first.fired == second.fired
+            and first.worker_failures == second.worker_failures
+        )
+        if not deterministic:
+            failures.append(f"{algorithm}: seeded chaos rerun was not deterministic")
+        gates["seeded_plan_rerun"] = {
+            "wall_s": round(wall_first + wall_second, 4),
+            "deterministic": deterministic,
+            "plan": [
+                {"kind": f.kind, "shard": f.shard, "at_command": f.at_command}
+                for f in faults
+            ],
+            **_telemetry(first),
+        }
+        print(f"  [{algorithm}] seeded plan rerun: deterministic={deterministic}")
+
+        # gate 4: transient faults retry without killing anyone
+        chaos, wall = _run(
+            algorithm,
+            [Fault("transient_send", shard=0, at_command=1, count=2)],
+            retry_attempts=3,
+        )
+        survived = chaos.worker_failures == 0 and chaos.retries >= 2
+        identical = chaos.fingerprint == baseline.fingerprint
+        if not (survived and identical):
+            failures.append(f"{algorithm}: transient retry gate failed")
+        gates["transient_retry"] = {
+            "wall_s": wall,
+            "survived": survived,
+            "bit_identical": identical,
+            **_telemetry(chaos),
+        }
+        print(f"  [{algorithm}] transient retry: survived={survived}")
+
+    return {
+        "algorithm": algorithm,
+        "baseline": {
+            "wall_s": baseline_wall,
+            "served_rate": round(baseline.result.served_rate, 6),
+            "fingerprint": baseline.fingerprint,
+        },
+        "gates": gates,
+    }, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: kill gates only (skip seeded-plan and retry gates)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_chaos.json",
+        help="perf-trajectory JSON file to append to",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"== chaos benchmark: {DEFAULT_SCENARIO.city} "
+        f"W{DEFAULT_SCENARIO.num_workers} R{DEFAULT_SCENARIO.num_requests} "
+        f"K={DEFAULT_SHARDS} =="
+    )
+    sweeps, failures = [], []
+    for algorithm in ALGORITHMS:
+        entry, algo_failures = bench_algorithm(algorithm, args.smoke)
+        sweeps.append(entry)
+        failures.extend(algo_failures)
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scenario": "chaos",
+        "city": DEFAULT_SCENARIO.city,
+        "workers": DEFAULT_SCENARIO.num_workers,
+        "requests": DEFAULT_SCENARIO.num_requests,
+        "shards": DEFAULT_SHARDS,
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "algorithms": sweeps,
+        "all_gates_pass": not failures,
+    }
+    append_trajectory(args.output, "chaos", [entry])
+
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}")
+        return 1
+    print("all chaos gates pass")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -108,6 +108,17 @@ def build_parser() -> argparse.ArgumentParser:
                               help="cluster backpressure: outstanding per-shard "
                                    "commands admitted before requests are rejected "
                                    "as saturated")
+    serve_replay.add_argument("--retry-attempts", type=int, default=3,
+                              help="cluster self-healing: bounded retries per "
+                                   "shard-worker pipe operation before the worker "
+                                   "is marked down")
+    serve_replay.add_argument("--max-restarts", type=int, default=2,
+                              help="cluster self-healing: respawn budget per shard "
+                                   "worker (0 disables respawn; exhausted shards "
+                                   "serve degraded in-process)")
+    serve_replay.add_argument("--restart-delay", type=float, default=0.0,
+                              help="cluster self-healing: simulated seconds after "
+                                   "a worker death before its respawn is adopted")
 
     compare = subparsers.add_parser("compare", help="compare the paper's algorithms on one scenario")
     _add_scenario_arguments(compare)
@@ -225,6 +236,9 @@ def _platform_from_args(
         engine=args.engine,
         cluster=getattr(args, "cluster", False),
         cluster_max_pending=getattr(args, "max_pending", 1024),
+        cluster_retry_attempts=getattr(args, "retry_attempts", 3),
+        cluster_max_restarts=getattr(args, "max_restarts", 2),
+        cluster_restart_delay_s=getattr(args, "restart_delay", 0.0),
     ).validate()
 
 

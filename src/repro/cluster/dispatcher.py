@@ -26,19 +26,31 @@ pipe, instead of calling an in-process inner dispatcher. It mirrors
   piggybacks the deltas, so each replica advances only its *own members* and
   per-command work stays proportional to the shard, not the fleet.
 
-Resilience:
+Resilience (see :mod:`repro.cluster.recovery` for the machinery):
 
 * **backpressure** — when a shard's deferred-request queue (buffered window
   plus worker-held re-deferrals) reaches ``max_pending``, new requests for it
   are admission-rejected with the explicit ``saturated`` rejection reason
   instead of queueing unboundedly;
-* **crash detection** — a broken pipe or reply timeout marks the worker dead:
-  its process is reaped, its deferred requests re-route to the nearest live
-  shard, and subsequent traffic escalates over the surviving shards; with no
-  survivor, requests are rejected rather than lost;
+* **retry with backoff** — transient send/recv hiccups are retried a bounded
+  number of times with exponential backoff and deterministic jitter; only a
+  dead process, a broken pipe, or ``dispatch_timeout`` expiring
+  ``retry_attempts`` times marks the worker down;
+* **degraded-mode failover** — a down shard keeps serving: its buffered
+  window and worker-held re-deferrals stay *home*, and its requests execute
+  in-process at the front door against the authoritative fleet (the same
+  inner-dispatcher-over-fleet-view configuration the in-process sharded
+  wrapper uses), so decisions — and end-of-run metrics — stay bit-identical
+  to the fault-free run;
+* **supervised recovery** — a :class:`~repro.cluster.recovery.WorkerSupervisor`
+  respawns the dead worker on a background thread and the front door adopts
+  it at the next dispatch/flush entry past ``restart_delay_s`` (simulated
+  time): the shard's sync cursor is cleared so the rebuilt replica receives a
+  full plan snapshot of the current membership with its first command;
 * **clean shutdown** — :meth:`close` is idempotent, always joins (or
-  terminates) every worker process, and is wired into the service facade's
-  ``drain()``/context-manager exits, so no run leaves orphans behind.
+  terminates) every worker process *including* supervisor respawns in any
+  state, and is wired into the service facade's ``drain()``/context-manager
+  exits, so no run leaves orphans behind.
 """
 
 from __future__ import annotations
@@ -59,13 +71,22 @@ from repro.cluster.messages import (
     StatsReply,
     WorkerPlan,
 )
+from repro.cluster.recovery import (
+    HEALTH_CODES,
+    TRANSIENT_ERRORS,
+    DegradedShard,
+    FaultInjector,
+    RetryPolicy,
+    ShardHealth,
+    WorkerSupervisor,
+)
 from repro.cluster.worker import plan_snapshot, shard_worker_main
-from repro.core.types import Request, Stop
+from repro.core.types import Request, Stop, Worker
 from repro.dispatch.base import Dispatcher, DispatcherConfig, DispatchOutcome
 from repro.exceptions import ConfigurationError, DispatchError
 from repro.network.oracle import OracleCounters
 from repro.sharding.partitioner import Partition, SpatialPartitioner
-from repro.utils.rng import derive_spawned_seed
+from repro.utils.rng import derive_spawned_seed, make_rng
 
 if TYPE_CHECKING:
     from repro.core.instance import URPSMInstance
@@ -98,6 +119,21 @@ class _ShardHandle:
     #: fire-and-forget commands (worker additions) awaiting their ack.
     pending_acks: int = 0
     dispatch_calls: int = 0
+    #: serving path: ``up`` (process-backed), ``recovering`` (respawn in
+    #: flight, serving degraded), ``degraded`` (in-process forever). A shard
+    #: always serves — ``alive`` tracks only whether a worker process backs it.
+    health: str = ShardHealth.UP
+    #: commands successfully sent to this shard (fault-injection ordinals).
+    commands: int = 0
+    #: defer clock of the worker-held re-deferrals (the last flush clock) —
+    #: the clock they re-enter the buffered window at if the worker dies.
+    pending_clock: float = 0.0
+    #: in-process failover executor while the shard is down.
+    degraded: DegradedShard | None = None
+    #: how many times this shard's worker has been respawned.
+    incarnation: int = 0
+    #: traceback of the last runtime error reply (observability only).
+    last_error: str | None = None
 
 
 class ClusterDispatcher(Dispatcher):
@@ -114,8 +150,20 @@ class ClusterDispatcher(Dispatcher):
         max_pending: bounded-queue backpressure — deferred requests tolerated
             per shard (buffered window plus worker-held re-deferrals) before
             admission-rejecting.
-        dispatch_timeout: hard cap in seconds on waiting for one reply before
-            declaring the worker dead.
+        dispatch_timeout: hard cap in seconds on waiting for one reply; the
+            wait is retried ``retry_attempts`` times before the worker is
+            declared dead.
+        retry_attempts: bounded retries per pipe operation — transient send
+            and receive errors, and reply-timeout windows — before escalating
+            to mark-down.
+        retry_backoff_s: base of the exponential retry backoff (the jitter
+            stream is seeded, so retry timing is reproducible).
+        max_restarts: respawn budget per shard; once exhausted, the shard
+            serves degraded (in-process) for the rest of the session.
+        restart_delay_s: *simulated* seconds after a death before a respawned
+            worker may be adopted — recovery timing is workload-deterministic.
+        fault_injector: chaos-harness seam (deterministic kill/transient/delay
+            faults at per-shard command ordinals); ``None`` in production.
     """
 
     name = "cluster"
@@ -140,6 +188,11 @@ class ClusterDispatcher(Dispatcher):
         seed: int = 0,
         max_pending: int = 1024,
         dispatch_timeout: float = 60.0,
+        retry_attempts: int = 3,
+        retry_backoff_s: float = 0.05,
+        max_restarts: int = 2,
+        restart_delay_s: float = 0.0,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         super().__init__(config)
         if not isinstance(inner, str):
@@ -154,17 +207,41 @@ class ClusterDispatcher(Dispatcher):
         )
         if self.num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {self.num_shards}")
+        if retry_attempts < 1:
+            raise ConfigurationError(f"retry_attempts must be >= 1, got {retry_attempts}")
+        if retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
+        if max_restarts < 0:
+            raise ConfigurationError(f"max_restarts must be >= 0, got {max_restarts}")
+        if restart_delay_s < 0:
+            raise ConfigurationError(
+                f"restart_delay_s must be >= 0, got {restart_delay_s}"
+            )
         self.seed = seed
         self.max_pending = max_pending
         self.dispatch_timeout = dispatch_timeout
+        self.retry_policy = RetryPolicy(attempts=retry_attempts, backoff_s=retry_backoff_s)
+        self.max_restarts = max_restarts
+        self.restart_delay_s = restart_delay_s
+        self.fault_injector = fault_injector
         self.name = f"cluster:{inner}"
         self.partition: Partition | None = None
         self._handles: list[_ShardHandle] = []
         self._closed = False
+        self._started = False
+        self._supervisor: WorkerSupervisor | None = None
+        self._context = None
+        #: retry-jitter stream, independent of all workload randomness.
+        self._retry_rng = make_rng(derive_spawned_seed(seed, "cluster-retry"))
         #: authoritative Request objects by id (replies reference ids only).
         self._requests: dict[int, Request] = {}
         #: authoritative worker -> shard bucketing (kept by _resync_membership).
         self._membership: dict[int, int] = {}
+        #: workers added after setup, with their add clocks — a respawned
+        #: replica replays them (ShardInit.extra_workers + adoption catch-up).
+        self._added_workers: list[tuple[Worker, float]] = []
         # routing counters (mirror of the in-process sharded dispatcher)
         self.local_hits = 0
         self.escalations = 0
@@ -176,6 +253,11 @@ class ClusterDispatcher(Dispatcher):
         self.admission_rejections = 0
         self.worker_failures = 0
         self.commands_sent = 0
+        # recovery counters + event log (ordering is test- and user-visible)
+        self.worker_restarts = 0
+        self.retries = 0
+        self.degraded_dispatches = 0
+        self.recovery_log: list[tuple[str, int]] = []
 
     # ------------------------------------------------------------- lifecycle
 
@@ -198,6 +280,13 @@ class ClusterDispatcher(Dispatcher):
             if "fork" in multiprocessing.get_all_start_methods()
             else multiprocessing.get_context()
         )
+        self._context = context
+        self._supervisor = WorkerSupervisor(
+            self,
+            context,
+            max_restarts=self.max_restarts,
+            restart_delay_s=self.restart_delay_s,
+        )
         self._handles = []
         try:
             for shard_id in range(self.num_shards):
@@ -210,6 +299,7 @@ class ClusterDispatcher(Dispatcher):
                     instance=instance,
                     membership=membership,
                     seed=derive_spawned_seed(self.seed, "cluster-shard", shard_id),
+                    delay_replies=self._delays_for(shard_id),
                 )
                 parent, child = context.Pipe(duplex=True)
                 process = context.Process(
@@ -228,22 +318,50 @@ class ClusterDispatcher(Dispatcher):
             for handle in self._handles:
                 ready = self._recv(handle)
                 if ready is None:
+                    detail = f":\n{handle.last_error}" if handle.last_error else ""
                     raise DispatchError(
-                        f"shard worker {handle.shard_id} died during startup"
-                    )
-                if ready.error:
-                    raise DispatchError(
-                        f"shard worker {handle.shard_id} failed to start:\n{ready.error}"
+                        f"shard worker {handle.shard_id} died during startup{detail}"
                     )
         except Exception:
             self.close()
             raise
+        self._started = True
+
+    def _delays_for(self, shard_id: int) -> tuple[tuple[int, float], ...]:
+        if self.fault_injector is None:
+            return ()
+        return tuple(self.fault_injector.delays_for(shard_id))
+
+    def _respawn_init(self, shard_id: int, incarnation: int) -> ShardInit:
+        """The rebuild payload for a respawned worker (authoritative state)."""
+        assert self.partition is not None
+        return ShardInit(
+            shard_id=shard_id,
+            num_shards=self.num_shards,
+            inner=self.inner,
+            config=self.config,
+            partition=self.partition,
+            instance=self.instance,
+            membership=dict(self._membership),
+            seed=derive_spawned_seed(
+                self.seed, "cluster-shard", shard_id, "incarnation", incarnation
+            ),
+            extra_workers=tuple(self._added_workers),
+            delay_replies=self._delays_for(shard_id),
+        )
 
     def close(self) -> None:
-        """Shut every worker process down; idempotent, never leaves orphans."""
+        """Shut every worker process down; idempotent, never leaves orphans.
+
+        Also joins the supervisor's respawn threads and reaps any respawned
+        process that was never adopted — a shutdown may land while a shard is
+        mid-recovery, and must still exit hang-free and orphan-free.
+        """
         if self._closed:
             return
         self._closed = True
+        if self._supervisor is not None:
+            self._supervisor.stop()  # unblock in-flight spawn threads promptly
         for handle in self._handles:
             if handle.alive:
                 try:
@@ -259,6 +377,8 @@ class ClusterDispatcher(Dispatcher):
                 handle.connection.close()
             except OSError:
                 pass
+        if self._supervisor is not None:
+            self._supervisor.close()
 
     def __enter__(self) -> "ClusterDispatcher":
         return self
@@ -275,30 +395,76 @@ class ClusterDispatcher(Dispatcher):
     # --------------------------------------------------------- communication
 
     def _live(self) -> list[_ShardHandle]:
+        """Process-backed shards (``up``); degraded shards serve in-process."""
         return [handle for handle in self._handles if handle.alive]
 
+    def _log(self, event: str, shard_id: int) -> None:
+        self.recovery_log.append((event, shard_id))
+
     def _send(self, handle: _ShardHandle, command) -> bool:
-        try:
-            handle.connection.send(command)
-        except (BrokenPipeError, OSError):
-            self._mark_dead(handle)
-            return False
-        self.commands_sent += 1
-        return True
+        """Send with bounded transient retries; ``False`` = worker marked down."""
+        policy = self.retry_policy
+        injector = self.fault_injector
+        ordinal = handle.commands
+        for attempt in range(policy.attempts):
+            try:
+                if injector is not None:
+                    injector.before_send(handle, command, ordinal, attempt)
+                handle.connection.send(command)
+            except TRANSIENT_ERRORS:
+                self.retries += 1
+                self._log("retry", handle.shard_id)
+                _time.sleep(policy.delay(attempt, self._retry_rng))
+                continue
+            except (BrokenPipeError, OSError):
+                self._mark_dead(handle)
+                return False
+            handle.commands += 1
+            self.commands_sent += 1
+            if injector is not None:
+                injector.after_send(handle, command, ordinal)
+            return True
+        self._mark_dead(handle)
+        return False
 
     def _recv(self, handle: _ShardHandle):
-        """Blocking receive with liveness polling; ``None`` = worker died."""
+        """Blocking receive with liveness polling; ``None`` = worker died.
+
+        Each expired ``dispatch_timeout`` window burns one retry attempt
+        (logged ``timeout`` then ``retry``); only after ``retry_attempts``
+        expiries is the worker marked down — the timeout → retry → mark-down
+        ordering the recovery log records. A runtime error reply also marks
+        the worker down (its traceback lands in ``handle.last_error``) and
+        fails over instead of raising.
+        """
+        policy = self.retry_policy
+        injector = self.fault_injector
+        timeouts_left = policy.attempts
+        transient_left = policy.attempts
         deadline = _time.monotonic() + self.dispatch_timeout
         while True:
             try:
+                if injector is not None:
+                    injector.before_recv(handle)
                 if handle.connection.poll(0.1):
                     reply = handle.connection.recv()
                     if getattr(reply, "error", None):
+                        handle.last_error = reply.error
+                        self._log("worker_error", handle.shard_id)
                         self._mark_dead(handle)
-                        raise DispatchError(
-                            f"shard worker {handle.shard_id} failed:\n{reply.error}"
-                        )
+                        return None
                     return reply
+            except TRANSIENT_ERRORS:
+                transient_left -= 1
+                if transient_left <= 0:
+                    self._mark_dead(handle)
+                    return None
+                self.retries += 1
+                self._log("retry", handle.shard_id)
+                _time.sleep(
+                    policy.delay(policy.attempts - transient_left, self._retry_rng)
+                )
+                continue
             except (EOFError, OSError):
                 self._mark_dead(handle)
                 return None
@@ -312,8 +478,14 @@ class ClusterDispatcher(Dispatcher):
                 self._mark_dead(handle)
                 return None
             if _time.monotonic() > deadline:
-                self._mark_dead(handle)
-                return None
+                timeouts_left -= 1
+                self._log("timeout", handle.shard_id)
+                if timeouts_left <= 0:
+                    self._mark_dead(handle)
+                    return None
+                self.retries += 1
+                self._log("retry", handle.shard_id)
+                deadline = _time.monotonic() + self.dispatch_timeout
 
     def _drain_acks(self, handle: _ShardHandle, *, block: bool) -> None:
         """Consume outstanding fire-and-forget replies (FIFO, in order).
@@ -348,11 +520,17 @@ class ClusterDispatcher(Dispatcher):
         return self._recv(handle)
 
     def _mark_dead(self, handle: _ShardHandle) -> None:
+        """Reap a dead worker and fail its shard over to in-process serving.
+
+        The shard's deferred work stays *home*: worker-held re-deferrals
+        return to the front of the buffered window at their true defer clock
+        (the last flush clock), and the already-scheduled flush resolves the
+        whole window through the degraded executor — nothing is dropped,
+        nothing re-routed, nothing decided twice.
+        """
         if not handle.alive:
             return
         handle.alive = False
-        self.worker_failures += 1
-        handle.next_flush = None
         handle.pending_acks = 0
         handle.pending_moves.clear()
         handle.pending_clocks.clear()
@@ -363,33 +541,105 @@ class ClusterDispatcher(Dispatcher):
             handle.connection.close()
         except OSError:
             pass
-        window, handle.window = handle.window, []
-        orphans, handle.pending_ids = handle.pending_ids, []
-        for request, clock in window:
-            self._redefer(request, clock)
-        for request_id in orphans:
-            request = self._requests.get(request_id)
-            if request is not None:
-                self._redefer(request)
+        if not self._started or self._closed:
+            # startup failure or shutdown race: no failover machinery needed
+            handle.health = ShardHealth.DEGRADED
+            handle.next_flush = None
+            return
+        self.worker_failures += 1
+        self._log("worker_down", handle.shard_id)
+        orphans = [
+            self._requests[request_id]
+            for request_id in handle.pending_ids
+            if request_id in self._requests
+        ]
+        handle.window[:0] = [(request, handle.pending_clock) for request in orphans]
+        handle.pending_ids = []
+        handle.degraded = DegradedShard(self, handle.shard_id)
+        if self._supervisor is not None and self._supervisor.should_restart(handle):
+            handle.health = ShardHealth.RECOVERING
+            self._supervisor.schedule(handle, self.fleet.clock)
+            self._log("respawn_scheduled", handle.shard_id)
+        else:
+            handle.health = ShardHealth.DEGRADED
+            self._log("degraded_permanent", handle.shard_id)
 
-    def _redefer(self, request: Request, clock: float | None = None) -> None:
-        """Re-route an orphaned deferred request to the nearest live shard."""
-        target = self._first_live_target(request)
-        if target is None:
-            return  # no survivor; the flush path will reject what it never sees
-        if clock is None:
-            clock = self.fleet.clock if self.fleet is not None else 0.0
-        self._defer_to(target, request, clock)
+    # --------------------------------------------------------------- recovery
 
-    def _first_live_target(self, request: Request) -> _ShardHandle | None:
-        home = self.partition.shard_of_vertex(request.origin)
-        if self._handles[home].alive:
-            return self._handles[home]
-        neighbours, remaining = self._escalation_targets(request, home)
-        for shard_id in neighbours + remaining:
-            if self._handles[shard_id].alive:
-                return self._handles[shard_id]
-        return None
+    def _poll_recovery(self, now: float) -> None:
+        """Adopt due respawns — the deterministic recovery gate.
+
+        Runs at the head of every ``dispatch``/``flush`` entry: a shard whose
+        respawn is past ``restart_delay_s`` (simulated time) joins the spawn
+        thread and switches back to process-backed serving *before* the entry
+        is routed, so recovery points are a pure function of the workload.
+        """
+        if self._supervisor is None or self._closed:
+            return
+        for handle in self._handles:
+            if handle.health != ShardHealth.RECOVERING:
+                continue
+            slot = self._supervisor.claim(handle.shard_id, now)
+            if slot is None:
+                continue
+            if slot.process is None or slot.connection is None:
+                handle.last_error = slot.error
+                self._log("respawn_failed", handle.shard_id)
+                if self._supervisor.should_restart(handle):
+                    self._supervisor.schedule(handle, now)
+                    self._log("respawn_scheduled", handle.shard_id)
+                else:
+                    handle.health = ShardHealth.DEGRADED
+                    self._log("degraded_permanent", handle.shard_id)
+                continue
+            self._adopt(handle, slot)
+
+    def _adopt(self, handle: _ShardHandle, slot) -> None:
+        """Install a rebuilt worker process on its shard handle.
+
+        Clearing the sync cursor makes the next command ship a full plan
+        snapshot of every current member — snapshots are absolute and
+        anchored at the command clock, so the fresh replica re-anchors
+        exactly; earlier advance clocks are no-ops by protocol. Membership
+        drift and workers added since the respawn snapshot are shipped as a
+        move diff and catch-up AddWorker commands (FIFO: they land before the
+        first plan-bearing command).
+        """
+        degraded = handle.degraded
+        handle.process = slot.process
+        handle.connection = slot.connection
+        self._supervisor.mark_adopted(slot.process)
+        handle.alive = True
+        handle.health = ShardHealth.UP
+        handle.last_error = None
+        handle.cursor.clear()
+        handle.pending_moves.clear()
+        handle.pending_clocks.clear()
+        handle.pending_acks = 0
+        # the degraded executor's surviving re-deferrals return to the
+        # buffered window at their defer clock; the rebuilt worker replays
+        # them inside the next flush command. All state transfer happens
+        # *before* any send — if the rebuilt worker dies immediately, the
+        # resulting _mark_dead must see a fully-owned window.
+        if degraded is not None:
+            handle.window[:0] = [
+                (self._requests[request_id], handle.pending_clock)
+                for request_id in degraded.pending_ids()
+                if request_id in self._requests
+            ]
+        handle.pending_ids = []
+        handle.degraded = None
+        handle.pending_moves.extend(
+            (worker_id, shard_id)
+            for worker_id, shard_id in self._membership.items()
+            if slot.membership.get(worker_id) != shard_id
+        )
+        self.worker_restarts += 1
+        self._log("respawn_adopted", handle.shard_id)
+        for worker, _ in self._added_workers[slot.extra_count :]:
+            if not self._send(handle, AddWorkerCommand(self.fleet.clock, worker)):
+                return  # died again during adoption; _mark_dead failed it over
+            handle.pending_acks += 1
 
     # ------------------------------------------------------------- plan sync
 
@@ -406,7 +656,8 @@ class ClusterDispatcher(Dispatcher):
         assert fleet is not None and partition is not None
         for worker_id in fleet.drain_moved():
             shard_id = partition.shard_of_vertex(fleet.peek_state(worker_id).position)
-            if shard_id != self._membership[worker_id]:
+            previous = self._membership[worker_id]
+            if shard_id != previous:
                 self._membership[worker_id] = shard_id
                 self.cross_shard_moves += 1
                 # the receiving shard stopped hearing about this worker's plan
@@ -416,6 +667,8 @@ class ClusterDispatcher(Dispatcher):
                 for handle in self._handles:
                     if handle.alive:
                         handle.pending_moves.append((worker_id, shard_id))
+                    elif handle.degraded is not None:
+                        handle.degraded.apply_move(worker_id, previous, shard_id)
 
     def _take_moves(self, handle: _ShardHandle) -> tuple[tuple[int, int], ...]:
         """Membership deltas to piggyback on ``handle``'s next command."""
@@ -582,45 +835,62 @@ class ClusterDispatcher(Dispatcher):
 
     def dispatch(self, request: Request, now: float) -> DispatchOutcome | None:
         assert self.partition is not None and self.fleet is not None
+        self._poll_recovery(now)
         self._note_advance_clock(now)
         self._resync_membership()
         self._requests[request.id] = request
         home = self.partition.shard_of_vertex(request.origin)
         handle = self._handles[home]
         if self.is_batched:
-            if not handle.alive:
-                handle = self._first_live_target(request)
-                if handle is None:
-                    self.rejections += 1
-                    return self._unserved(request)
+            # a down shard still buffers its own window — the degraded
+            # executor (or the rebuilt worker) resolves it at the flush
             return self._defer_to(handle, request, now)
-        if not handle.alive:
-            return self._escalate(request, now, home, self._unserved(request))
-        reply = self._roundtrip(
-            handle,
-            DispatchCommand(
-                now,
-                request,
-                self._sync_payload(handle),
-                moves=self._take_moves(handle),
-                advance_clocks=self._take_clocks(handle),
-            ),
-        )
-        handle.dispatch_calls += 1
-        if reply is None:
-            return self._escalate(request, now, home, self._unserved(request))
-        handle.next_flush = reply.next_flush
-        outcome = reply.outcome.to_outcome(request)
+        outcome = self._dispatch_on(handle, request, now)
         if outcome.served:
-            self._push_completions(
-                self._apply_plan(handle, reply.plan), reply.completed_ids
-            )
             self.local_hits += 1
             return outcome
         if self.num_shards == 1:
             self.rejections += 1
             return outcome
         return self._escalate(request, now, home, outcome)
+
+    def _dispatch_on(
+        self, handle: _ShardHandle, request: Request, now: float
+    ) -> DispatchOutcome:
+        """Dispatch on one shard: worker round trip, or in-process failover.
+
+        A worker that dies mid-command never mutated authoritative state (it
+        only mutates through applied replies), so re-executing the decision
+        degraded at the same clock on the same state reproduces exactly what
+        the replica would have answered.
+        """
+        handle.dispatch_calls += 1
+        if handle.health == ShardHealth.UP:
+            reply = self._roundtrip(
+                handle,
+                DispatchCommand(
+                    now,
+                    request,
+                    self._sync_payload(handle),
+                    moves=self._take_moves(handle),
+                    advance_clocks=self._take_clocks(handle),
+                ),
+            )
+            if reply is not None:
+                handle.next_flush = reply.next_flush
+                outcome = reply.outcome.to_outcome(request)
+                if outcome.served:
+                    self._push_completions(
+                        self._apply_plan(handle, reply.plan), reply.completed_ids
+                    )
+                return outcome
+        if handle.degraded is None:  # defensive; _mark_dead builds it
+            handle.degraded = DegradedShard(self, handle.shard_id)
+        self.degraded_dispatches += 1
+        self._log("degraded_dispatch", handle.shard_id)
+        outcome = handle.degraded.dispatch(request, now)
+        handle.next_flush = handle.degraded.inner.next_flush_time()
+        return outcome
 
     def _defer_to(
         self, handle: _ShardHandle, request: Request, now: float
@@ -651,7 +921,12 @@ class ClusterDispatcher(Dispatcher):
     def _escalate(
         self, request: Request, now: float, home: int, local: DispatchOutcome
     ) -> DispatchOutcome:
-        """Retry on neighbouring shards, then globally (message-passing RPCs)."""
+        """Retry on neighbouring shards, then globally.
+
+        Every shard always serves — process-backed or degraded — so the
+        escalation ladder is identical to the in-process sharded dispatcher's
+        regardless of worker health.
+        """
         self.escalations += 1
         neighbours, remaining = self._escalation_targets(request, home)
         candidates = local.candidates_considered
@@ -659,34 +934,16 @@ class ClusterDispatcher(Dispatcher):
         decision_rejected = local.decision_rejected
         last = local
         for phase, shard_ids in enumerate((neighbours, remaining)):
-            live = [s for s in shard_ids if self._handles[s].alive]
-            if phase == 1 and live:
+            if phase == 1 and shard_ids:
                 self.global_fallbacks += 1
-            for shard_id in live:
+            for shard_id in shard_ids:
                 handle = self._handles[shard_id]
-                reply = self._roundtrip(
-                    handle,
-                    DispatchCommand(
-                        now,
-                        request,
-                        self._sync_payload(handle),
-                        moves=self._take_moves(handle),
-                        advance_clocks=self._take_clocks(handle),
-                    ),
-                )
-                handle.dispatch_calls += 1
-                if reply is None:
-                    continue
-                handle.next_flush = reply.next_flush
-                attempt = reply.outcome.to_outcome(request)
+                attempt = self._dispatch_on(handle, request, now)
                 candidates += attempt.candidates_considered
                 insertions += attempt.insertions_evaluated
                 decision_rejected = decision_rejected and attempt.decision_rejected
                 last = attempt
                 if attempt.served:
-                    self._push_completions(
-                        self._apply_plan(handle, reply.plan), reply.completed_ids
-                    )
                     self.cross_shard_assignments += 1
                     return replace(
                         attempt,
@@ -729,10 +986,11 @@ class ClusterDispatcher(Dispatcher):
         return bool(inner_class is not None and issubclass(inner_class, BatchDispatcher))
 
     def next_flush_time(self) -> float | None:
+        # degraded shards flush too (in-process), so every handle counts
         times = [
             handle.next_flush
             for handle in self._handles
-            if handle.alive and handle.next_flush is not None
+            if handle.next_flush is not None
         ]
         return min(times) if times else None
 
@@ -743,18 +1001,22 @@ class ClusterDispatcher(Dispatcher):
         sent (due shards never observe each other's flush results — their
         member sets are disjoint, exactly as in-process), then replies are
         received and applied in shard-id order, matching the in-process
-        iteration order outcome for outcome.
+        iteration order outcome for outcome. A shard that is down — or dies
+        during this very flush — resolves its entire buffered window through
+        the degraded executor at the same clock, in its same shard-id slot:
+        the authoritative fleet only ever mutates when a reply is applied, so
+        the re-execution decides each request exactly once, bit-identically.
         """
+        self._poll_recovery(now)
         self._note_advance_clock(now)
         self._resync_membership()
-        due: list[tuple[_ShardHandle, int, FlushCommand]] = []
+        due: list[tuple[_ShardHandle, int, FlushCommand | None]] = []
         for handle in self._handles:
-            if not handle.alive:
+            if handle.health == ShardHealth.UP:
+                self._drain_acks(handle, block=True)
+            if handle.next_flush is None or handle.next_flush > now + 1e-9:
                 continue
-            self._drain_acks(handle, block=True)
-            if not handle.alive:
-                continue
-            if handle.next_flush is not None and handle.next_flush <= now + 1e-9:
+            if handle.health == ShardHealth.UP:
                 due.append(
                     (
                         handle,
@@ -768,36 +1030,68 @@ class ClusterDispatcher(Dispatcher):
                         ),
                     )
                 )
+            else:
+                due.append((handle, len(handle.window), None))
         for handle, _, command in due:
-            self._send(handle, command)
+            if command is not None and handle.health == ShardHealth.UP:
+                self._send(handle, command)
         outcomes: list[DispatchOutcome] = []
-        for handle, shipped, _ in due:
-            if not handle.alive:
+        for handle, shipped, command in due:
+            reply = None
+            if command is not None and handle.health == ShardHealth.UP:
+                reply = self._recv(handle)
+            if reply is not None:
+                # only drop what this command actually shipped, never
+                # deferrals appended to the buffer while the reply was in flight
+                del handle.window[:shipped]
+                handle.next_flush = reply.next_flush
+                handle.pending_ids = [
+                    request_id
+                    for request_id in reply.pending_ids
+                    if request_id in self._requests
+                ]
+                handle.pending_clock = now
+                fresh: dict[int, "ServiceRecord"] = {}
+                for worker_id in sorted(reply.plans):
+                    fresh.update(self._apply_plan(handle, reply.plans[worker_id]))
+                self._push_completions(fresh, reply.completed_ids)
+                for payload in reply.outcomes:
+                    outcome = payload.to_outcome(
+                        self._own_request_by_id(payload.request_id)
+                    )
+                    if outcome.served:
+                        self.local_hits += 1
+                    else:
+                        self.rejections += 1
+                    outcomes.append(outcome)
                 continue
-            reply = self._recv(handle)
-            if reply is None:
-                continue
-            # a worker death mid-flush re-defers its window into live shards;
-            # only drop what this command actually shipped, never re-deferrals
-            # appended to the buffer while the reply was in flight
-            del handle.window[:shipped]
-            handle.next_flush = reply.next_flush
-            handle.pending_ids = [
-                request_id
-                for request_id in reply.pending_ids
-                if request_id in self._requests
-            ]
-            fresh: dict[int, "ServiceRecord"] = {}
-            for worker_id in sorted(reply.plans):
-                fresh.update(self._apply_plan(handle, reply.plans[worker_id]))
-            self._push_completions(fresh, reply.completed_ids)
-            for payload in reply.outcomes:
-                outcome = payload.to_outcome(self._own_request_by_id(payload.request_id))
+            # down shard (or death during this flush): the whole current
+            # window — including re-deferrals _mark_dead just returned home —
+            # resolves in-process, exactly once
+            deferrals = tuple(handle.window)
+            handle.window.clear()
+            for outcome in self._flush_degraded(handle, deferrals, now):
                 if outcome.served:
                     self.local_hits += 1
                 else:
                     self.rejections += 1
                 outcomes.append(outcome)
+        return outcomes
+
+    def _flush_degraded(
+        self, handle: _ShardHandle, deferrals, now: float
+    ) -> list[DispatchOutcome]:
+        """Run one shard's flush through the in-process failover executor."""
+        degraded = handle.degraded
+        if degraded is None:  # defensive; _mark_dead builds it
+            handle.degraded = degraded = DegradedShard(self, handle.shard_id)
+        self.degraded_dispatches += len(deferrals)
+        self._log("degraded_flush", handle.shard_id)
+        outcomes = degraded.flush(deferrals, now)
+        # mirror exactly what a worker reply would piggyback
+        handle.next_flush = degraded.inner.next_flush_time()
+        handle.pending_ids = degraded.pending_ids()
+        handle.pending_clock = now
         return outcomes
 
     def _own_request_by_id(self, request_id: int) -> Request:
@@ -814,55 +1108,73 @@ class ClusterDispatcher(Dispatcher):
         window keeps its scheduled flush (which then comes up empty).
         """
         for handle in self._handles:
-            if not handle.alive:
-                continue
             for index, (pending, _) in enumerate(handle.window):
                 if pending.id == request.id:
                     del handle.window[index]
                     return True
         for handle in self._handles:
-            if handle.alive and request.id in handle.pending_ids:
-                reply = self._roundtrip(
-                    handle,
-                    CancelCommand(
-                        self.fleet.clock,
-                        request,
-                        self._sync_payload(handle),
-                        moves=self._take_moves(handle),
-                    ),
-                )
-                if reply is None:
-                    # worker died; _mark_dead re-deferred its window (possibly
-                    # including this request) into live shards — re-scan them
-                    return self.cancel(request)
-                handle.next_flush = reply.next_flush
-                if reply.removed and request.id in handle.pending_ids:
+            if request.id not in handle.pending_ids:
+                continue
+            if handle.health != ShardHealth.UP:
+                # the degraded executor holds the re-deferred window in-process
+                removed = False
+                if handle.degraded is not None:
+                    removed = handle.degraded.cancel(request)
+                    handle.next_flush = handle.degraded.inner.next_flush_time()
+                if request.id in handle.pending_ids:
                     handle.pending_ids.remove(request.id)
-                return reply.removed
+                return removed
+            reply = self._roundtrip(
+                handle,
+                CancelCommand(
+                    self.fleet.clock,
+                    request,
+                    self._sync_payload(handle),
+                    moves=self._take_moves(handle),
+                ),
+            )
+            if reply is None:
+                # worker died mid-cancel; _mark_dead returned its held window
+                # to handle.window — re-scan resolves against the buffer
+                return self.cancel(request)
+            handle.next_flush = reply.next_flush
+            if reply.removed and request.id in handle.pending_ids:
+                handle.pending_ids.remove(request.id)
+            return reply.removed
         return False
 
     def notify_worker_added(self, worker_id: int) -> None:
-        """Broadcast the new worker to every live replica (fire-and-forget)."""
+        """Broadcast the new worker to every replica (fire-and-forget).
+
+        Down shards learn about the newcomer through their degraded executor
+        immediately, and a later respawn replays it from ``_added_workers``
+        via :class:`~repro.cluster.messages.ShardInit` catch-up.
+        """
         assert self.fleet is not None and self.partition is not None
         state = self.fleet.peek_state(worker_id)
         # record the bucketing each replica will derive for the newcomer, so
         # the next membership resync does not echo it back as a move
-        self._membership[worker_id] = self.partition.shard_of_vertex(state.position)
-        for handle in self._live():
-            self._drain_acks(handle, block=False)
-            command = AddWorkerCommand(
-                self.fleet.clock, state.worker, moves=self._take_moves(handle)
-            )
-            if self._send(handle, command):
-                handle.pending_acks += 1
-                handle.cursor[worker_id] = (state.plan_version, state.online)
+        home = self.partition.shard_of_vertex(state.position)
+        self._membership[worker_id] = home
+        self._added_workers.append((state.worker, self.fleet.clock))
+        for handle in self._handles:
+            if handle.health == ShardHealth.UP:
+                self._drain_acks(handle, block=False)
+                command = AddWorkerCommand(
+                    self.fleet.clock, state.worker, moves=self._take_moves(handle)
+                )
+                if self._send(handle, command):
+                    handle.pending_acks += 1
+                    handle.cursor[worker_id] = (state.plan_version, state.online)
+            elif handle.degraded is not None and handle.shard_id == home:
+                handle.degraded.add_member(worker_id, state.position)
 
     # --------------------------------------------------------------- metrics
 
     def queue_depth(self) -> int:
-        """Deferred requests awaiting a decision across all live shards."""
+        """Deferred requests awaiting a decision across all shards."""
         return sum(
-            len(handle.window) + len(handle.pending_ids) for handle in self._live()
+            len(handle.window) + len(handle.pending_ids) for handle in self._handles
         )
 
     def memory_estimate_bytes(self) -> int:
@@ -909,6 +1221,9 @@ class ClusterDispatcher(Dispatcher):
             "cluster_rejections": float(self.rejections),
             "cluster_admission_rejections": float(self.admission_rejections),
             "cluster_worker_failures": float(self.worker_failures),
+            "cluster_worker_restarts": float(self.worker_restarts),
+            "cluster_retries": float(self.retries),
+            "cluster_degraded_dispatches": float(self.degraded_dispatches),
             "cluster_commands_sent": float(self.commands_sent),
             "cluster_boundary_vertices": float(self.partition.num_boundary_vertices()),
         }
@@ -916,4 +1231,26 @@ class ClusterDispatcher(Dispatcher):
             extra[f"cluster_shard{handle.shard_id}_dispatch_calls"] = float(
                 handle.dispatch_calls
             )
+            extra[f"cluster_shard{handle.shard_id}_health"] = HEALTH_CODES[
+                handle.health
+            ]
         return extra
+
+    def shard_health(self) -> tuple[str, ...]:
+        """Per-shard health, shard-id order (``up``/``recovering``/``degraded``)."""
+        return tuple(handle.health for handle in self._handles)
+
+    def child_processes(self) -> list:
+        """Every live child this dispatcher is responsible for reaping."""
+        processes = [
+            handle.process
+            for handle in self._handles
+            if handle.process is not None and handle.process.is_alive()
+        ]
+        if self._supervisor is not None:
+            processes.extend(
+                process
+                for process in self._supervisor.spawned()
+                if process.is_alive()
+            )
+        return processes

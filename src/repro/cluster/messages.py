@@ -99,7 +99,16 @@ class OutcomePayload:
 
 @dataclass(frozen=True, slots=True)
 class ShardInit:
-    """Everything a worker process needs to build its shard replica."""
+    """Everything a worker process needs to build its shard replica.
+
+    A *respawned* worker (see :mod:`repro.cluster.recovery`) gets the same
+    payload rebuilt from the authoritative front-door state: the current
+    membership, plus ``extra_workers`` — workers that joined the fleet after
+    the original fork, replayed into the fresh replica before it serves. The
+    replica's exact member state then arrives with the first command (the
+    front door clears the shard's sync cursor at adoption, so full plan
+    snapshots ship), which is why the rebuild needs no fleet dump.
+    """
 
     shard_id: int
     num_shards: int
@@ -109,6 +118,12 @@ class ShardInit:
     instance: URPSMInstance
     membership: dict[int, int]
     seed: int
+    #: ``(worker, add clock)`` pairs for workers added since the instance was
+    #: built — replayed by a respawned replica before serving.
+    extra_workers: tuple[tuple[Worker, float], ...] = ()
+    #: chaos-harness fault plan: ``(command ordinal, seconds)`` reply delays,
+    #: keyed on the worker-side command counter of this incarnation.
+    delay_replies: tuple[tuple[int, float], ...] = ()
 
 
 # ------------------------------------------------------------------ commands

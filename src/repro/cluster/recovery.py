@@ -1,0 +1,374 @@
+"""Fault tolerance for the shard-worker cluster: worker death is transient.
+
+Three cooperating pieces turn the front door's crash *detection* (PR 6) into
+crash *recovery*:
+
+* **failure classification + retry** — :class:`RetryPolicy` bounds how often a
+  transient RPC hiccup (:class:`TransientRPCError`, ``InterruptedError``,
+  ``BlockingIOError``) is retried with exponential backoff and deterministic
+  jitter before escalating; only a dead process, a broken pipe, or an expired
+  ``dispatch_timeout`` marks a worker down;
+* **degraded-mode failover** — :class:`DegradedShard` serves a down shard's
+  requests *in process* at the front door, running the same inner dispatcher
+  over a :class:`~repro.sharding.fleet_view.ShardFleetView` of the
+  authoritative fleet. Because the authoritative fleet is exactly the state a
+  healthy replica would have reproduced, degraded decisions are bit-identical
+  to the ones the lost worker would have made — a kill between batch windows
+  leaves the replay's metrics bit-identical to the fault-free run;
+* **supervised respawn** — :class:`WorkerSupervisor` rebuilds the worker
+  process off the hot path (fork + replica build + ready handshake on a
+  daemon thread) and the dispatcher *adopts* it at the first dispatch/flush
+  entry whose simulated clock passes ``restart_delay_s``. Adoption clears the
+  shard's sync cursor, so the next command ships a full plan snapshot of the
+  current membership and the rebuilt replica re-anchors exactly — the same
+  snapshot + membership + clock-replay protocol ``messages.py`` already
+  defines, applied from scratch.
+
+Recovery timing is a deterministic function of the simulated workload: spawn
+latency is wall-clock, but nothing observes the new process until the
+adoption gate joins the spawn thread at a simulated-clock boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+import traceback
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cluster.messages import ShardInit
+from repro.cluster.worker import shard_worker_main
+
+if TYPE_CHECKING:
+    import multiprocessing
+
+    from repro.cluster.dispatcher import ClusterDispatcher, _ShardHandle
+    from repro.core.types import Request
+    from repro.dispatch.base import DispatchOutcome
+
+
+class TransientRPCError(Exception):
+    """A send/recv hiccup worth retrying before declaring the worker dead."""
+
+
+#: exception classes treated as transient (retried with backoff). The OSError
+#: subclasses must be tested before the generic fatal ``OSError`` clause.
+TRANSIENT_ERRORS = (TransientRPCError, InterruptedError, BlockingIOError)
+
+
+class ShardHealth:
+    """Health states of one shard's serving path (plain strings, picklable)."""
+
+    UP = "up"  #: process-backed: commands round-trip to the worker replica
+    RECOVERING = "recovering"  #: worker died; respawn in flight, serving degraded
+    DEGRADED = "degraded"  #: restart budget exhausted; serving in-process forever
+
+
+#: numeric encoding for ``extra_metrics`` (floats only): up=2, recovering=1,
+#: degraded=0 — higher is healthier.
+HEALTH_CODES = {ShardHealth.UP: 2.0, ShardHealth.RECOVERING: 1.0, ShardHealth.DEGRADED: 0.0}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    ``attempts`` caps the total tries per operation (send attempts, reply
+    timeout windows, transient receive errors — each bounded independently,
+    so one command waits at most ``attempts × dispatch_timeout`` before the
+    worker is marked down). Jitter draws from a dedicated seeded stream, so
+    retry timing never perturbs any workload randomness.
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.05
+    max_backoff_s: float = 0.5
+
+    def delay(self, attempt: int, rng) -> float:
+        base = min(self.max_backoff_s, self.backoff_s * (2.0**attempt))
+        return base * (0.5 + 0.5 * float(rng.random()))
+
+
+class FaultInjector:
+    """Deterministic fault-injection seam of the front door (chaos harness).
+
+    The production dispatcher calls these hooks around every pipe operation;
+    the default implementation does nothing. ``ordinal`` is the per-shard
+    command counter (how many commands were successfully sent to that shard
+    before this one), so faults anchor to exact protocol points regardless of
+    wall-clock timing. ``delays_for`` is threaded into each worker's
+    :class:`~repro.cluster.messages.ShardInit` as reply delays keyed on the
+    worker-side command ordinal (per incarnation).
+    """
+
+    def delays_for(self, shard_id: int) -> tuple[tuple[int, float], ...]:
+        return ()
+
+    def before_send(self, handle, command, ordinal: int, attempt: int) -> None:
+        """Runs before each send attempt; may raise :class:`TransientRPCError`."""
+
+    def after_send(self, handle, command, ordinal: int) -> None:
+        """Runs after a successful send (mid-round-trip fault point)."""
+
+    def before_recv(self, handle) -> None:
+        """Runs on each receive poll; may raise :class:`TransientRPCError`."""
+
+
+class DegradedShard:
+    """In-process failover executor for one down shard.
+
+    Runs the shard's inner dispatcher directly against the authoritative
+    fleet through a :class:`ShardFleetView` — the exact configuration the
+    in-process :class:`~repro.sharding.dispatcher.ShardedDispatcher` uses —
+    so decisions (and therefore metrics) are bit-identical to what the lost
+    worker replica would have produced on its mirrored state. Completions
+    and plan changes land directly on the authoritative fleet; no plan
+    re-application is needed.
+    """
+
+    def __init__(self, dispatcher: "ClusterDispatcher", shard_id: int) -> None:
+        from repro.dispatch import make_dispatcher  # lazy: registry import
+        from repro.sharding.fleet_view import ShardFleetView
+
+        members = {
+            worker_id
+            for worker_id, shard in dispatcher._membership.items()
+            if shard == shard_id
+        }
+        self.shard_id = shard_id
+        self.view = ShardFleetView(dispatcher.fleet, shard_id, members)
+        self.inner = make_dispatcher(dispatcher.inner, dispatcher.config)
+        self.inner.setup(dispatcher.instance, self.view)
+
+    def sync(self) -> None:
+        """Refresh member grid cells from the (already materialised) fleet.
+
+        Mirrors the worker replica's ``_advance_members``: the engine advanced
+        the authoritative fleet to the decision clock before calling the
+        dispatcher (``requires_exact_positions``), so positions are exact.
+        """
+        grid = self.inner.grid
+        fleet = self.view.fleet
+        for worker_id in sorted(self.view.members):
+            grid.update(worker_id, fleet.state_of(worker_id).position)
+
+    def dispatch(self, request: "Request", now: float) -> "DispatchOutcome":
+        self.sync()
+        return self.inner.dispatch(request, now)
+
+    def flush(self, deferrals, now: float) -> "list[DispatchOutcome]":
+        """Replay a buffered window and flush — the mirror of ``handle_flush``."""
+        self.sync()
+        for request, clock in deferrals:
+            self.inner.dispatch(request, clock)
+        return self.inner.flush(now)
+
+    def cancel(self, request: "Request") -> bool:
+        return self.inner.cancel(request)
+
+    def apply_move(self, worker_id: int, previous: int, shard_id: int) -> None:
+        """Install one membership delta (mirror of the replica's ``_apply_moves``)."""
+        if previous == self.shard_id and shard_id != self.shard_id:
+            self.view.members.discard(worker_id)
+            self.inner.grid.remove(worker_id)
+        elif shard_id == self.shard_id and previous != self.shard_id:
+            self.view.members.add(worker_id)  # grid cell set on the next sync
+
+    def add_member(self, worker_id: int, position: int) -> None:
+        if worker_id in self.view.members:
+            return
+        self.view.members.add(worker_id)
+        self.inner.grid.insert(worker_id, position)
+
+    def pending_ids(self) -> list[int]:
+        if not self.inner.is_batched:
+            return []
+        return [request.id for request in self.inner.pending_requests]
+
+
+@dataclass
+class RespawnSlot:
+    """One in-flight respawn: the thread doing the work plus its result."""
+
+    shard_id: int
+    #: simulated clock before which the rebuilt worker must not be adopted.
+    not_before: float
+    #: authoritative membership at schedule time (adoption ships the diff).
+    membership: dict[int, int]
+    #: how many ``_added_workers`` the respawn init already carries.
+    extra_count: int
+    thread: threading.Thread | None = None
+    process: "multiprocessing.process.BaseProcess | None" = None
+    connection: object | None = None
+    error: str | None = None
+
+
+class WorkerSupervisor:
+    """Respawns dead shard workers off the dispatch hot path.
+
+    ``schedule`` (called by the dispatcher when it marks a worker down) forks
+    the replacement on a daemon thread: build the
+    :class:`~repro.cluster.messages.ShardInit` snapshot, spawn the process,
+    wait for its ready ack. ``claim`` — called from the dispatcher's
+    deterministic adoption gate — joins that thread (blocking if the spawn is
+    still in flight, so adoption order depends only on simulated time) and
+    hands the result back. Every process ever spawned is tracked until
+    adopted, so :meth:`close` can reap stragglers no matter where a shutdown
+    interrupts the life cycle.
+    """
+
+    def __init__(
+        self,
+        dispatcher: "ClusterDispatcher",
+        context,
+        *,
+        max_restarts: int = 2,
+        restart_delay_s: float = 0.0,
+        spawn_timeout_s: float = 120.0,
+    ) -> None:
+        self.dispatcher = dispatcher
+        self.context = context
+        self.max_restarts = max_restarts
+        self.restart_delay_s = restart_delay_s
+        self.spawn_timeout_s = spawn_timeout_s
+        self._slots: dict[int, RespawnSlot] = {}
+        self._spawned: list = []  # processes not yet adopted (reaped at close)
+        self._lock = threading.Lock()
+        self._stopping = False
+
+    # ------------------------------------------------------------- scheduling
+
+    def should_restart(self, handle: "_ShardHandle") -> bool:
+        return not self._stopping and handle.incarnation < self.max_restarts
+
+    def schedule(self, handle: "_ShardHandle", death_clock: float) -> None:
+        """Kick off an asynchronous respawn of ``handle``'s worker process."""
+        dispatcher = self.dispatcher
+        handle.incarnation += 1
+        init = dispatcher._respawn_init(handle.shard_id, handle.incarnation)
+        slot = RespawnSlot(
+            shard_id=handle.shard_id,
+            not_before=death_clock + self.restart_delay_s,
+            membership=dict(init.membership),
+            extra_count=len(init.extra_workers),
+        )
+        thread = threading.Thread(
+            target=self._spawn,
+            args=(init, slot),
+            name=f"repro-respawn-{handle.shard_id}",
+            daemon=True,
+        )
+        slot.thread = thread
+        self._slots[handle.shard_id] = slot
+        thread.start()
+
+    def _spawn(self, init: ShardInit, slot: RespawnSlot) -> None:
+        process = None
+        parent = None
+        try:
+            parent, child = self.context.Pipe(duplex=True)
+            process = self.context.Process(
+                target=shard_worker_main,
+                args=(child, init),
+                name=f"repro-shard-{init.shard_id}-r{self.dispatcher._handles[init.shard_id].incarnation}",
+                daemon=True,
+            )
+            process.start()
+            child.close()
+            with self._lock:
+                self._spawned.append(process)
+            ready = None
+            deadline = _time.monotonic() + self.spawn_timeout_s
+            while _time.monotonic() < deadline and not self._stopping:
+                if parent.poll(0.1):
+                    ready = parent.recv()
+                    break
+                if not process.is_alive():
+                    break
+            if ready is None:
+                slot.error = "respawned shard worker never became ready"
+            elif ready.error:
+                slot.error = ready.error
+            else:
+                slot.process = process
+                slot.connection = parent
+                return
+        except Exception:  # noqa: BLE001 - surfaced to the adoption gate
+            slot.error = traceback.format_exc()
+        # failed spawn: clean up whatever exists
+        if parent is not None:
+            try:
+                parent.close()
+            except OSError:
+                pass
+        if process is not None:
+            if process.is_alive():
+                process.terminate()
+            process.join(5.0)
+
+    # --------------------------------------------------------------- adoption
+
+    def claim(self, shard_id: int, now: float) -> RespawnSlot | None:
+        """Join and return the shard's respawn if it is due at ``now``.
+
+        Blocks until the spawn thread finishes — adoption happens at a
+        simulated-clock boundary, so whether the wall-clock spawn was fast or
+        slow never changes *when* (in simulation time) the worker returns.
+        """
+        slot = self._slots.get(shard_id)
+        if slot is None or now + 1e-9 < slot.not_before:
+            return None
+        if slot.thread is not None:
+            slot.thread.join()
+        del self._slots[shard_id]
+        return slot
+
+    def mark_adopted(self, process) -> None:
+        with self._lock:
+            if process in self._spawned:
+                self._spawned.remove(process)
+
+    # --------------------------------------------------------------- shutdown
+
+    def stop(self) -> None:
+        """Ask in-flight spawn threads to give up (they poll every 0.1 s)."""
+        self._stopping = True
+
+    def close(self) -> None:
+        """Join every spawn thread and reap every unadopted child process."""
+        self._stopping = True
+        for slot in list(self._slots.values()):
+            if slot.thread is not None:
+                slot.thread.join(self.spawn_timeout_s + 5.0)
+        self._slots.clear()
+        with self._lock:
+            spawned, self._spawned = list(self._spawned), []
+        for process in spawned:
+            if process.is_alive():
+                process.terminate()
+            process.join(5.0)
+
+    def spawned(self) -> list:
+        with self._lock:
+            return list(self._spawned)
+
+    def threads_alive(self) -> int:
+        return sum(
+            1
+            for slot in self._slots.values()
+            if slot.thread is not None and slot.thread.is_alive()
+        )
+
+
+__all__ = [
+    "DegradedShard",
+    "FaultInjector",
+    "HEALTH_CODES",
+    "RespawnSlot",
+    "RetryPolicy",
+    "ShardHealth",
+    "TRANSIENT_ERRORS",
+    "TransientRPCError",
+    "WorkerSupervisor",
+]

@@ -15,6 +15,7 @@ point (idempotently) to reap them early.
 from __future__ import annotations
 
 from repro.cluster.dispatcher import ClusterDispatcher
+from repro.cluster.recovery import FaultInjector
 from repro.core.instance import URPSMInstance
 from repro.exceptions import ConfigurationError
 from repro.network.graph import RoadNetwork
@@ -70,6 +71,11 @@ class ClusterMatchingService(MatchingService):
         seed: int = 0,
         max_pending: int = 1024,
         dispatch_timeout: float = 60.0,
+        retry_attempts: int = 3,
+        retry_backoff_s: float = 0.05,
+        max_restarts: int = 2,
+        restart_delay_s: float = 0.0,
+        fault_injector: FaultInjector | None = None,
         collect_completions: bool = True,
     ) -> "ClusterMatchingService":
         """Assemble a cluster session over ``instance`` with ``num_shards`` workers."""
@@ -82,6 +88,11 @@ class ClusterMatchingService(MatchingService):
             seed=seed,
             max_pending=max_pending,
             dispatch_timeout=dispatch_timeout,
+            retry_attempts=retry_attempts,
+            retry_backoff_s=retry_backoff_s,
+            max_restarts=max_restarts,
+            restart_delay_s=restart_delay_s,
+            fault_injector=fault_injector,
         )
         return cls(instance, dispatcher, collect_completions=collect_completions)
 
@@ -113,6 +124,10 @@ class ClusterMatchingService(MatchingService):
             seed=spec.scenario.seed,
             max_pending=spec.cluster_max_pending,
             dispatch_timeout=spec.cluster_dispatch_timeout,
+            retry_attempts=spec.cluster_retry_attempts,
+            retry_backoff_s=spec.cluster_retry_backoff_s,
+            max_restarts=spec.cluster_max_restarts,
+            restart_delay_s=spec.cluster_restart_delay_s,
         )
         return cls(
             instance, dispatcher, collect_completions=spec.collect_completions
@@ -150,6 +165,18 @@ class ClusterMatchingService(MatchingService):
         if isinstance(dispatcher, ClusterDispatcher):
             return dispatcher.queue_depth()
         return 0
+
+    def _recovery_stats(self) -> dict:
+        dispatcher = self.dispatcher
+        if not isinstance(dispatcher, ClusterDispatcher):
+            return {}
+        return {
+            "worker_failures": dispatcher.worker_failures,
+            "worker_restarts": dispatcher.worker_restarts,
+            "retries": dispatcher.retries,
+            "degraded_dispatches": dispatcher.degraded_dispatches,
+            "shard_health": dispatcher.shard_health(),
+        }
 
 
 __all__ = ["ClusterMatchingService"]

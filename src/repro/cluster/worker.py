@@ -124,6 +124,12 @@ class ShardWorkerRuntime:
         random.seed(init.seed)
         self.rng = make_rng(init.seed)
         self.fleet = FleetState(self.instance.workers, self.instance.oracle, lazy=True)
+        # a respawned replica replays workers added after the original fork;
+        # their exact member state arrives with the first command (the front
+        # door cleared this shard's sync cursor at adoption)
+        for worker, clock in init.extra_workers:
+            self.fleet.add_worker(worker, at_time=clock)
+        self.fleet.drain_moved()
         self.membership: dict[int, int] = dict(init.membership)
         members = {
             worker_id
@@ -344,6 +350,8 @@ class ShardWorkerRuntime:
 
 def shard_worker_main(connection, init: ShardInit) -> None:
     """Entry point of a shard worker process: serve commands until shutdown."""
+    import time as _time
+
     try:
         runtime = ShardWorkerRuntime(init)
     except Exception:  # noqa: BLE001 - surface the build failure to the front door
@@ -357,12 +365,17 @@ def shard_worker_main(connection, init: ShardInit) -> None:
         AddWorkerCommand: runtime.handle_add_worker,
         StatsCommand: runtime.handle_stats,
     }
+    # chaos-harness fault plan: sleep before replying to selected commands,
+    # making the front door's dispatch_timeout path deterministically testable
+    delays = dict(init.delay_replies)
+    ordinal = -1
     connection.send(AckReply())  # ready
     while True:
         try:
             command = connection.recv()
         except (EOFError, OSError):
             break
+        ordinal += 1
         if isinstance(command, ShutdownCommand):
             connection.send(AckReply())
             break
@@ -385,6 +398,9 @@ def shard_worker_main(connection, init: ShardInit) -> None:
                 reply = CancelReply(removed=False, next_flush=None, error=error)
             else:
                 reply = AckReply(error=error)
+        pause = delays.pop(ordinal, None)
+        if pause:
+            _time.sleep(pause)
         try:
             connection.send(reply)
         except (BrokenPipeError, OSError):

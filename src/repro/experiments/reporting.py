@@ -80,6 +80,16 @@ def format_results(results: Iterable[SimulationResult]) -> str:
     ):
         if any(sharding_column in row for row in rows):
             columns.append(sharding_column)
+    # cluster runs: self-healing telemetry (failures, restarts, retries,
+    # requests served in-process while a shard was down)
+    for recovery_column in (
+        "cluster_worker_failures",
+        "cluster_worker_restarts",
+        "cluster_retries",
+        "cluster_degraded_dispatches",
+    ):
+        if any(recovery_column in row for row in rows):
+            columns.append(recovery_column)
     return format_table(rows, columns)
 
 

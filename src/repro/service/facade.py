@@ -240,6 +240,14 @@ class MatchingService:
         """
         return 0
 
+    def _recovery_stats(self) -> dict:
+        """Self-healing counters for :class:`ServiceSnapshot`.
+
+        The in-process facade has no worker processes to fail; the cluster
+        facade overrides this with the front door's recovery telemetry.
+        """
+        return {}
+
     def _requests_inflight(self) -> int:
         """Accepted riders not yet dropped off (open service records)."""
         fleet = self._backend.fleet
@@ -270,6 +278,7 @@ class MatchingService:
             events_processed=getattr(self._backend, "events_processed", 0),
             requests_inflight=self._requests_inflight(),
             queue_depth=self._queue_depth(),
+            **self._recovery_stats(),
         )
 
     # ------------------------------------------------------------------ replay

@@ -174,6 +174,15 @@ class ServiceSnapshot:
     not yet dropped off; ``queue_depth`` — requests queued towards shard
     worker processes awaiting a decision (always 0 for the in-process
     facade, whose dispatcher calls are synchronous).
+
+    The recovery counters describe the cluster facade's self-healing layer
+    (always 0 / empty for the in-process facade): ``worker_failures`` —
+    shard worker processes marked down; ``worker_restarts`` — respawned
+    workers adopted back; ``retries`` — transient RPC errors and reply
+    timeouts retried; ``degraded_dispatches`` — requests resolved in-process
+    at the front door while their shard was down; ``shard_health`` — current
+    per-shard serving path, shard-id order (``up``/``recovering``/
+    ``degraded``).
     """
 
     clock: float
@@ -190,6 +199,11 @@ class ServiceSnapshot:
     events_processed: int = 0
     requests_inflight: int = 0
     queue_depth: int = 0
+    worker_failures: int = 0
+    worker_restarts: int = 0
+    retries: int = 0
+    degraded_dispatches: int = 0
+    shard_health: tuple[str, ...] = ()
 
 
 __all__ = [

@@ -61,8 +61,17 @@ class PlatformSpec:
         cluster_max_pending: bounded-queue backpressure — deferred requests
             tolerated per shard worker before new requests are
             admission-rejected as ``saturated``.
-        cluster_dispatch_timeout: seconds to wait for one shard-worker reply
-            before declaring the worker dead and re-routing its requests.
+        cluster_dispatch_timeout: seconds to wait for one shard-worker reply;
+            each expiry burns one retry attempt before the worker is declared
+            dead and its shard fails over to degraded in-process serving.
+        cluster_retry_attempts: bounded retries per shard-worker pipe
+            operation (transient errors and reply-timeout windows) before the
+            worker is marked down.
+        cluster_retry_backoff_s: base of the exponential retry backoff.
+        cluster_max_restarts: respawn budget per shard worker; exhausted, the
+            shard serves degraded (in-process) for the rest of the session.
+        cluster_restart_delay_s: simulated seconds after a worker death
+            before its respawn may be adopted.
     """
 
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
@@ -72,6 +81,10 @@ class PlatformSpec:
     cluster: bool = False
     cluster_max_pending: int = 1024
     cluster_dispatch_timeout: float = 60.0
+    cluster_retry_attempts: int = 3
+    cluster_retry_backoff_s: float = 0.05
+    cluster_max_restarts: int = 2
+    cluster_restart_delay_s: float = 0.0
 
     # -------------------------------------------------------------- validation
 
@@ -109,6 +122,26 @@ class PlatformSpec:
                 raise ConfigurationError(
                     "cluster_dispatch_timeout must be positive, got "
                     f"{self.cluster_dispatch_timeout}"
+                )
+            if self.cluster_retry_attempts < 1:
+                raise ConfigurationError(
+                    "cluster_retry_attempts must be >= 1, got "
+                    f"{self.cluster_retry_attempts}"
+                )
+            if self.cluster_retry_backoff_s < 0:
+                raise ConfigurationError(
+                    "cluster_retry_backoff_s must be >= 0, got "
+                    f"{self.cluster_retry_backoff_s}"
+                )
+            if self.cluster_max_restarts < 0:
+                raise ConfigurationError(
+                    "cluster_max_restarts must be >= 0, got "
+                    f"{self.cluster_max_restarts}"
+                )
+            if self.cluster_restart_delay_s < 0:
+                raise ConfigurationError(
+                    "cluster_restart_delay_s must be >= 0, got "
+                    f"{self.cluster_restart_delay_s}"
                 )
         return self
 
@@ -169,6 +202,10 @@ class PlatformSpec:
             "cluster": self.cluster,
             "cluster_max_pending": self.cluster_max_pending,
             "cluster_dispatch_timeout": self.cluster_dispatch_timeout,
+            "cluster_retry_attempts": self.cluster_retry_attempts,
+            "cluster_retry_backoff_s": self.cluster_retry_backoff_s,
+            "cluster_max_restarts": self.cluster_max_restarts,
+            "cluster_restart_delay_s": self.cluster_restart_delay_s,
         }
 
     @classmethod
@@ -182,6 +219,10 @@ class PlatformSpec:
             "cluster",
             "cluster_max_pending",
             "cluster_dispatch_timeout",
+            "cluster_retry_attempts",
+            "cluster_retry_backoff_s",
+            "cluster_max_restarts",
+            "cluster_restart_delay_s",
         }
         unknown = set(data) - known
         if unknown:
@@ -200,6 +241,10 @@ class PlatformSpec:
             cluster=data.get("cluster", False),
             cluster_max_pending=data.get("cluster_max_pending", 1024),
             cluster_dispatch_timeout=data.get("cluster_dispatch_timeout", 60.0),
+            cluster_retry_attempts=data.get("cluster_retry_attempts", 3),
+            cluster_retry_backoff_s=data.get("cluster_retry_backoff_s", 0.05),
+            cluster_max_restarts=data.get("cluster_max_restarts", 2),
+            cluster_restart_delay_s=data.get("cluster_restart_delay_s", 0.0),
         ).validate()
 
     @classmethod
@@ -253,6 +298,10 @@ class PlatformSpecBuilder:
         self._cluster = False
         self._cluster_max_pending = 1024
         self._cluster_dispatch_timeout = 60.0
+        self._cluster_retry_attempts = 3
+        self._cluster_retry_backoff_s = 0.05
+        self._cluster_max_restarts = 2
+        self._cluster_restart_delay_s = 0.0
 
     # ---------------------------------------------------------------- scenario
 
@@ -336,11 +385,17 @@ class PlatformSpecBuilder:
         num_shards: int | None = None,
         max_pending: int | None = None,
         dispatch_timeout: float | None = None,
+        retry_attempts: int | None = None,
+        retry_backoff_s: float | None = None,
+        max_restarts: int | None = None,
+        restart_delay_s: float | None = None,
     ) -> "PlatformSpecBuilder":
         """Serve through the multiprocess shard-worker cluster.
 
         ``num_shards`` sets the worker-process count (it is the sharding K);
-        omitted, the previously configured sharding layout is reused.
+        omitted, the previously configured sharding layout is reused. The
+        remaining knobs tune the self-healing layer (retry budget, respawn
+        budget, adoption delay).
         """
         self._cluster = True
         if num_shards is not None:
@@ -350,6 +405,14 @@ class PlatformSpecBuilder:
             self._cluster_max_pending = max_pending
         if dispatch_timeout is not None:
             self._cluster_dispatch_timeout = dispatch_timeout
+        if retry_attempts is not None:
+            self._cluster_retry_attempts = retry_attempts
+        if retry_backoff_s is not None:
+            self._cluster_retry_backoff_s = retry_backoff_s
+        if max_restarts is not None:
+            self._cluster_max_restarts = max_restarts
+        if restart_delay_s is not None:
+            self._cluster_restart_delay_s = restart_delay_s
         return self
 
     def collect_completions(self, flag: bool) -> "PlatformSpecBuilder":
@@ -376,6 +439,10 @@ class PlatformSpecBuilder:
             cluster=self._cluster,
             cluster_max_pending=self._cluster_max_pending,
             cluster_dispatch_timeout=self._cluster_dispatch_timeout,
+            cluster_retry_attempts=self._cluster_retry_attempts,
+            cluster_retry_backoff_s=self._cluster_retry_backoff_s,
+            cluster_max_restarts=self._cluster_max_restarts,
+            cluster_restart_delay_s=self._cluster_restart_delay_s,
         ).validate()
 
 

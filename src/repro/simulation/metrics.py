@@ -102,6 +102,15 @@ class SimulationResult:
         for key in sorted(self.extra):
             if key.startswith("sharding_"):
                 row[key] = self.extra[key]
+        # cluster runs report recovery telemetry next to them
+        for key in (
+            "cluster_worker_failures",
+            "cluster_worker_restarts",
+            "cluster_retries",
+            "cluster_degraded_dispatches",
+        ):
+            if key in self.extra:
+                row[key] = self.extra[key]
         return row
 
 

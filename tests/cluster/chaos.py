@@ -1,0 +1,258 @@
+"""Seeded chaos harness for the shard-worker cluster.
+
+Shared by ``tests/cluster/test_recovery.py`` and
+``benchmarks/bench_chaos.py`` (the module name carries no ``test_`` prefix,
+so pytest does not collect it as a test file).
+
+Faults are **deterministic**: each one anchors to a shard and a per-shard
+command ordinal (how many commands the front door successfully sent to that
+shard before the fault point), not to wall-clock timing, so a chaos run is
+exactly reproducible — and comparable bit-for-bit against its fault-free
+twin. :func:`seeded_faults` derives random-but-reproducible fault plans from
+a seed through the repo's spawn-key stream derivation.
+
+Fault kinds:
+
+* ``kill`` — SIGKILL the shard's worker process at the fault point
+  (``phase="before_send"`` kills between commands, i.e. between batch
+  windows; ``phase="after_send"`` kills mid-round-trip, after the command
+  crossed the pipe but before the reply);
+* ``transient_send`` / ``transient_recv`` — raise
+  :class:`~repro.cluster.recovery.TransientRPCError` ``count`` times at the
+  fault point (the retry/backoff path, never lethal below the retry budget);
+* ``delay`` — make the worker sleep ``seconds`` before replying to its
+  ``at_command``-th received command (the ``dispatch_timeout`` path).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass, field
+
+from repro.cluster.recovery import FaultInjector, TransientRPCError
+from repro.cluster.service import ClusterMatchingService
+from repro.dispatch import DispatcherConfig
+from repro.utils.rng import derive_spawned_seed, make_rng
+from repro.workloads.scenarios import ScenarioConfig, build_instance
+
+#: the chaos scenario: small enough for CI, large enough that all four
+#: shards see traffic and batch windows accumulate multiple requests.
+DEFAULT_SCENARIO = ScenarioConfig(
+    city="small-grid", num_workers=14, num_requests=80, seed=2018
+)
+DEFAULT_SHARDS = 4
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One deterministic fault, anchored to a shard + command ordinal."""
+
+    kind: str  #: ``kill`` | ``transient_send`` | ``transient_recv`` | ``delay``
+    shard: int
+    at_command: int = 0
+    phase: str = "before_send"  #: kill faults: ``before_send`` | ``after_send``
+    count: int = 1  #: transient faults: times the error is raised
+    seconds: float = 0.0  #: delay faults: worker-side reply delay
+
+
+class ChaosInjector(FaultInjector):
+    """Fires a fault plan at exact protocol points; records what fired."""
+
+    def __init__(self, faults) -> None:
+        self.faults = list(faults)
+        self.fired: list[tuple[str, int, int]] = []
+        self._once: set[int] = set()
+        self._budget: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ hooks
+
+    def delays_for(self, shard_id: int) -> tuple[tuple[int, float], ...]:
+        return tuple(
+            (fault.at_command, fault.seconds)
+            for fault in self.faults
+            if fault.kind == "delay" and fault.shard == shard_id
+        )
+
+    def before_send(self, handle, command, ordinal: int, attempt: int) -> None:
+        for fault in self.faults:
+            if fault.shard != handle.shard_id or fault.at_command != ordinal:
+                continue
+            if fault.kind == "kill" and fault.phase == "before_send":
+                if attempt == 0 and self._fire_once(fault):
+                    self.fired.append(("kill", handle.shard_id, ordinal))
+                    self._kill(handle)
+            elif fault.kind == "transient_send" and self._spend(fault):
+                self.fired.append(("transient_send", handle.shard_id, ordinal))
+                raise TransientRPCError(
+                    f"injected send fault on shard {handle.shard_id}"
+                )
+
+    def after_send(self, handle, command, ordinal: int) -> None:
+        for fault in self.faults:
+            if (
+                fault.kind == "kill"
+                and fault.phase == "after_send"
+                and fault.shard == handle.shard_id
+                and fault.at_command == ordinal
+                and self._fire_once(fault)
+            ):
+                self.fired.append(("kill_after_send", handle.shard_id, ordinal))
+                self._kill(handle)
+
+    def before_recv(self, handle) -> None:
+        for fault in self.faults:
+            if (
+                fault.kind == "transient_recv"
+                and fault.shard == handle.shard_id
+                # handle.commands was incremented by the successful send this
+                # receive is waiting on, so the in-flight ordinal is commands-1
+                and fault.at_command == handle.commands - 1
+                and self._spend(fault)
+            ):
+                self.fired.append(("transient_recv", handle.shard_id, fault.at_command))
+                raise TransientRPCError(
+                    f"injected recv fault on shard {handle.shard_id}"
+                )
+
+    # -------------------------------------------------------------- internals
+
+    def _fire_once(self, fault: Fault) -> bool:
+        key = id(fault)
+        if key in self._once:
+            return False
+        self._once.add(key)
+        return True
+
+    def _spend(self, fault: Fault) -> bool:
+        key = id(fault)
+        used = self._budget.get(key, 0)
+        if used >= fault.count:
+            return False
+        self._budget[key] = used + 1
+        return True
+
+    @staticmethod
+    def _kill(handle) -> None:
+        if handle.process.is_alive():
+            os.kill(handle.process.pid, signal.SIGKILL)
+        # join so the death is visible to the very next pipe operation —
+        # the fault point stays exact instead of racing process teardown
+        handle.process.join(10)
+
+
+def seeded_faults(
+    seed: int,
+    *,
+    num_shards: int = DEFAULT_SHARDS,
+    kinds: tuple[str, ...] = ("kill", "transient_send", "delay"),
+    count: int = 3,
+    max_ordinal: int = 12,
+) -> list[Fault]:
+    """A reproducible random fault plan derived from ``seed``."""
+    rng = make_rng(derive_spawned_seed(seed, "chaos-faults"))
+    faults = []
+    for _ in range(count):
+        kind = kinds[int(rng.integers(len(kinds)))]
+        shard = int(rng.integers(num_shards))
+        ordinal = int(rng.integers(max_ordinal))
+        if kind == "kill":
+            phase = "after_send" if rng.random() < 0.5 else "before_send"
+            faults.append(Fault(kind, shard, ordinal, phase=phase))
+        elif kind == "delay":
+            faults.append(Fault(kind, shard, ordinal, seconds=float(rng.uniform(0.05, 0.2))))
+        else:
+            faults.append(Fault(kind, shard, ordinal, count=int(rng.integers(1, 3))))
+    return faults
+
+
+@dataclass
+class ChaosRun:
+    """Everything a gate needs from one chaos replay."""
+
+    result: object  #: the :class:`SimulationResult`
+    fingerprint: dict
+    recovery_log: list[tuple[str, int]]
+    fired: list[tuple[str, int, int]]
+    worker_failures: int
+    worker_restarts: int
+    retries: int
+    degraded_dispatches: int
+    shard_health: tuple[str, ...]
+    orphans: list = field(default_factory=list)
+
+
+def result_fingerprint(result) -> dict:
+    """The exact-comparison fingerprint of one replay (bit-identity gate)."""
+    return {
+        "served": result.served_requests,
+        "rejected": result.rejected_requests,
+        "unified_cost": result.unified_cost,
+        "mean_wait_s": result.mean_wait_seconds,
+        "mean_detour_ratio": result.mean_detour_ratio,
+    }
+
+
+def run_chaos(
+    inner: str,
+    faults=(),
+    *,
+    scenario: ScenarioConfig = DEFAULT_SCENARIO,
+    num_shards: int = DEFAULT_SHARDS,
+    batch_interval: float | None = None,
+    dispatch_timeout: float = 60.0,
+    retry_attempts: int = 3,
+    retry_backoff_s: float = 0.0,
+    max_restarts: int = 2,
+    restart_delay_s: float = 0.0,
+    instance=None,
+) -> ChaosRun:
+    """Replay the chaos scenario through a cluster session with ``faults``.
+
+    ``retry_backoff_s`` defaults to 0 so injected transient faults retry
+    without real sleeps (jitter × 0 = 0); the retry *path* is identical.
+    """
+    config_kwargs = {"grid_cell_metres": scenario.grid_km * 1000.0}
+    if batch_interval is not None:
+        config_kwargs["batch_interval"] = batch_interval
+    injector = ChaosInjector(faults) if faults else None
+    service = ClusterMatchingService.build(
+        instance if instance is not None else build_instance(scenario),
+        inner=inner,
+        num_shards=num_shards,
+        config=DispatcherConfig(**config_kwargs),
+        seed=scenario.seed,
+        dispatch_timeout=dispatch_timeout,
+        retry_attempts=retry_attempts,
+        retry_backoff_s=retry_backoff_s,
+        max_restarts=max_restarts,
+        restart_delay_s=restart_delay_s,
+        fault_injector=injector,
+    )
+    dispatcher = service.dispatcher
+    with service:
+        result = service.replay()
+    return ChaosRun(
+        result=result,
+        fingerprint=result_fingerprint(result),
+        recovery_log=list(dispatcher.recovery_log),
+        fired=list(injector.fired) if injector is not None else [],
+        worker_failures=dispatcher.worker_failures,
+        worker_restarts=dispatcher.worker_restarts,
+        retries=dispatcher.retries,
+        degraded_dispatches=dispatcher.degraded_dispatches,
+        shard_health=dispatcher.shard_health(),
+        orphans=dispatcher.child_processes(),
+    )
+
+
+__all__ = [
+    "ChaosInjector",
+    "ChaosRun",
+    "DEFAULT_SCENARIO",
+    "DEFAULT_SHARDS",
+    "Fault",
+    "result_fingerprint",
+    "run_chaos",
+    "seeded_faults",
+]

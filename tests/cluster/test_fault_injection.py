@@ -1,9 +1,10 @@
 """Crashed-worker resilience: kill a shard worker mid-replay.
 
 The front door must detect the dead worker (broken pipe / liveness probe),
-re-defer the requests it held towards surviving shards, finish the replay
-with a complete :class:`SimulationResult`, and reap every child process —
-no hang, no orphans.
+keep the shard serving — in-process degraded failover until the supervisor's
+respawned worker is adopted — finish the replay with a complete
+:class:`SimulationResult`, and reap every child process, supervisor respawns
+included: no hang, no orphans, no dropped request.
 """
 
 import os
@@ -50,7 +51,13 @@ def test_killed_worker_immediate_dispatch():
     assert result.extra["cluster_worker_failures"] >= 1.0
     # exactly one failure: the other three shards shut down cleanly at drain
     assert dispatcher.worker_failures == 1
+    # the supervisor respawned the victim and the front door adopted it back
+    assert dispatcher.worker_restarts == 1
+    assert result.extra["cluster_worker_restarts"] == 1.0
     assert not any(process.is_alive() for process in processes)
+    # supervisor respawns are reaped too — nothing left running anywhere
+    assert dispatcher.child_processes() == []
+    assert dispatcher._supervisor.spawned() == []
 
 
 def test_killed_worker_batch_windows_re_deferred():
@@ -62,3 +69,4 @@ def test_killed_worker_batch_windows_re_deferred():
     assert result.served_requests > 0
     assert dispatcher.worker_failures >= 1
     assert not any(process.is_alive() for process in processes)
+    assert dispatcher.child_processes() == []

@@ -1,0 +1,367 @@
+"""Self-healing cluster: recovery semantics under deterministic chaos.
+
+The properties gated here:
+
+* a worker kill **between batch windows** leaves the replay bit-identical to
+  the fault-free run (same seed, K=4) — the degraded executor and the
+  rebuilt replica decide exactly what the lost worker would have;
+* a kill **mid-round-trip** (command sent, reply never arrives) loses no
+  request and decides none twice: authoritative state only mutates when a
+  reply is applied, so the degraded re-execution is exactly-once — and
+  therefore also bit-identical;
+* transient RPC errors are retried with backoff and never kill a worker
+  below the retry budget;
+* a worker exceeding ``dispatch_timeout`` is marked down only after the
+  timeout → retry ladder is exhausted, in that order, without hanging;
+* shutdown is clean from any state — mid-recovery included — reaping every
+  child process and supervisor respawn;
+* recovery telemetry flows end to end (dispatcher counters → snapshot →
+  ``SimulationResult.extra``).
+"""
+
+import os
+import signal
+
+from repro.cluster.recovery import ShardHealth
+from repro.cluster.service import ClusterMatchingService
+from repro.dispatch import DispatcherConfig
+from repro.workloads.scenarios import build_instance
+
+from tests.cluster.chaos import (
+    DEFAULT_SCENARIO,
+    ChaosInjector,
+    Fault,
+    run_chaos,
+    seeded_faults,
+)
+
+
+def _subsequence(log: list[tuple[str, int]], shard: int, events: list[str]) -> bool:
+    """Whether ``events`` appear for ``shard`` in order (gaps allowed)."""
+    shard_events = [event for event, shard_id in log if shard_id == shard]
+    position = 0
+    for event in shard_events:
+        if position < len(events) and event == events[position]:
+            position += 1
+    return position == len(events)
+
+
+# ------------------------------------------------------- bit-identity gates
+
+
+def test_kill_between_windows_bit_identical_batch():
+    baseline = run_chaos("batch", batch_interval=30.0)
+    chaos = run_chaos(
+        "batch",
+        [Fault("kill", shard=0, at_command=1, phase="before_send")],
+        batch_interval=30.0,
+    )
+    assert chaos.fired, "the kill fault never fired — anchor it to a live ordinal"
+    assert chaos.worker_failures == 1
+    assert chaos.worker_restarts == 1
+    assert chaos.degraded_dispatches > 0
+    assert chaos.fingerprint == baseline.fingerprint
+    assert chaos.orphans == [] and baseline.orphans == []
+
+
+def test_kill_between_commands_bit_identical_immediate():
+    baseline = run_chaos("pruneGreedyDP")
+    chaos = run_chaos(
+        "pruneGreedyDP",
+        [Fault("kill", shard=1, at_command=2, phase="before_send")],
+    )
+    assert chaos.fired
+    assert chaos.worker_failures == 1
+    assert chaos.fingerprint == baseline.fingerprint
+
+
+def test_chaos_rerun_is_deterministic():
+    faults = seeded_faults(DEFAULT_SCENARIO.seed)
+    first = run_chaos("batch", faults, batch_interval=30.0)
+    second = run_chaos("batch", faults, batch_interval=30.0)
+    assert first.fingerprint == second.fingerprint
+    assert first.fired == second.fired
+    assert first.worker_failures == second.worker_failures
+    assert first.degraded_dispatches == second.degraded_dispatches
+
+
+# ------------------------------------------- mid-flight kills lose nothing
+
+
+def test_kill_mid_flush_no_loss_no_double_decision():
+    """Satellite: worker dies after the flush command shipped, before the reply.
+
+    The window it carried — deferrals and worker-held re-deferrals alike —
+    must resolve exactly once through the degraded executor: the totals are
+    complete and the metrics bit-match the fault-free run (the authoritative
+    fleet never saw the lost replica's work).
+    """
+    baseline = run_chaos("batch", batch_interval=30.0)
+    chaos = run_chaos(
+        "batch",
+        [
+            # the delay pins the worker asleep before it can reply, so the
+            # after_send kill deterministically wins the race with the reply
+            Fault("delay", shard=0, at_command=1, seconds=0.5),
+            Fault("kill", shard=0, at_command=1, phase="after_send"),
+        ],
+        batch_interval=30.0,
+    )
+    assert ("kill_after_send", 0, 1) in chaos.fired
+    assert chaos.worker_failures == 1
+    total = DEFAULT_SCENARIO.num_requests
+    assert chaos.result.total_requests == total
+    assert chaos.result.served_requests + chaos.result.rejected_requests == total
+    assert chaos.fingerprint == baseline.fingerprint
+
+
+def test_kill_mid_dispatch_immediate_exactly_once():
+    baseline = run_chaos("pruneGreedyDP")
+    chaos = run_chaos(
+        "pruneGreedyDP",
+        [
+            Fault("delay", shard=2, at_command=3, seconds=0.5),
+            Fault("kill", shard=2, at_command=3, phase="after_send"),
+        ],
+    )
+    assert ("kill_after_send", 2, 3) in chaos.fired
+    assert chaos.worker_failures == 1
+    assert chaos.fingerprint == baseline.fingerprint
+
+
+# -------------------------------------------------------------- retry path
+
+
+def test_transient_send_errors_retry_without_killing():
+    baseline = run_chaos("pruneGreedyDP")
+    chaos = run_chaos(
+        "pruneGreedyDP",
+        [Fault("transient_send", shard=0, at_command=1, count=2)],
+        retry_attempts=3,
+    )
+    assert ("transient_send", 0, 1) in chaos.fired
+    assert chaos.retries == 2
+    assert chaos.worker_failures == 0
+    assert chaos.worker_restarts == 0
+    assert all(health == ShardHealth.UP for health in chaos.shard_health)
+    assert chaos.fingerprint == baseline.fingerprint
+    assert [event for event, _ in chaos.recovery_log] == ["retry", "retry"]
+
+
+def test_transient_recv_errors_retry_without_killing():
+    baseline = run_chaos("batch", batch_interval=30.0)
+    chaos = run_chaos(
+        "batch",
+        [Fault("transient_recv", shard=1, at_command=0, count=2)],
+        retry_attempts=3,
+        batch_interval=30.0,
+    )
+    assert ("transient_recv", 1, 0) in chaos.fired
+    assert chaos.retries >= 2
+    assert chaos.worker_failures == 0
+    assert chaos.fingerprint == baseline.fingerprint
+
+
+def test_exhausted_send_retries_mark_worker_down():
+    # the fault budget (10) outlasts the retry budget (3); with no respawns
+    # allowed the shard goes down once and serves degraded thereafter
+    chaos = run_chaos(
+        "pruneGreedyDP",
+        [Fault("transient_send", shard=0, at_command=1, count=10)],
+        retry_attempts=3,
+        max_restarts=0,
+    )
+    baseline = run_chaos("pruneGreedyDP")
+    assert chaos.worker_failures == 1
+    assert chaos.retries == 3  # every attempt of the doomed send, then down
+    assert _subsequence(chaos.recovery_log, 0, ["retry", "retry", "retry", "worker_down"])
+    assert chaos.fingerprint == baseline.fingerprint
+
+
+def test_persistent_send_fault_burns_restart_budget_then_degrades():
+    """A fault that re-fires on the respawn's first send re-kills each
+    incarnation; the ladder ends in permanent degraded mode, still
+    bit-identical."""
+    baseline = run_chaos("pruneGreedyDP")
+    chaos = run_chaos(
+        "pruneGreedyDP",
+        [Fault("transient_send", shard=0, at_command=1, count=10)],
+        retry_attempts=3,
+        max_restarts=2,
+    )
+    assert chaos.worker_failures == 3  # original + both respawns
+    assert chaos.worker_restarts == 2
+    assert chaos.retries == 9
+    assert chaos.shard_health[0] == ShardHealth.DEGRADED
+    assert _subsequence(chaos.recovery_log, 0, ["worker_down", "respawn_adopted", "degraded_permanent"])
+    assert chaos.fingerprint == baseline.fingerprint
+
+
+# --------------------------------------------------------- timeout ordering
+
+
+def test_dispatch_timeout_then_retry_then_mark_down():
+    """Satellite: slow worker exceeds the deadline; ordering is visible.
+
+    The recovery log must show timeout → retry → timeout → worker_down for
+    the delayed shard, the run must not hang, and the shard must keep
+    serving (degraded: respawn budget 0) with bit-identical results — the
+    straggler's eventual reply is discarded, never applied.
+    """
+    baseline = run_chaos("pruneGreedyDP")
+    chaos = run_chaos(
+        "pruneGreedyDP",
+        [Fault("delay", shard=0, at_command=0, seconds=2.0)],
+        dispatch_timeout=0.3,
+        retry_attempts=2,
+        max_restarts=0,
+    )
+    assert chaos.worker_failures == 1
+    assert chaos.worker_restarts == 0
+    assert _subsequence(
+        chaos.recovery_log, 0, ["timeout", "retry", "timeout", "worker_down", "degraded_permanent"]
+    )
+    assert chaos.shard_health[0] == ShardHealth.DEGRADED
+    assert chaos.fingerprint == baseline.fingerprint
+
+
+# ------------------------------------------------------- respawn lifecycle
+
+
+def test_respawned_worker_is_adopted_and_serves():
+    chaos = run_chaos(
+        "batch",
+        [Fault("kill", shard=0, at_command=0, phase="before_send")],
+        batch_interval=30.0,
+    )
+    events = [event for event, shard in chaos.recovery_log if shard == 0]
+    assert "respawn_scheduled" in events
+    assert "respawn_adopted" in events
+    assert events.index("respawn_scheduled") < events.index("respawn_adopted")
+    assert chaos.worker_restarts == 1
+    # once adopted, the shard finishes the run process-backed
+    assert chaos.shard_health[0] == ShardHealth.UP
+
+
+def test_restart_budget_exhausted_serves_degraded_forever():
+    baseline = run_chaos("batch", batch_interval=30.0)
+    chaos = run_chaos(
+        "batch",
+        [Fault("kill", shard=0, at_command=1, phase="before_send")],
+        batch_interval=30.0,
+        max_restarts=0,
+    )
+    assert chaos.worker_failures == 1
+    assert chaos.worker_restarts == 0
+    assert _subsequence(chaos.recovery_log, 0, ["worker_down", "degraded_permanent"])
+    assert chaos.shard_health[0] == ShardHealth.DEGRADED
+    assert chaos.fingerprint == baseline.fingerprint
+
+
+def test_restart_delay_defers_adoption_in_simulated_time():
+    chaos = run_chaos(
+        "batch",
+        [Fault("kill", shard=0, at_command=1, phase="before_send")],
+        batch_interval=30.0,
+        restart_delay_s=1e9,  # never due within the scenario horizon
+    )
+    baseline = run_chaos("batch", batch_interval=30.0)
+    assert chaos.worker_failures == 1
+    assert chaos.worker_restarts == 0  # scheduled, never adopted
+    assert chaos.shard_health[0] == ShardHealth.RECOVERING
+    assert chaos.fingerprint == baseline.fingerprint
+    assert chaos.orphans == []  # the unadopted respawn was reaped at close
+
+
+# ------------------------------------------------- shutdown from any state
+
+
+def _build_service(inner: str, **kwargs) -> ClusterMatchingService:
+    config = DispatcherConfig(grid_cell_metres=DEFAULT_SCENARIO.grid_km * 1000.0)
+    return ClusterMatchingService.build(
+        build_instance(DEFAULT_SCENARIO),
+        inner=inner,
+        num_shards=4,
+        config=config,
+        seed=DEFAULT_SCENARIO.seed,
+        **kwargs,
+    )
+
+
+def test_context_manager_shutdown_mid_recovery_reaps_everything():
+    """Satellite: ``__exit__`` while a respawn is in flight leaves no orphans."""
+    service = _build_service("pruneGreedyDP", restart_delay_s=1e9)
+    dispatcher = service.dispatcher
+    with service:
+        requests = service.instance.requests
+        for request in requests[:10]:
+            service.submit(request)
+        victim = dispatcher._handles[0]
+        os.kill(victim.process.pid, signal.SIGKILL)
+        victim.process.join(timeout=10)
+        for request in requests[10:20]:
+            service.submit(request)  # detection -> respawn scheduled, never due
+        assert dispatcher.worker_failures == 1
+        assert victim.health == ShardHealth.RECOVERING
+    # context exit: supervisor threads joined, every child reaped
+    assert dispatcher._supervisor.threads_alive() == 0
+    assert dispatcher._supervisor.spawned() == []
+    assert dispatcher.child_processes() == []
+    assert not any(handle.process.is_alive() for handle in dispatcher._handles)
+
+
+def test_close_is_idempotent_after_recovery():
+    chaos = run_chaos(
+        "pruneGreedyDP",
+        [Fault("kill", shard=0, at_command=1, phase="before_send")],
+    )
+    assert chaos.orphans == []
+
+
+# ------------------------------------------------------ telemetry plumbing
+
+
+def test_snapshot_exposes_recovery_telemetry():
+    service = _build_service("pruneGreedyDP")
+    dispatcher = service.dispatcher
+    with service:
+        requests = service.instance.requests
+        for request in requests[:5]:
+            service.submit(request)
+        snapshot = service.snapshot()
+        assert snapshot.worker_failures == 0
+        assert snapshot.shard_health == ("up", "up", "up", "up")
+        victim = dispatcher._handles[0]
+        os.kill(victim.process.pid, signal.SIGKILL)
+        victim.process.join(timeout=10)
+        for request in requests[5:15]:
+            service.submit(request)
+        snapshot = service.snapshot()
+        assert snapshot.worker_failures == 1
+        assert snapshot.shard_health[0] in (ShardHealth.RECOVERING, ShardHealth.UP)
+        assert snapshot.worker_restarts + (
+            1 if snapshot.shard_health[0] == ShardHealth.RECOVERING else 0
+        ) >= 1
+
+
+def test_result_extra_metrics_carry_recovery_counters():
+    chaos = run_chaos(
+        "batch",
+        [Fault("kill", shard=0, at_command=1, phase="before_send")],
+        batch_interval=30.0,
+    )
+    extra = chaos.result.extra
+    assert extra["cluster_worker_failures"] == 1.0
+    assert extra["cluster_worker_restarts"] == 1.0
+    assert extra["cluster_degraded_dispatches"] >= 1.0
+    assert "cluster_retries" in extra
+    assert extra["cluster_shard0_health"] == 2.0  # adopted back: up
+    row = chaos.result.as_row()
+    assert row["cluster_worker_failures"] == 1.0
+    assert row["cluster_worker_restarts"] == 1.0
+
+
+def test_chaos_injector_delay_plan_reaches_workers():
+    injector = ChaosInjector([Fault("delay", shard=2, at_command=5, seconds=0.25)])
+    assert injector.delays_for(2) == ((5, 0.25),)
+    assert injector.delays_for(0) == ()
