@@ -1,0 +1,51 @@
+"""Canonical content hashing of road networks.
+
+The artifact store keys preprocessed distance indexes by *what the network
+is*, not what file it came from: a SHA-256 over the canonical CSR arrays.
+Two loads of the same extract — or the same synthetic generator with the
+same seed — hash identically and share one cache entry, while any change to
+topology, travel costs or geometry changes the key.
+
+The hash covers exactly the inputs the distance backends consume: vertex
+identifiers, CSR topology (``indptr``/``indices``), traversal costs in
+seconds, and planar coordinates (the Euclidean-lower-bound inputs). Floats
+are hashed as raw little-endian IEEE-754 bytes, so the stable float round
+trip of :mod:`repro.network.io` guarantees stable hashes across
+save/load cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.network.graph import RoadNetwork
+
+#: bump when the canonical byte layout below changes
+HASH_SCHEMA = b"repro-network-v1"
+
+
+def network_content_hash(network: RoadNetwork) -> str:
+    """Hex SHA-256 identifying ``network``'s backend-relevant content."""
+    csr = network.csr
+    digest = hashlib.sha256()
+    digest.update(HASH_SCHEMA)
+    for tag, array, dtype in (
+        (b"vertex_ids", csr.vertex_ids, np.int64),
+        (b"indptr", csr.indptr, np.int64),
+        (b"indices", csr.indices, np.int64),
+        (b"costs", csr.costs, np.float64),
+        (b"xs", csr.xs, np.float64),
+        (b"ys", csr.ys, np.float64),
+    ):
+        canonical = np.ascontiguousarray(array, dtype=dtype)
+        if canonical.dtype.byteorder == ">":  # pragma: no cover - BE hosts only
+            canonical = canonical.astype(canonical.dtype.newbyteorder("<"))
+        digest.update(tag)
+        digest.update(len(canonical).to_bytes(8, "little"))
+        digest.update(canonical.tobytes())
+    return digest.hexdigest()
+
+
+__all__ = ["HASH_SCHEMA", "network_content_hash"]

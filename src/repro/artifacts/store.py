@@ -1,0 +1,315 @@
+"""Content-addressed on-disk store for preprocessed distance backends.
+
+Building a distance index dominates cold start: the dense APSP matrix runs
+one Dijkstra per vertex, and hub labels add a contraction on top. The paper's
+platform amortises this by preprocessing the city network once; the store
+reproduces that by persisting each backend's built state on disk, keyed by
+:func:`repro.artifacts.hashing.network_content_hash` — so a cache entry can
+never be served for a network it was not built from.
+
+Layout (``FORMAT_VERSION`` bumps on any change)::
+
+    <root>/<hash[:2]>/<hash[2:]>/
+        manifest.json     # format version, hash, network summary, backends
+        apsp.npz          # matrix, vertex_ids
+        ch.npz            # rank, up_indptr, up_indices, up_costs, meta
+        hub_labels.npz    # indptr, hubs, dists, order
+
+Loads are **bit-identical**: the arrays come back ``np.load``-exact, so a
+loaded backend answers every query with the very float a fresh build would
+(``benchmarks/bench_cold_start.py`` and the property tests enforce this).
+Corrupt or stale entries raise :class:`~repro.exceptions.ArtifactError` from
+:meth:`ArtifactStore.load_backend`; the :meth:`ArtifactStore.load_or_build`
+path used by the oracle treats them as cache misses and rebuilds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.artifacts.hashing import network_content_hash
+from repro.exceptions import ArtifactError
+from repro.network.ch import ContractionHierarchy
+from repro.network.graph import RoadNetwork
+from repro.network.hub_labeling import HubLabels
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.backends import DistanceBackend
+    from repro.network.oracle import DistanceOracle
+
+FORMAT_VERSION = 1
+
+#: backends whose built state the store can persist (``dijkstra`` has none).
+PERSISTABLE_BACKENDS = ("apsp", "ch", "hub_labels")
+
+MANIFEST_NAME = "manifest.json"
+
+
+class ArtifactStore:
+    """Content-addressed cache of preprocessed distance-backend state."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------- addressing
+
+    def entry_dir(self, content_hash: str) -> Path:
+        """Directory holding every artifact of one network."""
+        if len(content_hash) < 3:
+            raise ArtifactError(f"malformed content hash {content_hash!r}")
+        return self.root / content_hash[:2] / content_hash[2:]
+
+    def artifact_path(self, content_hash: str, backend: str) -> Path:
+        self._check_backend(backend)
+        return self.entry_dir(content_hash) / f"{backend}.npz"
+
+    def manifest_path(self, content_hash: str) -> Path:
+        return self.entry_dir(content_hash) / MANIFEST_NAME
+
+    def has(self, content_hash: str, backend: str) -> bool:
+        """Whether a (possibly invalid) artifact exists for this key."""
+        return self.artifact_path(content_hash, backend).exists()
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Manifests of every entry in the store (for ``repro preprocess``)."""
+        if not self.root.exists():
+            return []
+        manifests = []
+        for path in sorted(self.root.glob(f"*/*/{MANIFEST_NAME}")):
+            try:
+                manifests.append(json.loads(path.read_text(encoding="utf-8")))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return manifests
+
+    @staticmethod
+    def _check_backend(backend: str) -> None:
+        if backend not in PERSISTABLE_BACKENDS:
+            raise ArtifactError(
+                f"backend {backend!r} has no persistable state; "
+                f"persistable: {PERSISTABLE_BACKENDS}"
+            )
+
+    # ------------------------------------------------------------------- save
+
+    def save_backend(
+        self,
+        network: RoadNetwork,
+        backend: "DistanceBackend",
+        content_hash: str | None = None,
+    ) -> Path:
+        """Persist a built backend's state; returns the artifact path."""
+        self._check_backend(backend.name)
+        if content_hash is None:
+            content_hash = network_content_hash(network)
+        entry = self.entry_dir(content_hash)
+        entry.mkdir(parents=True, exist_ok=True)
+        path = entry / f"{backend.name}.npz"
+
+        if backend.name == "apsp":
+            arrays = {
+                "matrix": backend.matrix,
+                "vertex_ids": network.csr.vertex_ids,
+            }
+        elif backend.name == "ch":
+            hierarchy: ContractionHierarchy = backend.hierarchy
+            arrays = {
+                "rank": np.asarray(hierarchy.rank, dtype=np.int64),
+                "up_indptr": np.asarray(hierarchy.up_indptr, dtype=np.int64),
+                "up_indices": np.asarray(hierarchy.up_indices, dtype=np.int64),
+                "up_costs": np.asarray(hierarchy.up_costs, dtype=np.float64),
+                "meta": np.array(
+                    [hierarchy.num_vertices, hierarchy.num_shortcuts], dtype=np.int64
+                ),
+            }
+        else:  # hub_labels
+            labels: HubLabels = backend.labels
+            arrays = {
+                "indptr": np.asarray(labels.indptr, dtype=np.int64),
+                "hubs": np.asarray(labels.hubs, dtype=np.int64),
+                "dists": np.asarray(labels.dists, dtype=np.float64),
+                "order": np.asarray(labels.order, dtype=np.int64),
+            }
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+
+        self._update_manifest(entry, content_hash, network, backend)
+        return path
+
+    def _update_manifest(
+        self,
+        entry: Path,
+        content_hash: str,
+        network: RoadNetwork,
+        backend: "DistanceBackend",
+    ) -> None:
+        manifest_file = entry / MANIFEST_NAME
+        manifest: dict[str, Any] = {}
+        if manifest_file.exists():
+            try:
+                manifest = json.loads(manifest_file.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                manifest = {}
+        manifest.update(
+            {
+                "format_version": FORMAT_VERSION,
+                "content_hash": content_hash,
+                "network": {
+                    "name": network.name,
+                    "num_vertices": network.num_vertices,
+                    "num_edges": network.num_edges,
+                },
+            }
+        )
+        backends = manifest.setdefault("backends", {})
+        backends[backend.name] = {
+            "file": f"{backend.name}.npz",
+            "build_seconds": backend.build_seconds,
+        }
+        manifest_file.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------- load
+
+    def load_backend(
+        self,
+        name: str,
+        network: RoadNetwork,
+        host: "DistanceOracle | None" = None,
+        content_hash: str | None = None,
+    ) -> "DistanceBackend | None":
+        """Load a cached backend for ``network``.
+
+        Returns ``None`` when no artifact exists for the key; raises
+        :class:`ArtifactError` when one exists but is invalid (version or
+        hash mismatch, missing arrays, shape inconsistencies).
+        """
+        from repro.network.backends import APSPBackend, CHBackend, HubLabelBackend
+
+        self._check_backend(name)
+        if content_hash is None:
+            content_hash = network_content_hash(network)
+        path = self.artifact_path(content_hash, name)
+        if not path.exists():
+            return None
+        manifest = self._validated_manifest(content_hash, name)
+
+        try:
+            with np.load(path) as archive:
+                arrays = {key: archive[key] for key in archive.files}
+        except (OSError, ValueError, KeyError) as error:
+            raise ArtifactError(f"cannot read artifact {path}: {error}") from error
+
+        csr = network.csr
+        n = csr.num_vertices
+        try:
+            if name == "apsp":
+                matrix = arrays["matrix"]
+                vertex_ids = arrays["vertex_ids"]
+                if matrix.shape != (n, n) or not np.array_equal(vertex_ids, csr.vertex_ids):
+                    raise ArtifactError(
+                        f"{path}: artifact does not match the network "
+                        f"(matrix {matrix.shape}, expected {(n, n)})"
+                    )
+                return APSPBackend(network, matrix=matrix)
+            if name == "ch":
+                meta = arrays["meta"]
+                if int(meta[0]) != n or arrays["rank"].size != n:
+                    raise ArtifactError(
+                        f"{path}: hierarchy built for {int(meta[0])} vertices, "
+                        f"network has {n}"
+                    )
+                hierarchy = ContractionHierarchy(
+                    num_vertices=n,
+                    # the builder produces plain lists; restore the same types
+                    # so queries execute identical code paths
+                    rank=arrays["rank"].tolist(),
+                    up_indptr=arrays["up_indptr"].tolist(),
+                    up_indices=arrays["up_indices"].tolist(),
+                    up_costs=arrays["up_costs"].tolist(),
+                    num_shortcuts=int(meta[1]),
+                    build_seconds=float(
+                        manifest["backends"]["ch"].get("build_seconds", 0.0)
+                    ),
+                )
+                return CHBackend(network, host, hierarchy=hierarchy)
+            indptr = arrays["indptr"]
+            if indptr.size != n + 1 or arrays["hubs"].size != arrays["dists"].size:
+                raise ArtifactError(
+                    f"{path}: label arrays inconsistent with the network "
+                    f"(indptr {indptr.size}, expected {n + 1})"
+                )
+            labels = HubLabels(
+                indptr=indptr,
+                hubs=arrays["hubs"],
+                dists=arrays["dists"],
+                position=csr.position,
+                order=arrays["order"].tolist(),
+            )
+            return HubLabelBackend(network, labels=labels)
+        except KeyError as error:
+            raise ArtifactError(f"{path}: missing array {error.args[0]!r}") from error
+
+    def _validated_manifest(self, content_hash: str, backend: str) -> dict[str, Any]:
+        manifest_file = self.manifest_path(content_hash)
+        try:
+            manifest = json.loads(manifest_file.read_text(encoding="utf-8"))
+        except FileNotFoundError as error:
+            raise ArtifactError(f"artifact manifest missing: {manifest_file}") from error
+        except (OSError, json.JSONDecodeError) as error:
+            raise ArtifactError(f"unreadable manifest {manifest_file}: {error}") from error
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ArtifactError(
+                f"{manifest_file}: format version {version!r}, expected {FORMAT_VERSION}"
+            )
+        if manifest.get("content_hash") != content_hash:
+            raise ArtifactError(
+                f"{manifest_file}: content hash mismatch "
+                f"({manifest.get('content_hash')!r} != {content_hash!r})"
+            )
+        if backend not in manifest.get("backends", {}):
+            raise ArtifactError(f"{manifest_file}: no record of backend {backend!r}")
+        return manifest
+
+    # ---------------------------------------------------------- orchestration
+
+    def load_or_build(
+        self,
+        name: str,
+        network: RoadNetwork,
+        host: "DistanceOracle | None" = None,
+        content_hash: str | None = None,
+    ) -> "tuple[DistanceBackend, bool]":
+        """Serve ``name`` from the store, building (and saving) on miss.
+
+        Returns ``(backend, loaded_from_store)``. Invalid cache entries are
+        rebuilt and overwritten rather than propagated.
+        """
+        from repro.network.backends import make_backend
+
+        self._check_backend(name)
+        if content_hash is None:
+            content_hash = network_content_hash(network)
+        try:
+            cached = self.load_backend(name, network, host, content_hash=content_hash)
+        except ArtifactError:
+            cached = None
+        if cached is not None:
+            return cached, True
+        built = make_backend(name, network, host)
+        self.save_backend(network, built, content_hash=content_hash)
+        return built, False
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "PERSISTABLE_BACKENDS",
+    "ArtifactStore",
+]

@@ -1,6 +1,6 @@
 """Command-line interface for the URPSM reproduction.
 
-Seven sub-commands cover the common workflows::
+Nine sub-commands cover the common workflows::
 
     python -m repro simulate     --city chengdu-like --algorithm pruneGreedyDP
     python -m repro serve-replay --city chengdu-like --algorithm batch
@@ -8,6 +8,8 @@ Seven sub-commands cover the common workflows::
     python -m repro sweep        --parameter num_workers --values 20 40 80 --jobs 4
     python -m repro figure       figure3 --scale tiny --output results/fig3.json
     python -m repro datasets     --scale small
+    python -m repro ingest       extracts/manhattan.geojson --output cities/manhattan.json.gz
+    python -m repro preprocess   --city metro-grid --artifact-dir .repro-artifacts
     python -m repro algorithms
 
 ``simulate`` runs one algorithm on one scenario; ``serve-replay`` streams the
@@ -17,8 +19,15 @@ paper's five algorithms on the same scenario and prints the comparison table;
 ``sweep`` fans a parameter sweep out over a process pool (``--jobs``) with
 deterministic per-point seeds; ``figure`` reproduces one of Figures 3-7 and
 optionally writes the raw series to JSON/CSV/Markdown; ``datasets`` prints
-the Table 4 statistics of the synthetic cities; ``algorithms`` lists every
-registered dispatcher.
+the Table 4 statistics of the synthetic cities; ``ingest`` normalises a real
+GeoJSON/CSV road extract into the repo's network schema; ``preprocess``
+builds (or lists) the content-addressed distance-backend artifacts of a
+city; ``algorithms`` lists every registered dispatcher.
+
+Scenario commands accept real maps everywhere a registry city is accepted:
+``--city file:<path>`` ingests the referenced extract, and ``--artifact-dir``
+attaches the preprocessing store so precomputed oracle backends load from
+disk when cached.
 
 Scenario commands accept ``--shards K`` to wrap the chosen algorithm(s) in
 the sharded dispatcher (spatial partitioning + cross-shard escalation; see
@@ -55,7 +64,7 @@ from repro.service.facade import MatchingService
 from repro.service.spec import PlatformSpec
 from repro.sharding.partitioner import STRATEGIES
 from repro.simulation.simulator import ENGINES
-from repro.workloads.scenarios import CITY_BUILDERS, ScenarioConfig
+from repro.workloads.scenarios import CITY_BUILDERS, FILE_CITY_PREFIX, ScenarioConfig
 
 
 def _algorithm_name(name: str) -> str:
@@ -67,6 +76,22 @@ def _algorithm_name(name: str) -> str:
             f"{exc} — run 'repro algorithms' to list every registered dispatcher"
         ) from exc
     return name
+
+
+def _city_name(name: str) -> str:
+    """Argparse type accepting registry cities and ``file:<path>`` extracts."""
+    if name.startswith(FILE_CITY_PREFIX):
+        if not name[len(FILE_CITY_PREFIX):]:
+            raise argparse.ArgumentTypeError(
+                f"'{FILE_CITY_PREFIX}' names no file; use {FILE_CITY_PREFIX}<path>"
+            )
+        return name
+    if name in CITY_BUILDERS:
+        return name
+    raise argparse.ArgumentTypeError(
+        f"unknown city {name!r}; available: {sorted(CITY_BUILDERS)} "
+        f"or '{FILE_CITY_PREFIX}<path>' for a GeoJSON/CSV extract"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -158,13 +183,56 @@ def build_parser() -> argparse.ArgumentParser:
     datasets.add_argument("--scale", default="small", choices=sorted(SCALES))
     datasets.add_argument("--seed", type=int, default=2018)
 
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="normalise a real GeoJSON/CSV road extract into the network schema",
+    )
+    ingest.add_argument("input", type=Path,
+                        help="road extract: .geojson/.json FeatureCollection or .csv "
+                             "edge list, optionally .gz-compressed")
+    ingest.add_argument("--nodes", type=Path, default=None,
+                        help="node table (id,x,y) for CSV edge lists referencing node ids")
+    ingest.add_argument("--output", type=Path, default=None,
+                        help="write the normalised network as JSON (.json or .json.gz)")
+    ingest.add_argument("--name", default=None, help="network name (default: file stem)")
+    ingest.add_argument("--snap-metres", type=float, default=1.0,
+                        help="node-deduplication grid pitch in metres")
+    ingest.add_argument("--speed-factor", type=float, default=0.8,
+                        help="effective-speed fraction of the legal limit (paper: 0.8)")
+    ingest.add_argument("--projection", default="auto",
+                        choices=["auto", "geographic", "planar"],
+                        help="coordinate handling: detect lon/lat, force the local "
+                             "planar projection, or pass planar input through")
+    ingest.add_argument("--keep-all-components", action="store_true",
+                        help="skip largest-connected-component extraction")
+
+    preprocess = subparsers.add_parser(
+        "preprocess",
+        help="build content-addressed distance-backend artifacts for a city",
+    )
+    preprocess.add_argument("--city", default="chengdu-like", type=_city_name)
+    preprocess.add_argument("--seed", type=int, default=2018,
+                            help="city seed (ignored by ingested file:/riverton cities)")
+    preprocess.add_argument("--artifact-dir", type=Path, required=True,
+                            help="root of the content-addressed artifact store")
+    preprocess.add_argument("--backends", nargs="+", default=["apsp", "ch", "hub_labels"],
+                            choices=["apsp", "ch", "hub_labels"],
+                            help="which backends to preprocess")
+    preprocess.add_argument("--list", action="store_true", dest="list_entries",
+                            help="list the store's entries instead of building")
+
     subparsers.add_parser("algorithms", help="list every registered dispatch algorithm")
 
     return parser
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--city", default="chengdu-like", choices=sorted(CITY_BUILDERS))
+    parser.add_argument("--city", default="chengdu-like", type=_city_name,
+                        help="registry city or 'file:<path>' to ingest a "
+                             "GeoJSON/CSV road extract")
+    parser.add_argument("--artifact-dir", type=Path, default=None,
+                        help="root of the content-addressed preprocessing store; "
+                             "precomputed oracle backends load from / save to it")
     parser.add_argument("--workers", type=int, default=40)
     parser.add_argument("--requests", type=int, default=250)
     parser.add_argument("--capacity", type=int, default=4)
@@ -209,6 +277,9 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
         oracle_backend=getattr(args, "oracle_backend", None),
         cancellation_rate=args.cancellation_rate,
         shift_hours=args.shift_hours,
+        oracle_artifact_dir=(
+            str(args.artifact_dir) if getattr(args, "artifact_dir", None) is not None else None
+        ),
     )
 
 
@@ -396,6 +467,74 @@ def command_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_ingest(args: argparse.Namespace) -> int:
+    from repro.ingest import IngestError, IngestOptions, ingest_file
+    from repro.artifacts import network_content_hash
+    from repro.network.io import save_network
+
+    try:
+        options = IngestOptions(
+            snap_metres=args.snap_metres,
+            speed_factor=args.speed_factor,
+            projection=args.projection,
+            keep_all_components=args.keep_all_components,
+        )
+        network, report = ingest_file(
+            args.input, name=args.name, options=options, nodes_path=args.nodes
+        )
+    except IngestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"ingested {args.input} -> network {network.name!r}")
+    for line in report.lines():
+        print(f"  {line}")
+    print(f"  content hash:        {network_content_hash(network)}")
+    if args.output is not None:
+        save_network(network, args.output)
+        print(f"written: {args.output}")
+    return 0
+
+
+def command_preprocess(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.artifacts import ArtifactStore, network_content_hash
+    from repro.workloads.scenarios import build_network
+
+    store = ArtifactStore(args.artifact_dir)
+    if args.list_entries:
+        entries = store.entries()
+        if not entries:
+            print(f"artifact store {args.artifact_dir} is empty")
+            return 0
+        for entry in entries:
+            net = entry.get("network", {})
+            print(
+                f"{entry.get('content_hash', '?')[:12]}  "
+                f"{net.get('name', '?')} "
+                f"({net.get('num_vertices', '?')} vertices, "
+                f"{net.get('num_edges', '?')} edges)"
+            )
+            for name, info in sorted(entry.get("backends", {}).items()):
+                print(f"    {name}: built in {info.get('build_seconds', 0.0):.3f}s")
+        return 0
+
+    config = ScenarioConfig(city=args.city, seed=args.seed)
+    network = build_network(config)
+    content_hash = network_content_hash(network)
+    print(
+        f"preprocessing {args.city} ({network.num_vertices} vertices, "
+        f"{network.num_edges} edges; hash {content_hash[:12]}) -> {args.artifact_dir}"
+    )
+    for name in args.backends:
+        started = time.perf_counter()
+        _backend, loaded = store.load_or_build(name, network, None, content_hash=content_hash)
+        elapsed = time.perf_counter() - started
+        action = "loaded from store" if loaded else "built and saved"
+        print(f"  {name}: {action} in {elapsed:.3f}s")
+    return 0
+
+
 _COMMANDS = {
     "simulate": command_simulate,
     "serve-replay": command_serve_replay,
@@ -403,6 +542,8 @@ _COMMANDS = {
     "sweep": command_sweep,
     "figure": command_figure,
     "datasets": command_datasets,
+    "ingest": command_ingest,
+    "preprocess": command_preprocess,
     "algorithms": command_algorithms,
 }
 

@@ -25,3 +25,11 @@ class DispatchError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid scenario or experiment configuration."""
+
+
+class IngestError(ReproError):
+    """Raised for malformed real-map input (GeoJSON / CSV edge lists)."""
+
+
+class ArtifactError(ReproError):
+    """Raised for invalid preprocessing-artifact store contents."""

@@ -133,13 +133,31 @@ class ScenarioRunner:
         return self._network_cache[key]
 
     def oracle_for(self, config: ScenarioConfig) -> DistanceOracle:
-        """Distance oracle over the scenario's network, cached per city + mode."""
+        """Distance oracle over the scenario's network, cached per city + mode.
+
+        When the scenario attaches a preprocessing store, the memo key also
+        carries the *resolved* store path and the network's content hash:
+        two spellings of one directory share an oracle, while distinct
+        stores — or a ``file:`` city whose extract changed between runs —
+        never serve each other's cached entry.
+        """
+        artifact_key: tuple[str, str] | None = None
+        if config.oracle_artifact_dir is not None:
+            from pathlib import Path
+
+            from repro.artifacts import network_content_hash
+
+            artifact_key = (
+                str(Path(config.oracle_artifact_dir).resolve()),
+                network_content_hash(self.network_for(config)),
+            )
         key = (
             config.city,
             config.effective_city_seed,
             config.use_hub_labels,
             config.oracle_precompute,
             config.oracle_backend,
+            artifact_key,
         )
         if key not in self._oracle_cache:
             self._oracle_cache[key] = make_oracle(self.network_for(config), config)

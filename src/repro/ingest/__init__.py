@@ -1,0 +1,73 @@
+"""Real-map ingestion: GeoJSON / CSV road extracts -> :class:`RoadNetwork`.
+
+The paper evaluates on real city networks (NYC, Chengdu) loaded from
+OpenStreetMap extracts. This package provides dependency-free loaders for
+the two formats such extracts commonly take — GeoJSON feature collections
+and CSV edge lists — plus the shared normalisation pipeline (projection to
+a local planar frame, node snapping, speed normalisation, largest-component
+extraction) that turns raw geometry into a simulation-ready network.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import IngestError
+from repro.ingest.csv_edges import load_csv_network
+from repro.ingest.fixtures import FIXTURE_DIR, RIVERTON_FIXTURE, fixture_path
+from repro.ingest.geojson import load_geojson_network
+from repro.ingest.normalize import (
+    ROAD_CLASS_SPEEDS_KMH,
+    IngestOptions,
+    IngestReport,
+    NetworkAssembler,
+    parse_maxspeed,
+)
+from repro.ingest.projection import EARTH_RADIUS_METRES, LocalProjection, looks_geographic
+from repro.network.graph import RoadNetwork
+
+
+def ingest_file(
+    path: str | Path,
+    name: str | None = None,
+    options: IngestOptions | None = None,
+    nodes_path: str | Path | None = None,
+) -> tuple[RoadNetwork, IngestReport]:
+    """Ingest a road-network file, dispatching on its suffix.
+
+    ``.geojson`` / ``.json`` (optionally ``.gz``) go to the GeoJSON loader;
+    ``.csv`` (optionally ``.gz``) to the CSV edge-list loader. This is the
+    entry point behind ``repro ingest`` and ``file:`` registry cities.
+    """
+    source = Path(path)
+    suffixes = [suffix.lower() for suffix in source.suffixes]
+    if suffixes and suffixes[-1] == ".gz":
+        suffixes = suffixes[:-1]
+    kind = suffixes[-1] if suffixes else ""
+    if kind in (".geojson", ".json"):
+        return load_geojson_network(source, name=name, options=options)
+    if kind == ".csv":
+        return load_csv_network(source, nodes_path=nodes_path, name=name, options=options)
+    raise IngestError(
+        f"cannot ingest {source}: unsupported suffix {kind or source.name!r} "
+        "(expected .geojson, .json or .csv, optionally .gz-compressed)"
+    )
+
+
+__all__ = [
+    "EARTH_RADIUS_METRES",
+    "FIXTURE_DIR",
+    "IngestOptions",
+    "IngestReport",
+    "IngestError",
+    "LocalProjection",
+    "NetworkAssembler",
+    "RIVERTON_FIXTURE",
+    "ROAD_CLASS_SPEEDS_KMH",
+    "fixture_path",
+    "ingest_file",
+    "load_csv_network",
+    "load_geojson_network",
+    "looks_geographic",
+    "parse_maxspeed",
+]

@@ -1,0 +1,172 @@
+"""CSV edge-list ingestion.
+
+Many published road-network datasets (and most GIS exports) are a pair of
+flat tables: a node table with coordinates and an edge table referencing
+node ids — or a single denormalised edge table with inline endpoint
+coordinates. This module reads both shapes with the stdlib ``csv`` module
+and feeds them through the shared normalisation pipeline.
+
+Recognised columns (case-insensitive):
+
+* edge file: ``u``/``source``/``from`` and ``v``/``target``/``to`` node ids,
+  or inline ``ux, uy, vx, vy`` (alias ``x1, y1, x2, y2``) coordinates;
+  optional ``length`` (metres), ``speed`` (m/s), ``maxspeed`` (km/h or
+  ``"30 mph"``), ``road_class``/``highway``.
+* node file: ``id``/``node``/``node_id``, ``x``/``lon``/``lng``/``longitude``,
+  ``y``/``lat``/``latitude``.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+from pathlib import Path
+
+from repro.exceptions import IngestError
+from repro.ingest.normalize import IngestOptions, IngestReport, NetworkAssembler
+from repro.network.graph import RoadNetwork
+
+_U_KEYS = ("u", "source", "from", "from_id", "start")
+_V_KEYS = ("v", "target", "to", "to_id", "end")
+_ID_KEYS = ("id", "node", "node_id", "osmid")
+_X_KEYS = ("x", "lon", "lng", "longitude")
+_Y_KEYS = ("y", "lat", "latitude")
+_CLASS_KEYS = ("road_class", "highway", "class", "fclass")
+_INLINE_KEYS = (("ux", "uy", "vx", "vy"), ("x1", "y1", "x2", "y2"))
+
+
+def _open_rows(path: Path) -> list[dict[str, str]]:
+    opener = gzip.open if path.suffix.lower() == ".gz" else open
+    try:
+        with opener(path, "rt", encoding="utf-8", newline="") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None:
+                raise IngestError(f"{path} has no CSV header row")
+            rows = [
+                {
+                    (key or "").strip().lower(): (value or "").strip()
+                    for key, value in row.items()
+                }
+                for row in reader
+            ]
+    except OSError as error:
+        raise IngestError(f"cannot read CSV {path}: {error}") from error
+    if not rows:
+        raise IngestError(f"{path} contains no data rows")
+    return rows
+
+
+def _pick(row: dict[str, str], keys: tuple[str, ...]) -> str | None:
+    for key in keys:
+        value = row.get(key)
+        if value:
+            return value
+    return None
+
+
+def _require_float(row: dict[str, str], keys: tuple[str, ...], path: Path, line: int) -> float:
+    value = _pick(row, keys)
+    if value is None:
+        raise IngestError(f"{path}:{line}: missing one of columns {keys}")
+    try:
+        return float(value)
+    except ValueError as error:
+        raise IngestError(f"{path}:{line}: not a number: {value!r}") from error
+
+
+def _optional_float(row: dict[str, str], key: str, path: Path, line: int) -> float | None:
+    value = row.get(key)
+    if not value:
+        return None
+    try:
+        return float(value)
+    except ValueError as error:
+        raise IngestError(f"{path}:{line}: not a number: {value!r}") from error
+
+
+def load_csv_network(
+    edges_path: str | Path,
+    nodes_path: str | Path | None = None,
+    name: str | None = None,
+    options: IngestOptions | None = None,
+) -> tuple[RoadNetwork, IngestReport]:
+    """Build a road network from CSV edge (and optionally node) tables.
+
+    Args:
+        edges_path: edge table; either references node ids (requires
+            ``nodes_path``) or carries inline endpoint coordinates.
+        nodes_path: node table with ``id, x, y`` columns.
+        name: network name; defaults to the edge-file stem.
+        options: normalisation knobs (snapping, speeds, projection).
+
+    Returns:
+        ``(network, report)`` as for the GeoJSON loader.
+    """
+    edge_file = Path(edges_path)
+    if not edge_file.exists():
+        raise IngestError(f"edge CSV not found: {edge_file}")
+    edge_rows = _open_rows(edge_file)
+
+    coordinates: dict[str, tuple[float, float]] = {}
+    if nodes_path is not None:
+        node_file = Path(nodes_path)
+        if not node_file.exists():
+            raise IngestError(f"node CSV not found: {node_file}")
+        for line, row in enumerate(_open_rows(node_file), start=2):
+            node_id = _pick(row, _ID_KEYS)
+            if node_id is None:
+                raise IngestError(f"{node_file}:{line}: missing node id column {_ID_KEYS}")
+            coordinates[node_id] = (
+                _require_float(row, _X_KEYS, node_file, line),
+                _require_float(row, _Y_KEYS, node_file, line),
+            )
+
+    header = edge_rows[0]
+    inline = next(
+        (quad for quad in _INLINE_KEYS if all(key in header for key in quad)), None
+    )
+    if inline is None and not coordinates:
+        raise IngestError(
+            f"{edge_file} references node ids but no node table was given "
+            "(pass nodes_path, or use inline ux/uy/vx/vy columns)"
+        )
+
+    if name is None:
+        stem = edge_file.name
+        for suffix in (".gz", ".csv"):
+            if stem.lower().endswith(suffix):
+                stem = stem[: -len(suffix)]
+        name = stem or "csv-network"
+
+    assembler = NetworkAssembler(name, options)
+    for line, row in enumerate(edge_rows, start=2):
+        if inline is not None:
+            ux = _require_float(row, (inline[0],), edge_file, line)
+            uy = _require_float(row, (inline[1],), edge_file, line)
+            vx = _require_float(row, (inline[2],), edge_file, line)
+            vy = _require_float(row, (inline[3],), edge_file, line)
+            endpoints = [(ux, uy), (vx, vy)]
+        else:
+            u = _pick(row, _U_KEYS)
+            v = _pick(row, _V_KEYS)
+            if u is None or v is None:
+                raise IngestError(
+                    f"{edge_file}:{line}: missing endpoint columns {_U_KEYS} / {_V_KEYS}"
+                )
+            try:
+                endpoints = [coordinates[u], coordinates[v]]
+            except KeyError as error:
+                raise IngestError(
+                    f"{edge_file}:{line}: unknown node id {error.args[0]!r}"
+                ) from error
+        assembler.add_polyline(
+            endpoints,
+            road_class=_pick(row, _CLASS_KEYS),
+            maxspeed=row.get("maxspeed") or None,
+            length_metres=_optional_float(row, "length", edge_file, line),
+            speed_mps=_optional_float(row, "speed", edge_file, line),
+        )
+    return assembler.build()
+
+
+__all__ = ["load_csv_network"]

@@ -1,0 +1,30 @@
+"""Locator for the real-map fixtures bundled with the repository.
+
+The riverton extract under ``tests/fixtures/`` doubles as a registry city
+(``repro.workloads.scenarios``), so library code needs a robust way to find
+it relative to the installed source tree rather than the caller's CWD.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import IngestError
+
+#: src/repro/ingest/fixtures.py -> repo root is three parents above ``repro``
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+FIXTURE_DIR = _REPO_ROOT / "tests" / "fixtures"
+
+RIVERTON_FIXTURE = "riverton.geojson"
+"""Bundled ~1.5k-edge WGS84 road extract used by tests and the city registry."""
+
+
+def fixture_path(filename: str) -> Path:
+    """Absolute path of a bundled fixture; raises if it is missing."""
+    path = FIXTURE_DIR / filename
+    if not path.exists():
+        raise IngestError(f"bundled fixture not found: {path}")
+    return path
+
+
+__all__ = ["FIXTURE_DIR", "RIVERTON_FIXTURE", "fixture_path"]

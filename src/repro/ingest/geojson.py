@@ -1,0 +1,121 @@
+"""GeoJSON ingestion — the format real OSM road extracts actually arrive in.
+
+Reads a ``FeatureCollection`` of ``LineString`` / ``MultiLineString``
+features (the output of ``osmium export``, ``ogr2ogr`` or overpass-turbo),
+maps the usual OSM-style properties (``highway``, ``maxspeed``, measured
+``length``) onto the shared :class:`repro.ingest.normalize.NetworkAssembler`
+pipeline, and returns a normalised :class:`repro.network.graph.RoadNetwork`.
+
+No geopandas/shapely: the subset of GeoJSON a road extract uses is plain
+JSON, and staying dependency-free is a repo constraint. ``*.gz`` files are
+decompressed transparently.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import IngestError
+from repro.ingest.normalize import IngestOptions, IngestReport, NetworkAssembler
+from repro.network.graph import RoadNetwork
+
+#: feature properties accepted as the road class, in priority order
+ROAD_CLASS_KEYS = ("highway", "road_class", "class", "fclass")
+#: feature properties accepted as a measured polyline length in metres
+LENGTH_KEYS = ("length", "length_m", "length_metres")
+
+
+def _coerce_positions(geometry: dict[str, Any]) -> list[list[tuple[float, float]]]:
+    """Extract the polyline(s) of a GeoJSON geometry as ``(x, y)`` lists."""
+    kind = geometry.get("type")
+    coordinates = geometry.get("coordinates")
+    if kind == "LineString":
+        parts = [coordinates]
+    elif kind == "MultiLineString":
+        parts = coordinates
+    else:
+        return []  # points, polygons etc. are not roads; skipped silently
+    result: list[list[tuple[float, float]]] = []
+    for part in parts or []:
+        try:
+            # GeoJSON positions may carry altitude as a third element
+            result.append([(float(p[0]), float(p[1])) for p in part])
+        except (TypeError, ValueError, IndexError) as error:
+            raise IngestError(f"malformed GeoJSON coordinates: {error}") from error
+    return result
+
+
+def load_geojson_network(
+    path: str | Path,
+    name: str | None = None,
+    options: IngestOptions | None = None,
+) -> tuple[RoadNetwork, IngestReport]:
+    """Build a road network from a GeoJSON ``FeatureCollection`` file.
+
+    Args:
+        path: ``.geojson`` / ``.json`` file, optionally ``.gz``-compressed.
+        name: network name; defaults to the file stem.
+        options: normalisation knobs (snapping, speeds, projection).
+
+    Returns:
+        ``(network, report)`` — the largest-component, densely-relabelled
+        network and the ingestion statistics.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise IngestError(f"GeoJSON file not found: {source}")
+    opener = gzip.open if source.suffix.lower() == ".gz" else open
+    try:
+        with opener(source, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise IngestError(f"cannot read GeoJSON {source}: {error}") from error
+
+    if not isinstance(payload, dict) or payload.get("type") != "FeatureCollection":
+        raise IngestError(
+            f"{source} is not a GeoJSON FeatureCollection "
+            f"(type={payload.get('type') if isinstance(payload, dict) else type(payload).__name__!r})"
+        )
+
+    if name is None:
+        stem = source.name
+        for suffix in (".gz", ".geojson", ".json"):
+            if stem.lower().endswith(suffix):
+                stem = stem[: -len(suffix)]
+        name = stem or "geojson-network"
+
+    assembler = NetworkAssembler(name, options)
+    for feature in payload.get("features", []):
+        if not isinstance(feature, dict):
+            raise IngestError(f"malformed feature in {source}: {feature!r}")
+        geometry = feature.get("geometry") or {}
+        properties = feature.get("properties") or {}
+        parts = _coerce_positions(geometry)
+        if not parts:
+            continue
+        road_class = next(
+            (properties[key] for key in ROAD_CLASS_KEYS if properties.get(key)), None
+        )
+        length = next(
+            (properties[key] for key in LENGTH_KEYS if properties.get(key) is not None),
+            None,
+        )
+        for part in parts:
+            if len(part) < 2:
+                continue  # degenerate single-point part
+            assembler.add_polyline(
+                part,
+                road_class=str(road_class) if road_class is not None else None,
+                maxspeed=properties.get("maxspeed"),
+                # a measured length covers the whole feature; per-part lengths
+                # are recovered proportionally inside the assembler, so only
+                # pass it through for single-part geometries
+                length_metres=float(length) if length is not None and len(parts) == 1 else None,
+            )
+    return assembler.build()
+
+
+__all__ = ["LENGTH_KEYS", "ROAD_CLASS_KEYS", "load_geojson_network"]

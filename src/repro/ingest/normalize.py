@@ -1,0 +1,375 @@
+"""Shared normalisation pipeline turning raw road geometry into a `RoadNetwork`.
+
+Every ingestion front end (GeoJSON feature collections, CSV edge lists) parses
+its format into *polylines with attributes* and hands them to the
+:class:`NetworkAssembler`, which owns the steps the formats share:
+
+1. **projection** — WGS84 lon/lat input is projected to a local planar frame
+   in metres (:mod:`repro.ingest.projection`); planar input passes through;
+2. **node snapping** — endpoints are deduplicated on a ``snap_metres`` grid,
+   so features that meet at an intersection with slightly different
+   coordinates (a fact of life in real extracts) share one vertex;
+3. **unit / speed normalisation** — travel speeds come from an explicit
+   ``maxspeed`` tag (km/h or mph) or the road-class default, scaled by the
+   paper's "80% of the legal limit" factor, and are converted to m/s;
+4. **invariant repair** — segment lengths are clamped up to the straight-line
+   distance between their (snapped) endpoints, preserving the admissibility
+   of Euclidean lower bounds; self-loops created by snapping are dropped;
+5. **largest-component extraction** — unless asked otherwise, only the
+   largest connected component survives (the undirected analogue of the
+   largest strongly connected component), so distance oracles never see
+   unreachable pairs; vertices are then relabelled densely ``0..N-1``.
+
+The whole pipeline is deterministic: identical input files produce identical
+networks — and therefore identical :func:`repro.artifacts.network_content_hash`
+values, which is what makes the preprocessing artifact store effective.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import IngestError
+from repro.ingest.projection import LocalProjection, looks_geographic
+from repro.network.graph import (
+    RoadNetwork,
+    connected_components,
+    induced_subnetwork,
+)
+from repro.utils.geometry import Point
+
+#: legal speed limits (km/h) per OSM ``highway`` class; the effective travel
+#: speed is ``limit * speed_factor`` (the paper uses 80% of the legal limit).
+ROAD_CLASS_SPEEDS_KMH: dict[str, float] = {
+    "motorway": 110.0,
+    "motorway_link": 70.0,
+    "trunk": 90.0,
+    "trunk_link": 60.0,
+    "primary": 60.0,
+    "primary_link": 50.0,
+    "secondary": 50.0,
+    "secondary_link": 45.0,
+    "tertiary": 45.0,
+    "tertiary_link": 40.0,
+    "unclassified": 40.0,
+    "residential": 30.0,
+    "living_street": 15.0,
+    "service": 20.0,
+    "pedestrian": 10.0,
+    "track": 20.0,
+}
+
+MPH_TO_KMH = 1.609344
+
+
+def parse_maxspeed(value: object) -> float | None:
+    """Parse an OSM-style ``maxspeed`` tag into km/h (``None`` = unusable).
+
+    Accepts numbers, ``"50"``, ``"50 km/h"``, ``"30 mph"``; signposted
+    non-numeric values (``"none"``, ``"walk"``, ...) yield ``None`` so the
+    road-class default applies.
+    """
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return float(value) if value > 0 else None
+    text = str(value).strip().lower()
+    if not text or text.startswith("-"):
+        return None
+    unit_mph = "mph" in text
+    number = ""
+    for char in text:
+        if char.isdigit() or char == ".":
+            number += char
+        elif number:
+            break
+    if not number:
+        return None
+    try:
+        kmh = float(number)
+    except ValueError:  # pragma: no cover - the scan above prevents this
+        return None
+    if unit_mph:
+        kmh *= MPH_TO_KMH
+    return kmh if kmh > 0 else None
+
+
+@dataclass(frozen=True)
+class IngestOptions:
+    """Knobs of the normalisation pipeline.
+
+    Attributes:
+        snap_metres: node-deduplication grid pitch; endpoints quantised to
+            the same cell become one vertex. Real extracts need ~0.5-2 m.
+        speed_factor: effective-speed fraction of the legal limit (the
+            paper's 80% rule).
+        default_road_class: class assumed when a feature carries none.
+        default_speed_kmh: legal limit assumed for road classes missing from
+            :data:`ROAD_CLASS_SPEEDS_KMH`.
+        projection: ``"auto"`` (detect lon/lat from the value range),
+            ``"geographic"`` (always project) or ``"planar"`` (never).
+        keep_all_components: skip largest-component extraction (debugging).
+    """
+
+    snap_metres: float = 1.0
+    speed_factor: float = 0.8
+    default_road_class: str = "residential"
+    default_speed_kmh: float = 40.0
+    projection: str = "auto"
+    keep_all_components: bool = False
+
+    def __post_init__(self) -> None:
+        if self.snap_metres <= 0:
+            raise IngestError(f"snap_metres must be positive, got {self.snap_metres}")
+        if not 0 < self.speed_factor <= 1.0:
+            raise IngestError(f"speed_factor must be in (0, 1], got {self.speed_factor}")
+        if self.projection not in ("auto", "geographic", "planar"):
+            raise IngestError(
+                f"unknown projection mode {self.projection!r}; "
+                "use 'auto', 'geographic' or 'planar'"
+            )
+
+    def speed_mps(self, road_class: str, maxspeed_kmh: float | None) -> float:
+        """Effective travel speed in m/s for a segment."""
+        limit = maxspeed_kmh
+        if limit is None:
+            limit = ROAD_CLASS_SPEEDS_KMH.get(road_class, self.default_speed_kmh)
+        return limit * self.speed_factor / 3.6
+
+
+@dataclass
+class IngestReport:
+    """What the pipeline did — surfaced by the ``repro ingest`` CLI."""
+
+    features: int = 0
+    segments: int = 0
+    raw_points: int = 0
+    snapped_nodes: int = 0
+    self_loops_dropped: int = 0
+    components: int = 0
+    vertices: int = 0
+    edges: int = 0
+    dropped_vertices: int = 0
+    projection: str = "planar"
+    road_classes: dict[str, int] = field(default_factory=dict)
+
+    def lines(self) -> list[str]:
+        """Human-readable summary lines."""
+        return [
+            f"features ingested:   {self.features} ({self.segments} segments)",
+            f"projection:          {self.projection}",
+            f"node snapping:       {self.raw_points} points -> {self.snapped_nodes} nodes",
+            f"self-loops dropped:  {self.self_loops_dropped}",
+            f"components:          {self.components} "
+            f"(largest kept, {self.dropped_vertices} vertices dropped)",
+            f"network:             {self.vertices} vertices, {self.edges} edges",
+            "road classes:        "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.road_classes.items())),
+        ]
+
+
+@dataclass
+class _Polyline:
+    points: list[tuple[float, float]]
+    road_class: str
+    maxspeed_kmh: float | None
+    length_metres: float | None
+    speed_mps: float | None
+
+
+class NetworkAssembler:
+    """Accumulates polylines, then builds one normalised :class:`RoadNetwork`."""
+
+    def __init__(self, name: str, options: IngestOptions | None = None) -> None:
+        self.name = name
+        self.options = options if options is not None else IngestOptions()
+        self._polylines: list[_Polyline] = []
+
+    def add_polyline(
+        self,
+        points: list[tuple[float, float]],
+        road_class: str | None = None,
+        maxspeed: object = None,
+        length_metres: float | None = None,
+        speed_mps: float | None = None,
+    ) -> None:
+        """Queue one road geometry (>= 2 points).
+
+        Args:
+            points: ``(x, y)`` or ``(lon, lat)`` coordinates along the road.
+            road_class: OSM ``highway``-style class; defaults per options.
+            maxspeed: raw ``maxspeed`` tag (parsed leniently).
+            length_metres: measured length of the *whole* polyline (e.g. a
+                pre-computed field of the export); distributed over the
+                segments proportionally to their geometric length.
+            speed_mps: explicit travel speed — wins over every speed rule.
+        """
+        if len(points) < 2:
+            raise IngestError(
+                f"polyline needs at least 2 points, got {len(points)} ({self.name})"
+            )
+        if length_metres is not None and length_metres < 0:
+            raise IngestError(f"negative polyline length {length_metres} ({self.name})")
+        if speed_mps is not None and speed_mps <= 0:
+            raise IngestError(f"non-positive speed {speed_mps} m/s ({self.name})")
+        self._polylines.append(
+            _Polyline(
+                points=[(float(x), float(y)) for x, y in points],
+                road_class=road_class or self.options.default_road_class,
+                maxspeed_kmh=parse_maxspeed(maxspeed),
+                length_metres=length_metres,
+                speed_mps=speed_mps,
+            )
+        )
+
+    # ------------------------------------------------------------------ build
+
+    def build(self) -> tuple[RoadNetwork, IngestReport]:
+        """Run the pipeline; returns the network and a report of what happened."""
+        if not self._polylines:
+            raise IngestError(f"no road geometry to ingest ({self.name})")
+        options = self.options
+        report = IngestReport(features=len(self._polylines))
+
+        projected = self._project(report)
+
+        # snap: bucket nodes on a snap-sized grid, but match against the
+        # 3x3 cell neighbourhood so two endpoints within snap_metres unify
+        # even when they straddle a cell boundary. The first point seen
+        # fixes the node coordinate (deterministic — input order is fixed).
+        snap = options.snap_metres
+        node_of_cell: dict[tuple[int, int], list[int]] = {}
+        node_coordinates: list[tuple[float, float]] = []
+
+        def node_for(x: float, y: float) -> int:
+            cx = round(x / snap)
+            cy = round(y / snap)
+            best = -1
+            best_distance = snap
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    for node in node_of_cell.get((cx + dx, cy + dy), ()):
+                        nx, ny = node_coordinates[node]
+                        distance = math.hypot(x - nx, y - ny)
+                        # strict < keeps the match unique and order-stable
+                        if distance < best_distance:
+                            best = node
+                            best_distance = distance
+            if best >= 0:
+                return best
+            node = len(node_coordinates)
+            node_of_cell.setdefault((cx, cy), []).append(node)
+            node_coordinates.append((x, y))
+            return node
+
+        network = RoadNetwork(name=self.name)
+        added_vertices: set[int] = set()
+
+        for polyline, points in zip(self._polylines, projected):
+            report.raw_points += len(points)
+            segment_lengths = [
+                math.dist(points[i], points[i + 1]) for i in range(len(points) - 1)
+            ]
+            total = sum(segment_lengths)
+            speed = (
+                polyline.speed_mps
+                if polyline.speed_mps is not None
+                else options.speed_mps(polyline.road_class, polyline.maxspeed_kmh)
+            )
+            for i, geometric in enumerate(segment_lengths):
+                report.segments += 1
+                u = node_for(*points[i])
+                v = node_for(*points[i + 1])
+                if u == v:
+                    report.self_loops_dropped += 1
+                    continue
+                if polyline.length_metres is not None and total > 0:
+                    length = polyline.length_metres * geometric / total
+                else:
+                    length = geometric
+                for node in (u, v):
+                    if node not in added_vertices:
+                        network.add_vertex(node, Point(*node_coordinates[node]))
+                        added_vertices.add(node)
+                # snapping may have moved the endpoints; never let the edge
+                # undercut the straight line (admissible lower bounds)
+                straight = network.euclidean(u, v)
+                network.add_edge(
+                    u,
+                    v,
+                    length=max(length, straight),
+                    speed=speed,
+                    road_class=polyline.road_class,
+                )
+                report.road_classes[polyline.road_class] = (
+                    report.road_classes.get(polyline.road_class, 0) + 1
+                )
+        report.snapped_nodes = len(node_coordinates)
+
+        network = self._restrict_and_relabel(network, report)
+        report.vertices = network.num_vertices
+        report.edges = network.num_edges
+        network.validate()
+        return network, report
+
+    # -------------------------------------------------------------- internals
+
+    def _project(self, report: IngestReport) -> list[list[tuple[float, float]]]:
+        """Project every polyline into the local planar frame (or pass through)."""
+        options = self.options
+        xs = [x for polyline in self._polylines for x, _ in polyline.points]
+        ys = [y for polyline in self._polylines for _, y in polyline.points]
+        if options.projection == "geographic":
+            geographic = True
+        elif options.projection == "planar":
+            geographic = False
+        else:
+            geographic = looks_geographic(xs, ys)
+        if not geographic:
+            report.projection = "planar (passed through)"
+            return [list(polyline.points) for polyline in self._polylines]
+        projection = LocalProjection.about_centroid(xs, ys)
+        report.projection = (
+            f"equirectangular about ({projection.lon0_degrees:.5f}, "
+            f"{projection.lat0_degrees:.5f})"
+        )
+        return [
+            [projection.project(lon, lat) for lon, lat in polyline.points]
+            for polyline in self._polylines
+        ]
+
+    def _restrict_and_relabel(
+        self, network: RoadNetwork, report: IngestReport
+    ) -> RoadNetwork:
+        """Largest-component extraction + dense ``0..N-1`` relabelling."""
+        components = connected_components(network)
+        report.components = components.count
+        if components.count > 1 and not self.options.keep_all_components:
+            keep = components.largest_component()
+            report.dropped_vertices = network.num_vertices - len(keep)
+            network = induced_subnetwork(network, keep)
+        # dense ids keep the CSR's O(1) vertex->position lookup applicable
+        # regardless of how many vertices the component extraction dropped
+        relabel = {old: new for new, old in enumerate(sorted(network.vertices()))}
+        result = RoadNetwork(name=network.name)
+        for old, new in relabel.items():
+            result.add_vertex(new, network.coordinates(old))
+        for edge in sorted(network.edges(), key=lambda e: (e.u, e.v)):
+            result.add_edge(
+                relabel[edge.u],
+                relabel[edge.v],
+                length=edge.length,
+                speed=edge.speed,
+                road_class=edge.road_class,
+            )
+        return result
+
+
+__all__ = [
+    "ROAD_CLASS_SPEEDS_KMH",
+    "IngestOptions",
+    "IngestReport",
+    "NetworkAssembler",
+    "parse_maxspeed",
+]

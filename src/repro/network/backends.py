@@ -133,15 +133,16 @@ class APSPBackend:
     name = "apsp"
     uses_distance_cache = False
 
-    def __init__(self, network: RoadNetwork) -> None:
+    def __init__(self, network: RoadNetwork, matrix: np.ndarray | None = None) -> None:
         started = time.perf_counter()
         csr = network.csr
         self._csr = csr
-        n = csr.num_vertices
-        matrix = np.empty((n, n), dtype=np.float64)
-        vertex_ids = csr.vertex_ids_list
-        for row in range(n):
-            matrix[row] = single_source_distances_array(network, vertex_ids[row])
+        if matrix is None:
+            n = csr.num_vertices
+            matrix = np.empty((n, n), dtype=np.float64)
+            vertex_ids = csr.vertex_ids_list
+            for row in range(n):
+                matrix[row] = single_source_distances_array(network, vertex_ids[row])
         self.matrix = matrix
         self.vertex_index = csr.position
         self.build_seconds = time.perf_counter() - started
@@ -428,8 +429,21 @@ class DijkstraBackend:
         }
 
 
-def make_backend(name: str, network: RoadNetwork, host: "DistanceOracle") -> DistanceBackend:
-    """Instantiate the named backend over ``network``."""
+def make_backend(
+    name: str,
+    network: RoadNetwork,
+    host: "DistanceOracle",
+    store: "object | None" = None,
+) -> DistanceBackend:
+    """Instantiate the named backend over ``network``.
+
+    When an :class:`repro.artifacts.ArtifactStore` is passed and ``name`` has
+    persistable state, the backend is served from the store (building and
+    saving on a miss) — bit-identical to a fresh build.
+    """
+    if store is not None and name in ("apsp", "ch", "hub_labels"):
+        backend, _loaded = store.load_or_build(name, network, host)
+        return backend
     if name == "apsp":
         return APSPBackend(network)
     if name == "ch":

@@ -42,10 +42,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.artifacts import ArtifactStore, network_content_hash
+from repro.artifacts.store import PERSISTABLE_BACKENDS
 from repro.exceptions import DisconnectedError
 from repro.network.backends import (
     APSPBackend,
@@ -170,6 +173,14 @@ class DistanceOracle:
         landmark_index: optional :class:`LandmarkIndex` to sharpen lower bounds.
         query_volume_hint: expected number of exact queries, consulted by the
             ``"auto"`` policy (tiny workloads skip preprocessing entirely).
+        artifact_dir: optional root of a content-addressed
+            :class:`~repro.artifacts.ArtifactStore`. Precomputable backends
+            are then served from disk when a cached build for this exact
+            network exists (bit-identical to a fresh build) and persisted
+            after a fresh build otherwise. With the store attached, the
+            ``"auto"`` policy also prefers ``hub_labels`` over ``ch`` when a
+            cached labelling already exists — its higher build cost is sunk,
+            leaving only its faster queries.
     """
 
     def __init__(
@@ -182,6 +193,7 @@ class DistanceOracle:
         landmark_index: LandmarkIndex | None = None,
         backend: str | None = None,
         query_volume_hint: int | None = None,
+        artifact_dir: str | Path | None = None,
     ) -> None:
         self.network = network
         self._distance_cache: LRUCache[tuple[Vertex, Vertex], float] = LRUCache(cache_size)
@@ -198,8 +210,23 @@ class DistanceOracle:
             raise ValueError(
                 f"conflicting accelerators: precompute={precompute!r} vs backend={backend!r}"
             )
+        self.artifact_store: ArtifactStore | None = (
+            ArtifactStore(artifact_dir) if artifact_dir is not None else None
+        )
+        #: canonical CSR content hash — the artifact-store key (None without a store)
+        self.content_hash: str | None = (
+            network_content_hash(network) if self.artifact_store is not None else None
+        )
         if backend == "auto":
             backend = select_backend_name(network.csr.num_vertices, query_volume_hint)
+            if (
+                backend == "ch"
+                and self.artifact_store is not None
+                and self.artifact_store.has(self.content_hash, "hub_labels")
+            ):
+                # the expensive labelling is already on disk: loading it costs
+                # about as much as loading the CH but queries are faster
+                backend = "hub_labels"
         # snapshot used to index the precomputed backends (their row/position
         # order is frozen at build time); geometric queries read the live
         # network.csr and max_speed instead, so Euclidean lower bounds track
@@ -213,7 +240,14 @@ class DistanceOracle:
         self.counters = OracleCounters(
             distance_cache=self._distance_cache, path_cache=self._path_cache
         )
-        self._backend: DistanceBackend = make_backend(backend, network, self)
+        if self.artifact_store is not None and backend in PERSISTABLE_BACKENDS:
+            self._backend, self.artifact_loaded = self.artifact_store.load_or_build(
+                backend, network, self, content_hash=self.content_hash
+            )
+        else:
+            self._backend = make_backend(backend, network, self)
+            #: whether the backend state came from the artifact store
+            self.artifact_loaded = False
         self.counters.backend = self._backend.name
         self.counters.cache_bypassed = not self._backend.uses_distance_cache
         self._landmarks = landmark_index

@@ -31,7 +31,7 @@ from repro.dispatch.base import DispatcherConfig
 from repro.dispatch.registry import DispatcherSpec, unknown_fields_error
 from repro.exceptions import ConfigurationError
 from repro.simulation.simulator import ENGINES as _ENGINES
-from repro.workloads.scenarios import CITY_BUILDERS, ScenarioConfig
+from repro.workloads.scenarios import CITY_BUILDERS, FILE_CITY_PREFIX, ScenarioConfig
 
 #: shared "unknown field(s) ... did you mean" error builder.
 _unknown_keys_error = unknown_fields_error
@@ -94,14 +94,20 @@ class PlatformSpec:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; available: {_ENGINES}"
             )
-        if self.scenario.city not in CITY_BUILDERS:
+        city = self.scenario.city
+        if city.startswith(FILE_CITY_PREFIX):
+            if not city[len(FILE_CITY_PREFIX):]:
+                raise ConfigurationError(
+                    f"city {city!r} names no file; use '{FILE_CITY_PREFIX}<path>'"
+                )
+        elif city not in CITY_BUILDERS:
             close = difflib.get_close_matches(
-                self.scenario.city, sorted(CITY_BUILDERS), n=1, cutoff=0.4
+                city, sorted(CITY_BUILDERS), n=1, cutoff=0.4
             )
             hint = f" (did you mean {close[0]!r}?)" if close else ""
             raise ConfigurationError(
-                f"unknown city {self.scenario.city!r}; "
-                f"available: {sorted(CITY_BUILDERS)}{hint}"
+                f"unknown city {city!r}; available: {sorted(CITY_BUILDERS)} "
+                f"or '{FILE_CITY_PREFIX}<path>' for a GeoJSON/CSV extract{hint}"
             )
         self.dispatcher.validate()
         if self.engine == "legacy" and (
@@ -330,12 +336,16 @@ class PlatformSpecBuilder:
         precompute: str | None = None,
         use_hub_labels: bool | None = None,
         backend: str | None = None,
+        artifact_dir: str | None = None,
     ) -> "PlatformSpecBuilder":
         """Configure the distance-oracle acceleration.
 
         ``backend`` selects a distance backend by name (``"auto"``,
         ``"apsp"``, ``"ch"``, ``"hub_labels"``, ``"dijkstra"``) and wins over
         the legacy ``precompute``/``use_hub_labels`` spellings.
+        ``artifact_dir`` attaches the content-addressed preprocessing store
+        (:mod:`repro.artifacts`), so precomputed backends load from disk
+        when a build for the exact network is cached.
         """
         if precompute is not None:
             self._scenario["oracle_precompute"] = precompute
@@ -343,6 +353,8 @@ class PlatformSpecBuilder:
             self._scenario["use_hub_labels"] = use_hub_labels
         if backend is not None:
             self._scenario["oracle_backend"] = backend
+        if artifact_dir is not None:
+            self._scenario["oracle_artifact_dir"] = artifact_dir
         return self
 
     # -------------------------------------------------------------- dispatcher

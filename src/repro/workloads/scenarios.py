@@ -10,6 +10,11 @@ Two named cities are provided:
 
 * ``nyc-like`` — larger Manhattan-style grid (stand-in for the NYC dataset);
 * ``chengdu-like`` — smaller ring-radial city (stand-in for Chengdu).
+
+Real maps join the registry two ways: the bundled ``riverton`` extract
+(ingested from ``tests/fixtures/riverton.geojson``), and ad-hoc ``file:``
+city names — ``city="file:extracts/manhattan.geojson"`` ingests the named
+GeoJSON/CSV file through :mod:`repro.ingest` at build time.
 """
 
 from __future__ import annotations
@@ -44,13 +49,26 @@ CITY_BUILDERS = {
     "small-grid": lambda seed: grid_city(rows=12, columns=12, block_metres=250.0, seed=seed,
                                          name="small-grid"),
     "random": lambda seed: random_geometric_city(num_vertices=250, seed=seed, name="random"),
+    "riverton": lambda seed: _riverton_city(),
 }
-"""Named synthetic cities available to scenarios.
+"""Named cities available to scenarios.
 
 ``metro-grid`` (~3.6k vertices) sits past the dense-APSP comfort zone on
 purpose: it is the workload where the hierarchical oracle backends earn
 their keep (the ``"auto"`` policy picks the contraction hierarchy there).
+``riverton`` is the bundled real-map extract — ingested, not generated, so
+its seed argument is ignored (the network is a fixed artifact of the file).
 """
+
+FILE_CITY_PREFIX = "file:"
+
+
+def _riverton_city() -> RoadNetwork:
+    """Ingest the bundled riverton GeoJSON fixture (deterministic)."""
+    from repro.ingest import RIVERTON_FIXTURE, fixture_path, ingest_file
+
+    network, _report = ingest_file(fixture_path(RIVERTON_FIXTURE), name="riverton")
+    return network
 
 
 @dataclass(frozen=True)
@@ -88,6 +106,10 @@ class ScenarioConfig:
         shift_hours: staggered duty-window length per worker in hours (0 =
             everyone on duty for the whole horizon; requires the event
             kernel).
+        oracle_artifact_dir: optional root directory of the content-addressed
+            preprocessing store (:mod:`repro.artifacts`). Precomputed oracle
+            backends are then loaded from / saved to disk, keyed by the
+            network's content hash.
     """
 
     city: str = "chengdu-like"
@@ -106,6 +128,7 @@ class ScenarioConfig:
     oracle_backend: str | None = None
     cancellation_rate: float = 0.0
     shift_hours: float = 0.0
+    oracle_artifact_dir: str | None = None
 
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         """Return a copy with the given fields replaced (sweep helper)."""
@@ -132,12 +155,28 @@ def paper_default_scenario(city: str = "chengdu-like", **overrides) -> ScenarioC
 
 
 def build_network(config: ScenarioConfig) -> RoadNetwork:
-    """Build (deterministically) the synthetic city of ``config``."""
+    """Build (deterministically) the city of ``config``.
+
+    Registry names come from :data:`CITY_BUILDERS`; ``file:<path>`` names
+    ingest the referenced GeoJSON/CSV road extract via :mod:`repro.ingest`
+    (deterministic for a fixed file, like the registry cities are for a
+    fixed seed).
+    """
+    if config.city.startswith(FILE_CITY_PREFIX):
+        from repro.ingest import IngestError, ingest_file
+
+        path = config.city[len(FILE_CITY_PREFIX):]
+        try:
+            network, _report = ingest_file(path)
+        except IngestError as exc:
+            raise ConfigurationError(f"cannot ingest city {config.city!r}: {exc}") from exc
+        return network
     try:
         builder = CITY_BUILDERS[config.city]
     except KeyError as exc:
         raise ConfigurationError(
-            f"unknown city {config.city!r}; available: {sorted(CITY_BUILDERS)}"
+            f"unknown city {config.city!r}; available: {sorted(CITY_BUILDERS)} "
+            f"or '{FILE_CITY_PREFIX}<path>' for a GeoJSON/CSV extract"
         ) from exc
     return builder(derive_seed(config.effective_city_seed, "city", config.city))
 
@@ -161,7 +200,7 @@ def make_oracle(network: RoadNetwork, config: ScenarioConfig) -> DistanceOracle:
         mode = "hub_labels" if config.use_hub_labels else config.oracle_precompute
     if mode == "none":
         mode = "dijkstra"
-    return DistanceOracle(network, backend=mode)
+    return DistanceOracle(network, backend=mode, artifact_dir=config.oracle_artifact_dir)
 
 
 def build_instance(

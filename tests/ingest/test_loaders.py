@@ -1,0 +1,234 @@
+"""Tests of the GeoJSON / CSV front ends and the ``ingest_file`` dispatcher."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.exceptions import IngestError
+from repro.ingest import (
+    IngestOptions,
+    ingest_file,
+    load_csv_network,
+    load_geojson_network,
+)
+
+PLANAR = IngestOptions(projection="planar")
+
+
+def collection(features) -> dict:
+    return {"type": "FeatureCollection", "features": features}
+
+
+def line(coordinates, **properties) -> dict:
+    return {
+        "type": "Feature",
+        "geometry": {"type": "LineString", "coordinates": coordinates},
+        "properties": properties,
+    }
+
+
+def write_json(path, payload):
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+    else:
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+class TestGeoJSON:
+    def test_basic_linestrings(self, tmp_path):
+        path = tmp_path / "town.geojson"
+        write_json(
+            path,
+            collection(
+                [
+                    line([[0, 0], [100, 0]], highway="primary"),
+                    line([[100, 0], [100, 200]], highway="residential"),
+                ]
+            ),
+        )
+        network, report = load_geojson_network(path, options=PLANAR)
+        assert network.name == "town"
+        assert network.num_vertices == 3
+        assert network.num_edges == 2
+        assert report.road_classes == {"primary": 1, "residential": 1}
+
+    def test_multilinestring_and_skipped_geometries(self, tmp_path):
+        path = tmp_path / "multi.json"
+        write_json(
+            path,
+            collection(
+                [
+                    {
+                        "type": "Feature",
+                        "geometry": {
+                            "type": "MultiLineString",
+                            "coordinates": [
+                                [[0, 0], [100, 0]],
+                                [[100, 0], [100, 100]],
+                            ],
+                        },
+                        "properties": {"highway": "secondary"},
+                    },
+                    {
+                        "type": "Feature",
+                        "geometry": {"type": "Point", "coordinates": [5, 5]},
+                        "properties": {"amenity": "cafe"},
+                    },
+                ]
+            ),
+        )
+        network, report = load_geojson_network(path, options=PLANAR)
+        assert network.num_edges == 2
+        assert report.features == 2  # two polylines; the Point never reaches them
+
+    def test_gzip_matches_plain(self, tmp_path):
+        payload = collection(
+            [
+                line([[0, 0], [150, 0]], highway="tertiary"),
+                line([[150, 0], [150, 90]]),
+            ]
+        )
+        plain = tmp_path / "city.geojson"
+        packed = tmp_path / "city.geojson.gz"
+        write_json(plain, payload)
+        write_json(packed, payload)
+
+        from repro.artifacts import network_content_hash
+
+        a, _ = load_geojson_network(plain, options=PLANAR)
+        b, _ = load_geojson_network(packed, options=PLANAR)
+        assert a.name == b.name == "city"
+        assert network_content_hash(a) == network_content_hash(b)
+
+    def test_maxspeed_and_length_properties_used(self, tmp_path):
+        path = tmp_path / "tagged.geojson"
+        write_json(
+            path,
+            collection(
+                [line([[0, 0], [100, 0]], highway="primary", maxspeed="30 mph", length=140.0)]
+            ),
+        )
+        network, _ = load_geojson_network(path, options=PLANAR)
+        edge = next(iter(network.edges()))
+        assert edge.length == pytest.approx(140.0)
+        assert edge.speed == pytest.approx(30.0 * 1.609344 * 0.8 / 3.6)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(IngestError, match="not found"):
+            load_geojson_network(tmp_path / "nope.geojson")
+
+    def test_not_a_feature_collection(self, tmp_path):
+        path = tmp_path / "geom.geojson"
+        write_json(path, {"type": "LineString", "coordinates": [[0, 0], [1, 1]]})
+        with pytest.raises(IngestError, match="FeatureCollection"):
+            load_geojson_network(path)
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.geojson"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(IngestError, match="cannot read"):
+            load_geojson_network(path)
+
+    def test_malformed_coordinates(self, tmp_path):
+        path = tmp_path / "bad.geojson"
+        write_json(path, collection([line([[0, 0], ["east", 1]])]))
+        with pytest.raises(IngestError, match="malformed GeoJSON coordinates"):
+            load_geojson_network(path)
+
+
+class TestCSV:
+    def test_node_table_mode(self, tmp_path):
+        nodes = tmp_path / "nodes.csv"
+        edges = tmp_path / "edges.csv"
+        nodes.write_text(
+            "id,x,y\na,0,0\nb,100,0\nc,100,200\n", encoding="utf-8"
+        )
+        edges.write_text(
+            "u,v,road_class\na,b,primary\nb,c,residential\n", encoding="utf-8"
+        )
+        network, report = load_csv_network(edges, nodes_path=nodes, options=PLANAR)
+        assert network.name == "edges"
+        assert network.num_vertices == 3
+        assert report.road_classes == {"primary": 1, "residential": 1}
+
+    def test_inline_coordinates_mode(self, tmp_path):
+        edges = tmp_path / "inline.csv"
+        edges.write_text(
+            "ux,uy,vx,vy,length,speed\n0,0,100,0,120,7.5\n100,0,100,80,,\n",
+            encoding="utf-8",
+        )
+        network, _ = load_csv_network(edges, options=PLANAR)
+        assert network.num_vertices == 3
+        by_length = sorted(network.edges(), key=lambda e: e.length)
+        assert by_length[1].length == pytest.approx(120.0)
+        assert by_length[1].speed == pytest.approx(7.5)
+
+    def test_alias_columns(self, tmp_path):
+        nodes = tmp_path / "nodes.csv"
+        edges = tmp_path / "edges.csv"
+        nodes.write_text("node_id,lon,lat\n1,0,0\n2,0.001,0\n", encoding="utf-8")
+        edges.write_text("source,target,highway\n1,2,primary\n", encoding="utf-8")
+        network, report = load_csv_network(edges, nodes_path=nodes)
+        assert network.num_edges == 1
+        assert "equirectangular" in report.projection
+
+    def test_gzip_edge_table(self, tmp_path):
+        edges = tmp_path / "edges.csv.gz"
+        with gzip.open(edges, "wt", encoding="utf-8") as handle:
+            handle.write("x1,y1,x2,y2\n0,0,50,0\n50,0,50,60\n")
+        network, _ = load_csv_network(edges, options=PLANAR)
+        assert network.name == "edges"
+        assert network.num_edges == 2
+
+    def test_ids_without_node_table_rejected(self, tmp_path):
+        edges = tmp_path / "edges.csv"
+        edges.write_text("u,v\na,b\n", encoding="utf-8")
+        with pytest.raises(IngestError, match="no node table"):
+            load_csv_network(edges)
+
+    def test_unknown_node_id(self, tmp_path):
+        nodes = tmp_path / "nodes.csv"
+        edges = tmp_path / "edges.csv"
+        nodes.write_text("id,x,y\na,0,0\n", encoding="utf-8")
+        edges.write_text("u,v\na,ghost\n", encoding="utf-8")
+        with pytest.raises(IngestError, match="unknown node id 'ghost'"):
+            load_csv_network(edges, nodes_path=nodes, options=PLANAR)
+
+    def test_non_numeric_coordinate(self, tmp_path):
+        nodes = tmp_path / "nodes.csv"
+        edges = tmp_path / "edges.csv"
+        nodes.write_text("id,x,y\na,zero,0\n", encoding="utf-8")
+        edges.write_text("u,v\na,a\n", encoding="utf-8")
+        with pytest.raises(IngestError, match="not a number"):
+            load_csv_network(edges, nodes_path=nodes)
+
+    def test_empty_table(self, tmp_path):
+        edges = tmp_path / "edges.csv"
+        edges.write_text("ux,uy,vx,vy\n", encoding="utf-8")
+        with pytest.raises(IngestError, match="no data rows"):
+            load_csv_network(edges)
+
+
+class TestDispatch:
+    def test_dispatches_by_suffix(self, tmp_path):
+        geo = tmp_path / "a.geojson"
+        write_json(geo, collection([line([[0, 0], [10, 0]])]))
+        csv_file = tmp_path / "b.csv"
+        csv_file.write_text("ux,uy,vx,vy\n0,0,10,0\n", encoding="utf-8")
+        for path in (geo, csv_file):
+            network, _ = ingest_file(path, options=PLANAR)
+            assert network.num_edges == 1
+
+    def test_unsupported_suffix(self, tmp_path):
+        path = tmp_path / "roads.shp"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(IngestError, match="unsupported suffix"):
+            ingest_file(path)
+
+    def test_name_override(self, tmp_path):
+        geo = tmp_path / "whatever.geojson"
+        write_json(geo, collection([line([[0, 0], [10, 0]])]))
+        network, _ = ingest_file(geo, name="renamed", options=PLANAR)
+        assert network.name == "renamed"

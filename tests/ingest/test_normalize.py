@@ -1,0 +1,188 @@
+"""Tests of the shared real-map normalisation pipeline."""
+
+import math
+
+import pytest
+
+from repro.exceptions import IngestError
+from repro.ingest.normalize import (
+    ROAD_CLASS_SPEEDS_KMH,
+    IngestOptions,
+    NetworkAssembler,
+    parse_maxspeed,
+)
+from repro.ingest.projection import EARTH_RADIUS_METRES, LocalProjection, looks_geographic
+
+
+class TestParseMaxspeed:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            (50, 50.0),
+            (50.5, 50.5),
+            ("50", 50.0),
+            (" 50 km/h ", 50.0),
+            ("30 mph", 30.0 * 1.609344),
+            ("30mph", 30.0 * 1.609344),
+            (None, None),
+            ("", None),
+            ("none", None),
+            ("walk", None),
+            (0, None),
+            ("-5", None),
+        ],
+    )
+    def test_parse(self, raw, expected):
+        result = parse_maxspeed(raw)
+        if expected is None:
+            assert result is None
+        else:
+            assert result == pytest.approx(expected)
+
+
+class TestProjection:
+    def test_looks_geographic(self):
+        assert looks_geographic([-73.9, -74.0], [40.7, 40.8])
+        assert not looks_geographic([1500.0, 2500.0], [100.0, 900.0])
+        assert not looks_geographic([], [])
+
+    def test_equirectangular_scale(self):
+        projection = LocalProjection(lon0_degrees=0.0, lat0_degrees=0.0)
+        x, y = projection.project(0.001, 0.0)
+        assert x == pytest.approx(math.radians(0.001) * EARTH_RADIUS_METRES)
+        assert y == 0.0
+        # away from the equator one degree of longitude shrinks by cos(lat0)
+        at60 = LocalProjection(lon0_degrees=0.0, lat0_degrees=60.0)
+        x60, _ = at60.project(0.001, 60.0)
+        assert x60 == pytest.approx(x * math.cos(math.radians(60.0)))
+
+    def test_centroid_is_bbox_midpoint(self):
+        projection = LocalProjection.about_centroid([10.0, 10.0, 14.0], [50.0, 52.0, 52.0])
+        assert projection.lon0_degrees == 12.0
+        assert projection.lat0_degrees == 51.0
+
+
+class TestOptionsValidation:
+    def test_rejects_bad_snap(self):
+        with pytest.raises(IngestError, match="snap_metres"):
+            IngestOptions(snap_metres=0.0)
+
+    def test_rejects_bad_speed_factor(self):
+        with pytest.raises(IngestError, match="speed_factor"):
+            IngestOptions(speed_factor=1.5)
+
+    def test_rejects_bad_projection(self):
+        with pytest.raises(IngestError, match="projection"):
+            IngestOptions(projection="mercator")
+
+    def test_speed_rule(self):
+        options = IngestOptions(speed_factor=0.8)
+        assert options.speed_mps("residential", None) == pytest.approx(
+            ROAD_CLASS_SPEEDS_KMH["residential"] * 0.8 / 3.6
+        )
+        # explicit maxspeed wins over the class default
+        assert options.speed_mps("residential", 60.0) == pytest.approx(60.0 * 0.8 / 3.6)
+        # unknown class falls back to default_speed_kmh
+        assert options.speed_mps("hyperloop", None) == pytest.approx(40.0 * 0.8 / 3.6)
+
+
+def planar_assembler(**options) -> NetworkAssembler:
+    return NetworkAssembler("test", IngestOptions(projection="planar", **options))
+
+
+class TestAssembler:
+    def test_empty_rejected(self):
+        with pytest.raises(IngestError, match="no road geometry"):
+            planar_assembler().build()
+
+    def test_short_polyline_rejected(self):
+        with pytest.raises(IngestError, match="at least 2 points"):
+            planar_assembler().add_polyline([(0.0, 0.0)])
+
+    def test_snaps_nearby_endpoints_across_cell_boundaries(self):
+        assembler = planar_assembler(snap_metres=1.0)
+        # second feature's endpoint is 0.6 m away from the first's — within
+        # the snap tolerance but (deliberately) straddling a grid-cell edge
+        assembler.add_polyline([(0.0, 0.0), (100.0, 0.0)])
+        assembler.add_polyline([(100.4, 0.45), (200.0, 0.0)])
+        network, report = assembler.build()
+        assert network.num_vertices == 3
+        assert report.snapped_nodes == 3
+        assert report.raw_points == 4
+
+    def test_distant_endpoints_stay_distinct(self):
+        assembler = planar_assembler(snap_metres=1.0)
+        assembler.add_polyline([(0.0, 0.0), (100.0, 0.0)])
+        assembler.add_polyline([(100.0, 3.0), (100.0, 50.0), (0.0, 50.0), (0.0, 0.0)])
+        network, _ = assembler.build()
+        # (100,0) and (100,3) are 3 m apart: not snapped
+        assert network.num_vertices == 5
+
+    def test_self_loop_segments_dropped(self):
+        assembler = planar_assembler(snap_metres=1.0)
+        assembler.add_polyline([(0.0, 0.0), (0.3, 0.1), (50.0, 0.0)])
+        network, report = assembler.build()
+        assert report.self_loops_dropped == 1
+        assert network.num_edges == 1
+
+    def test_largest_component_kept_and_relabelled_densely(self):
+        assembler = planar_assembler()
+        assembler.add_polyline([(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)])
+        assembler.add_polyline([(5000.0, 5000.0), (5100.0, 5000.0)])  # island
+        network, report = assembler.build()
+        assert report.components == 2
+        assert report.dropped_vertices == 2
+        assert sorted(network.vertices()) == [0, 1, 2]
+
+    def test_keep_all_components(self):
+        assembler = planar_assembler(keep_all_components=True)
+        assembler.add_polyline([(0.0, 0.0), (100.0, 0.0)])
+        assembler.add_polyline([(5000.0, 5000.0), (5100.0, 5000.0)])
+        network, _ = assembler.build()
+        assert network.num_vertices == 4
+
+    def test_length_never_undercuts_straight_line(self):
+        assembler = planar_assembler(snap_metres=2.0)
+        # measured length (49) shorter than the snapped endpoint distance
+        assembler.add_polyline([(0.0, 0.0), (50.0, 0.0)], length_metres=49.0)
+        network, _ = assembler.build()
+        edge = next(iter(network.edges()))
+        assert edge.length >= network.euclidean(edge.u, edge.v) - 1e-6
+        network.validate()
+
+    def test_measured_length_distributed_proportionally(self):
+        assembler = planar_assembler()
+        assembler.add_polyline(
+            [(0.0, 0.0), (100.0, 0.0), (300.0, 0.0)], length_metres=450.0
+        )
+        network, _ = assembler.build()
+        lengths = sorted(edge.length for edge in network.edges())
+        assert lengths == [pytest.approx(150.0), pytest.approx(300.0)]
+
+    def test_explicit_speed_wins(self):
+        assembler = planar_assembler()
+        assembler.add_polyline(
+            [(0.0, 0.0), (100.0, 0.0)], road_class="motorway", speed_mps=5.0
+        )
+        network, _ = assembler.build()
+        assert next(iter(network.edges())).speed == 5.0
+
+    def test_geographic_projection_auto_detected(self):
+        assembler = NetworkAssembler("geo", IngestOptions())
+        assembler.add_polyline([(-73.99, 40.73), (-73.989, 40.73)])
+        network, report = assembler.build()
+        assert "equirectangular" in report.projection
+        # ~0.001 deg of longitude at 40.73N is ~84 m, not 0.001 "metres"
+        edge = next(iter(network.edges()))
+        assert 80.0 < edge.length < 90.0
+
+    def test_deterministic_across_builds(self):
+        def build():
+            assembler = planar_assembler()
+            assembler.add_polyline([(0.0, 0.0), (100.0, 0.0), (200.0, 10.0)])
+            assembler.add_polyline([(200.0, 10.0), (200.0, 150.0)], road_class="primary")
+            return assembler.build()[0]
+
+        from repro.artifacts import network_content_hash
+
+        assert network_content_hash(build()) == network_content_hash(build())

@@ -154,3 +154,38 @@ class TestDispatcherSpecRoundTrip:
     def test_dispatcher_spec_dict_round_trip(self):
         spec = DispatcherSpec.parse("sharded:kinetic", num_shards=3, kinetic_node_budget=99)
         assert DispatcherSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFileCitiesAndArtifacts:
+    def test_file_city_validates(self):
+        spec = PlatformSpec(scenario=ScenarioConfig(city="file:/data/town.geojson"))
+        assert spec.validate() is spec
+
+    def test_riverton_registry_city_validates(self):
+        spec = PlatformSpec(scenario=ScenarioConfig(city="riverton"))
+        assert spec.validate() is spec
+
+    def test_empty_file_city_rejected(self):
+        spec = PlatformSpec(scenario=ScenarioConfig(city="file:"))
+        with pytest.raises(ConfigurationError, match="names no file"):
+            spec.validate()
+
+    def test_unknown_city_error_mentions_file_prefix(self):
+        spec = PlatformSpec(scenario=ScenarioConfig(city="atlantis"))
+        with pytest.raises(ConfigurationError, match="file:<path>"):
+            spec.validate()
+
+    def test_builder_oracle_artifact_dir(self):
+        spec = (PlatformSpec.builder()
+                .city("riverton")
+                .oracle(backend="ch", artifact_dir="/tmp/repro-store")
+                .build())
+        assert spec.scenario.oracle_artifact_dir == "/tmp/repro-store"
+        assert spec.scenario.oracle_backend == "ch"
+
+    def test_artifact_dir_survives_dict_round_trip(self):
+        spec = (PlatformSpec.builder()
+                .city("small-grid")
+                .oracle(backend="hub_labels", artifact_dir="store")
+                .build())
+        assert PlatformSpec.from_dict(spec.to_dict()) == spec

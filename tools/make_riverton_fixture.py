@@ -1,0 +1,164 @@
+"""Generate ``tests/fixtures/riverton.geojson`` — the bundled real-map fixture.
+
+Riverton is a fictional city, but the *file* is shaped exactly like a real
+OpenStreetMap export: a WGS84 ``FeatureCollection`` of ``LineString``
+features with ``highway`` classes, occasional ``maxspeed`` tags (km/h and
+mph spellings), interior geometry points, endpoints that almost-but-not-
+quite coincide (sub-metre GPS noise between adjacent features), and a few
+disconnected stub roads — every messy property the ingestion pipeline has
+to normalise. Generating it keeps the repo free of third-party map data
+and licensing while staying deterministic: re-running this script
+reproduces the committed file byte for byte.
+
+Usage::
+
+    python tools/make_riverton_fixture.py [output-path]
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import sys
+from pathlib import Path
+
+SEED = 20180703
+GRID = 22                    # 22x22 intersections
+BLOCK_METRES = 150.0
+CENTER_LON, CENTER_LAT = -71.5482, 43.2044   # fictional Riverton, NH-ish
+EDGE_DROPOUT = 0.06          # fraction of grid edges removed (dead ends, river)
+NOISE_METRES = 0.35          # sub-snap endpoint noise between features
+JITTER_METRES = 18.0         # intersection placement jitter
+
+M_PER_DEG_LAT = 111_320.0
+
+
+def _deg(dx_metres: float, dy_metres: float) -> tuple[float, float]:
+    """Convert metre offsets about the centre into (dlon, dlat) degrees."""
+    dlat = dy_metres / M_PER_DEG_LAT
+    dlon = dx_metres / (M_PER_DEG_LAT * math.cos(math.radians(CENTER_LAT)))
+    return dlon, dlat
+
+
+def _coord(lon: float, lat: float) -> list[float]:
+    """Round to ~1 cm so the committed file is stable and compact."""
+    return [round(lon, 7), round(lat, 7)]
+
+
+def main(output: Path) -> None:
+    rng = random.Random(SEED)
+    half = (GRID - 1) * BLOCK_METRES / 2.0
+
+    # jittered intersection positions in metres about the centre
+    nodes: dict[tuple[int, int], tuple[float, float]] = {}
+    for row in range(GRID):
+        for col in range(GRID):
+            x = col * BLOCK_METRES - half + rng.uniform(-JITTER_METRES, JITTER_METRES)
+            y = row * BLOCK_METRES - half + rng.uniform(-JITTER_METRES, JITTER_METRES)
+            nodes[(row, col)] = (x, y)
+
+    def road_class(row: int, col: int, horizontal: bool) -> str:
+        line = row if horizontal else col
+        if line % 10 == 5:
+            return "primary"
+        if line % 5 == 0:
+            return "secondary"
+        if line % 3 == 0:
+            return "tertiary"
+        return "residential"
+
+    def lonlat(xy: tuple[float, float], noisy: bool) -> list[float]:
+        x, y = xy
+        if noisy:
+            x += rng.uniform(-NOISE_METRES, NOISE_METRES)
+            y += rng.uniform(-NOISE_METRES, NOISE_METRES)
+        dlon, dlat = _deg(x, y)
+        return _coord(CENTER_LON + dlon, CENTER_LAT + dlat)
+
+    features: list[dict] = []
+
+    def emit(a: tuple[int, int], b: tuple[int, int], klass: str) -> None:
+        start, end = nodes[a], nodes[b]
+        # interior point: real exports sample street geometry, not just ends
+        mid = (
+            (start[0] + end[0]) / 2.0 + rng.uniform(-6.0, 6.0),
+            (start[1] + end[1]) / 2.0 + rng.uniform(-6.0, 6.0),
+        )
+        coordinates = [
+            lonlat(start, noisy=rng.random() < 0.7),
+            lonlat(mid, noisy=False),
+            lonlat(end, noisy=rng.random() < 0.7),
+        ]
+        properties: dict[str, object] = {"highway": klass}
+        roll = rng.random()
+        if roll < 0.08:
+            properties["maxspeed"] = "30 mph"
+        elif roll < 0.16:
+            properties["maxspeed"] = str(rng.choice([30, 40, 50]))
+        elif roll < 0.20:
+            properties["maxspeed"] = f"{rng.choice([40, 60])} km/h"
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {"type": "LineString", "coordinates": coordinates},
+                "properties": properties,
+            }
+        )
+
+    for row in range(GRID):
+        for col in range(GRID):
+            if col + 1 < GRID and rng.random() >= EDGE_DROPOUT:
+                emit((row, col), (row, col + 1), road_class(row, col, horizontal=True))
+            if row + 1 < GRID and rng.random() >= EDGE_DROPOUT:
+                emit((row, col), (row + 1, col), road_class(row, col, horizontal=False))
+
+    # disconnected stubs well outside the main component (service roads of a
+    # neighbouring village caught by the extract's bounding box)
+    for stub in range(3):
+        ox = half + 2_000.0 + 400.0 * stub
+        oy = -half - 1_500.0 - 300.0 * stub
+        points = [(ox, oy)]
+        for _ in range(3):
+            last = points[-1]
+            points.append((last[0] + rng.uniform(40, 90), last[1] + rng.uniform(-30, 60)))
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "LineString",
+                    "coordinates": [lonlat(p, noisy=False) for p in points],
+                },
+                "properties": {"highway": "service"},
+            }
+        )
+
+    # one non-road feature (a point of interest) the loader must skip
+    features.append(
+        {
+            "type": "Feature",
+            "geometry": {"type": "Point", "coordinates": _coord(CENTER_LON, CENTER_LAT)},
+            "properties": {"amenity": "fountain", "name": "Riverton Commons"},
+        }
+    )
+
+    collection = {
+        "type": "FeatureCollection",
+        "name": "riverton",
+        "features": features,
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(
+        json.dumps(collection, separators=(",", ":"), sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"written: {output} ({len(features)} features)")
+
+
+if __name__ == "__main__":
+    target = (
+        Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else Path(__file__).resolve().parents[1] / "tests" / "fixtures" / "riverton.geojson"
+    )
+    main(target)
