@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Stress benchmark: seeded scenario fuzzer swept against the dispatcher registry.
+
+Generates spawn-key-derived random scenario programs (heterogeneous fleets,
+demand surges, street closures, multi-class workloads, cancellations) and
+replays each one through every registry dispatcher plus the ``sharded:`` and
+``cluster:`` serving paths, gating the robustness guarantees:
+
+* **zero crashes** — no (scenario, dispatcher) combination may raise;
+* **rerun determinism** — every combination is replayed and must produce a
+  bit-identical metrics fingerprint (counts, costs, waits, detours, oracle
+  query counters);
+* **zero invariant violations** — no negative waits, no dropoff before
+  pickup, no capacity overflow, and no deadline breach on disruption-free
+  scenarios;
+* served-rate **cliffs** (a dispatcher falling far below the best on the same
+  scenario) are recorded in the trajectory but do not fail the build.
+
+Any gate failure exits non-zero. Every sweep lands in the perf trajectory
+(``BENCH_stress.json`` by default) with per-dispatcher served-rate summaries
+and wall time.
+
+Usage::
+
+    python benchmarks/bench_stress.py                # full sweep (30 scenarios)
+    python benchmarks/bench_stress.py --smoke        # CI preset (6 scenarios)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from _trajectory import append_trajectory  # noqa: E402
+from repro.scenarios import default_stress_dispatchers, run_stress  # noqa: E402
+
+SMOKE_SCENARIOS = 6
+FULL_SCENARIOS = 30
+
+
+def _dispatcher_summary(runs: list[dict]) -> dict[str, dict]:
+    """Mean served rate and crash count per dispatcher across the sweep."""
+    summary: dict[str, dict] = {}
+    for run in runs:
+        stats = summary.setdefault(
+            run["dispatcher"], {"runs": 0, "crashes": 0, "served_rate_sum": 0.0}
+        )
+        stats["runs"] += 1
+        if run.get("crashed"):
+            stats["crashes"] += 1
+        else:
+            stats["served_rate_sum"] += run["served_rate"]
+    for stats in summary.values():
+        clean = stats["runs"] - stats["crashes"]
+        stats["mean_served_rate"] = (
+            round(stats["served_rate_sum"] / clean, 6) if clean else None
+        )
+        del stats["served_rate_sum"]
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI preset: {SMOKE_SCENARIOS} scenarios instead of {FULL_SCENARIOS}",
+    )
+    parser.add_argument(
+        "--scenarios", type=int, default=None,
+        help="override the number of generated scenarios",
+    )
+    parser.add_argument("--seed", type=int, default=2018, help="sweep master seed")
+    parser.add_argument(
+        "--reruns", type=int, default=1,
+        help="extra reruns per combination for the determinism gate",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_stress.json",
+        help="perf-trajectory JSON file to append to",
+    )
+    args = parser.parse_args(argv)
+
+    num_scenarios = args.scenarios or (SMOKE_SCENARIOS if args.smoke else FULL_SCENARIOS)
+    dispatchers = default_stress_dispatchers()
+    print(
+        f"== stress sweep: {num_scenarios} scenarios x {len(dispatchers)} dispatchers "
+        f"(seed {args.seed}, {args.reruns} rerun(s)) =="
+    )
+
+    started = time.perf_counter()
+    report = run_stress(
+        num_scenarios,
+        dispatchers,
+        master_seed=args.seed,
+        reruns=args.reruns,
+        progress=lambda line: print(f"  {line}"),
+    )
+    wall = round(time.perf_counter() - started, 2)
+
+    summary = _dispatcher_summary(report.runs)
+    print(f"\n{len(report.runs)} runs in {wall}s")
+    for name in sorted(summary):
+        stats = summary[name]
+        print(
+            f"  {name:28s} mean served rate {stats['mean_served_rate']}"
+            f"  crashes {stats['crashes']}"
+        )
+    print(
+        f"gates: {len(report.crashes)} crashes, "
+        f"{len(report.nondeterministic)} non-deterministic, "
+        f"{len(report.violations)} invariant violations, "
+        f"{len(report.cliffs)} served-rate cliffs (informational)"
+    )
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "smoke": args.smoke,
+        "wall_s": wall,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "dispatcher_summary": summary,
+        **report.to_dict(),
+    }
+    # the full per-run list is large; the trajectory keeps the gate evidence
+    entry.pop("runs")
+    append_trajectory(args.output, "stress", [entry])
+
+    if not report.ok:
+        for crash in report.crashes:
+            print(f"FAIL crash: scenario {crash['scenario']} x {crash['dispatcher']}: "
+                  f"{crash['error']}")
+        for record in report.nondeterministic:
+            print(f"FAIL non-deterministic: scenario {record['scenario']} x "
+                  f"{record['dispatcher']}")
+        for violation in report.violations:
+            print(f"FAIL invariant: scenario {violation['scenario']} x "
+                  f"{violation['dispatcher']}: {violation['kind']}")
+        return 1
+    print("all stress gates pass")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

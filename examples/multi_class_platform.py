@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Multi-class platform: ridesharing, food and parcel delivery on one fleet.
+
+The paper frames URPSM as *unified* route planning: one cost function, one
+insertion machinery, any shared-mobility product. This example uses the
+declarative scenario layer to run three request classes **concurrently** on
+the same platform — riders sharing sedans, meal orders with tight deadlines,
+and parcels that can wait — plus a dinner-time demand surge and a street
+closure, and reports the served rate and mean wait *per class*.
+
+The whole scenario is a declarative value (``ScenarioProgram``); swap the
+dispatcher or the city on the command line without touching the program.
+
+Run with::
+
+    python examples/multi_class_platform.py [--algorithm pruneGreedyDP]
+    python examples/multi_class_platform.py --smoke    # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.dispatch.registry import DispatcherSpec
+from repro.scenarios import (
+    DemandSurge,
+    FleetClass,
+    NetworkDisruption,
+    ScenarioProgram,
+    WorkloadClass,
+    run_program,
+)
+from repro.service.spec import PlatformSpec
+from repro.workloads.scenarios import ScenarioConfig
+
+
+def build_program(scale: float) -> ScenarioProgram:
+    """The multi-class evening: three products, one surge, one closure."""
+    return ScenarioProgram(
+        name="multi-class-evening",
+        description="ridesharing + food + parcel on a shared fleet, with a "
+                    "dinner surge and a street closure",
+        fleet=(
+            FleetClass(name="sedan", count=max(4, int(24 * scale)), capacity=3),
+            FleetClass(name="van", count=max(2, int(6 * scale)), capacity=6),
+        ),
+        workload=(
+            WorkloadClass(name="ridesharing", count=max(20, int(240 * scale))),
+            WorkloadClass(
+                name="food",
+                count=max(10, int(120 * scale)),
+                deadline_minutes=9.0,
+                penalty_factor=14.0,
+                capacity=1,
+            ),
+            WorkloadClass(
+                name="parcel",
+                count=max(10, int(90 * scale)),
+                deadline_minutes=35.0,
+                penalty_factor=5.0,
+                capacity=1,
+            ),
+        ),
+        surges=(
+            DemandSurge(
+                name="dinner-rush",
+                start_hours=1.0,
+                duration_minutes=25.0,
+                count=max(8, int(60 * scale)),
+                deadline_minutes=9.0,
+                capacity=1,
+            ),
+        ),
+        disruptions=(
+            NetworkDisruption(
+                name="bridge-works",
+                start_hours=0.75,
+                duration_minutes=45.0,
+                edge_count=2,
+            ),
+        ),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--algorithm", default="pruneGreedyDP",
+                        help="dispatcher to serve the platform with")
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small city, ~70 requests)")
+    args = parser.parse_args(argv)
+
+    scale = 0.15 if args.smoke else 1.0
+    config = ScenarioConfig(
+        city="small-grid" if args.smoke else "chengdu-like",
+        num_workers=1,       # replaced by the fleet classes below
+        num_requests=1,      # replaced by the workload classes below
+        horizon_hours=1.0 if args.smoke else 2.0,
+        seed=args.seed,
+    )
+    program = build_program(scale)
+    spec = PlatformSpec(
+        scenario=config, dispatcher=DispatcherSpec.parse(args.algorithm)
+    )
+
+    fleet_total = sum(cls.count for cls in program.fleet)
+    workload_total = sum(cls.count for cls in program.workload)
+    surge_total = sum(surge.count for surge in program.surges)
+    print(f"== {program.name} on {config.city} with {args.algorithm} ==")
+    print(f"fleet: {fleet_total} workers in {len(program.fleet)} classes; "
+          f"workload: {workload_total} + {surge_total} surge requests; "
+          f"{len(program.disruptions)} street closure(s)\n")
+
+    outcome = run_program(spec, program)
+    result = outcome.result
+
+    print(f"{'class':>18s}  {'requests':>8s}  {'served':>6s}  "
+          f"{'rate':>6s}  {'mean wait':>9s}")
+    for label in sorted(outcome.class_stats):
+        stats = outcome.class_stats[label]
+        print(f"{label:>18s}  {int(stats['requests']):8d}  "
+              f"{int(stats['served']):6d}  {stats['served_rate']:6.2f}  "
+              f"{stats['mean_wait_seconds']:8.1f}s")
+
+    print(f"\noverall: {result.served_requests}/{result.total_requests} served "
+          f"({result.served_rate:.2%}), unified cost {result.unified_cost:.1f}, "
+          f"mean detour ratio {result.mean_detour_ratio:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

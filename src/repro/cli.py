@@ -1,6 +1,6 @@
 """Command-line interface for the URPSM reproduction.
 
-Nine sub-commands cover the common workflows::
+Eleven sub-commands cover the common workflows::
 
     python -m repro simulate     --city chengdu-like --algorithm pruneGreedyDP
     python -m repro serve-replay --city chengdu-like --algorithm batch
@@ -11,6 +11,8 @@ Nine sub-commands cover the common workflows::
     python -m repro ingest       extracts/manhattan.geojson --output cities/manhattan.json.gz
     python -m repro preprocess   --city metro-grid --artifact-dir .repro-artifacts
     python -m repro algorithms
+    python -m repro scenarios    rush-hour-chaos
+    python -m repro stress       --scenarios 30 --seed 2018 --output BENCH_stress.json
 
 ``simulate`` runs one algorithm on one scenario; ``serve-replay`` streams the
 same workload through the online :class:`~repro.service.facade.
@@ -22,7 +24,12 @@ optionally writes the raw series to JSON/CSV/Markdown; ``datasets`` prints
 the Table 4 statistics of the synthetic cities; ``ingest`` normalises a real
 GeoJSON/CSV road extract into the repo's network schema; ``preprocess``
 builds (or lists) the content-addressed distance-backend artifacts of a
-city; ``algorithms`` lists every registered dispatcher.
+city; ``algorithms`` lists every registered dispatcher; ``scenarios`` lists
+or describes the declarative scenario presets (heterogeneous fleets, demand
+surges, network disruptions, multi-class workloads; see
+:mod:`repro.scenarios`); ``stress`` sweeps seeded random scenario programs
+against the dispatcher registry and fails on crashes, non-determinism or
+invariant violations.
 
 Scenario commands accept real maps everywhere a registry city is accepted:
 ``--city file:<path>`` ingests the referenced extract, and ``--artifact-dir``
@@ -223,6 +230,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("algorithms", help="list every registered dispatch algorithm")
 
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="list or describe the declarative scenario presets",
+    )
+    scenarios.add_argument("name", nargs="?", default=None,
+                           help="preset to describe (omit to list every preset)")
+    scenarios.add_argument("--json", action="store_true", dest="as_json",
+                           help="print the preset as a JSON scenario program")
+
+    stress = subparsers.add_parser(
+        "stress",
+        help="sweep seeded random scenario programs against the dispatcher registry",
+    )
+    stress.add_argument("--scenarios", type=int, default=30,
+                        help="number of fuzzed scenarios to generate")
+    stress.add_argument("--seed", type=int, default=2018,
+                        help="master seed; the whole sweep is a pure function of it")
+    stress.add_argument("--reruns", type=int, default=1,
+                        help="extra reruns per combination for the determinism check")
+    stress.add_argument("--dispatchers", nargs="+", default=None, type=_algorithm_name,
+                        help="dispatcher names to sweep (default: every registry "
+                             "algorithm plus sharded: and cluster: variants)")
+    stress.add_argument("--shards", type=int, default=2,
+                        help="shard count for sharded:/cluster: combinations")
+    stress.add_argument("--output", type=Path, default=None,
+                        help="write the full stress report as JSON")
+    stress.add_argument("--quiet", action="store_true",
+                        help="suppress per-combination progress lines")
+
     return parser
 
 
@@ -369,6 +405,92 @@ def command_algorithms(args: argparse.Namespace) -> int:
         "--cluster)."
     )
     return 0
+
+
+def command_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import get_preset, list_presets
+
+    if args.name is None:
+        print("scenario presets:")
+        for name in list_presets():
+            preset = get_preset(name)
+            shape = ", ".join(
+                f"{len(components)} {kind}"
+                for kind, components in (
+                    ("fleet classes", preset.fleet),
+                    ("workload classes", preset.workload),
+                    ("surges", preset.surges),
+                    ("disruptions", preset.disruptions),
+                )
+                if components
+            ) or "empty (plain base config)"
+            print(f"  {name:<18} {shape}")
+            print(f"  {'':<18} {preset.description}")
+        print(
+            "\ndescribe one with 'repro scenarios <name>'; run one with "
+            "repro.scenarios.run_program(PlatformSpec(...), get_preset(name))."
+        )
+        return 0
+    try:
+        preset = get_preset(args.name)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(preset.to_json(), end="")
+        return 0
+    print(f"{preset.name}: {preset.description}")
+    for kind, components in (
+        ("fleet classes", preset.fleet),
+        ("workload classes", preset.workload),
+        ("surges", preset.surges),
+        ("disruptions", preset.disruptions),
+    ):
+        if not components:
+            continue
+        print(f"  {kind}:")
+        for component in components:
+            print(f"    {component}")
+    if preset.is_empty:
+        print("  (empty program: compiles to exactly the base config)")
+    return 0
+
+
+def command_stress(args: argparse.Namespace) -> int:
+    from repro.scenarios import run_stress
+
+    progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
+    report = run_stress(
+        args.scenarios,
+        args.dispatchers,
+        master_seed=args.seed,
+        reruns=args.reruns,
+        num_shards=args.shards,
+        progress=progress,
+    )
+    print(
+        f"stress sweep: {args.scenarios} scenarios x {len(report.dispatchers)} "
+        f"dispatchers (seed {args.seed}) -> "
+        f"{len(report.crashes)} crashes, {len(report.nondeterministic)} "
+        f"non-deterministic, {len(report.violations)} invariant violations, "
+        f"{len(report.cliffs)} served-rate cliffs"
+    )
+    for crash in report.crashes:
+        print(f"  CRASH scenario {crash['scenario']} x {crash['dispatcher']}: "
+              f"{crash['error']}")
+    for entry in report.nondeterministic:
+        print(f"  NONDETERMINISTIC scenario {entry['scenario']} x {entry['dispatcher']}")
+    for violation in report.violations:
+        print(f"  VIOLATION scenario {violation['scenario']} x "
+              f"{violation['dispatcher']}: {violation['kind']}")
+    for cliff in report.cliffs:
+        print(f"  cliff: scenario {cliff['scenario']} x {cliff['dispatcher']} served "
+              f"{cliff['served_rate']:.2f} vs best {cliff['best_rate']:.2f}")
+    if args.output is not None:
+        args.output.write_text(json.dumps(report.to_dict(), indent=2) + "\n",
+                               encoding="utf-8")
+        print(f"report written to {args.output}")
+    return 0 if report.ok else 1
 
 
 def command_compare(args: argparse.Namespace) -> int:
@@ -545,6 +667,8 @@ _COMMANDS = {
     "ingest": command_ingest,
     "preprocess": command_preprocess,
     "algorithms": command_algorithms,
+    "scenarios": command_scenarios,
+    "stress": command_stress,
 }
 
 

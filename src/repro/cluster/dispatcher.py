@@ -177,6 +177,18 @@ class ClusterDispatcher(Dispatcher):
     #: to ~1e-9 relative instead of bit-for-bit. At K>1 both regimes
     #: materialise at every arrival and flush, so replays are bit-identical.
     requires_exact_positions = True
+    #: worker processes hold replica networks/oracles built at fork time; a
+    #: parent-side road-network mutation cannot reach them, so live network
+    #: updates are rejected up front (the engine checks this flag before
+    #: mutating anything).
+    supports_network_updates = False
+
+    def notify_network_changed(self) -> None:  # pragma: no cover - guarded upstream
+        raise ConfigurationError(
+            "cluster serving cannot apply live network updates: shard worker "
+            "processes hold replica networks built at fork time. Run "
+            "disruption scenarios with an in-process dispatcher instead."
+        )
 
     def __init__(
         self,

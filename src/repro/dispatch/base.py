@@ -102,6 +102,12 @@ class Dispatcher(abc.ABC):
     #: lazy advancement is only transparent to admissible candidate filters.
     requires_exact_positions: ClassVar[bool] = False
 
+    #: whether the dispatcher can absorb a live road-network mutation via
+    #: :meth:`notify_network_changed`. The cluster dispatcher sets this to
+    #: False: its worker processes hold replica networks/oracles that a
+    #: parent-side mutation cannot reach.
+    supports_network_updates: ClassVar[bool] = True
+
     def __init__(self, config: DispatcherConfig | None = None) -> None:
         self.config = config or DispatcherConfig()
         self.instance: URPSMInstance | None = None
@@ -164,6 +170,27 @@ class Dispatcher(abc.ABC):
         """
         if self.grid is not None and self.fleet is not None:
             self.grid.insert(worker_id, self.fleet.peek_state(worker_id).position)
+
+    def notify_network_changed(self) -> None:
+        """The road network was mutated mid-run (street closure/reopening).
+
+        Called by the engine *after* the instance oracle has been refreshed
+        against the new topology. The base implementation rebuilds the grid
+        index (cell geometry and vertex bucketing can shift with the CSR
+        layout) and re-inserts every worker at its current position; the
+        sharded dispatcher additionally refreshes its shard-local oracles and
+        forwards the notification to each inner dispatcher.
+
+        The pending moved-set is deliberately left untouched: a later
+        ``sync_grid`` re-updating a position that is already correct is
+        harmless, while draining it here could swallow a move another grid
+        still needs to see.
+        """
+        if self.instance is None or self.fleet is None:
+            return
+        self.grid = self._build_grid(self.instance)
+        for state in self.fleet:
+            self.grid.insert(state.worker.id, state.position)
 
     def bind_flush_scheduler(self, schedule: Callable[[float], None] | None) -> None:
         """Attach the event engine's flush scheduler (``None`` detaches).

@@ -238,6 +238,27 @@ class RoadNetwork:
         self._max_speed = max(self._max_speed, edge.speed)
         return edge
 
+    def remove_edge(self, u: Vertex, v: Vertex) -> Edge:
+        """Remove the undirected edge between ``u`` and ``v`` (street closure).
+
+        The removed :class:`Edge` is returned so callers can reopen the street
+        later with :meth:`add_edge` using the original length/speed metadata.
+        ``_max_speed`` is deliberately *not* recomputed: after removing the
+        fastest edge it may overestimate, which keeps Euclidean travel-time
+        lower bounds admissible (they only get looser, never wrong).
+
+        Raises:
+            RoadNetworkError: if no such edge exists.
+        """
+        key = self._edge_key(u, v)
+        edge = self._edges.pop(key, None)
+        if edge is None:
+            raise RoadNetworkError(f"no edge between {u} and {v}")
+        del self._adjacency[u][v]
+        del self._adjacency[v][u]
+        self._topology_version += 1
+        return edge
+
     @staticmethod
     def _edge_key(u: Vertex, v: Vertex) -> tuple[Vertex, Vertex]:
         return (u, v) if u <= v else (v, u)

@@ -570,3 +570,39 @@ class DistanceOracle:
         self._distance_cache.clear()
         self._path_cache.clear()
         self.reset_counters()
+
+    def refresh_topology(self) -> None:
+        """Rebuild the distance backend after a road-network mutation.
+
+        Street closures/reopenings (``RoadNetwork.remove_edge`` /
+        ``add_edge``) invalidate every precomputed distance: the backend is
+        rebuilt against the mutated network (same backend kind), the CSR
+        snapshot is re-taken, and both LRU caches are dropped. With an
+        artifact store attached, the content hash is recomputed first so the
+        rebuilt backend is stored/loaded under the *new* topology's key.
+
+        Query counters keep accumulating across the refresh — a mid-run
+        closure should not zero the run's reported query counts. A landmark
+        index, whose precomputed distances are no longer admissible bounds on
+        the new topology, is detached.
+        """
+        network = self.network
+        self._csr = network.csr  # lazy property: rebuilds for the new topology
+        backend_name = self._backend.name
+        if self.artifact_store is not None:
+            self.content_hash = network_content_hash(network)
+            if backend_name in PERSISTABLE_BACKENDS:
+                self._backend, self.artifact_loaded = self.artifact_store.load_or_build(
+                    backend_name, network, self, content_hash=self.content_hash
+                )
+            else:
+                self._backend = make_backend(backend_name, network, self)
+                self.artifact_loaded = False
+        else:
+            self._backend = make_backend(backend_name, network, self)
+            self.artifact_loaded = False
+        self._landmarks = None
+        self._distance_cache.clear()
+        self._path_cache.clear()
+        self.counters.backend = self._backend.name
+        self.counters.cache_bypassed = not self._backend.uses_distance_cache

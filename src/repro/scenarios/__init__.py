@@ -1,0 +1,58 @@
+"""Declarative scenario programs: heterogeneous fleets, demand shocks,
+network disruption and multi-class workloads on top of :class:`PlatformSpec`.
+
+A :class:`ScenarioProgram` is a plain value (serialisable to JSON/TOML, a
+preset registry included) describing *structured, time-varying* inputs that
+the scalar :class:`~repro.workloads.scenarios.ScenarioConfig` knobs cannot
+express. :func:`compile_program` lowers a program onto a base config into a
+ready-to-serve :class:`~repro.core.instance.URPSMInstance` plus a timeline of
+scheduled road-network mutations; :func:`run_program` drives the compiled
+scenario through the :class:`~repro.service.facade.MatchingService`
+incremental protocol, so the serving code path runs scenario programs
+unchanged. :mod:`repro.scenarios.stress` turns the same machinery into a
+seeded fuzzer sweeping random programs against every registry dispatcher.
+"""
+
+from repro.scenarios.compile import CompiledScenario, EdgeSpec, NetworkAction, compile_program
+from repro.scenarios.presets import (
+    SCENARIO_PRESETS,
+    get_preset,
+    list_presets,
+    suggest_presets,
+)
+from repro.scenarios.program import (
+    DemandSurge,
+    FleetClass,
+    NetworkDisruption,
+    ScenarioProgram,
+    WorkloadClass,
+)
+from repro.scenarios.runner import ScenarioRunResult, run_program
+from repro.scenarios.stress import (
+    StressReport,
+    default_stress_dispatchers,
+    generate_stress_scenario,
+    run_stress,
+)
+
+__all__ = [
+    "CompiledScenario",
+    "DemandSurge",
+    "EdgeSpec",
+    "FleetClass",
+    "NetworkAction",
+    "NetworkDisruption",
+    "SCENARIO_PRESETS",
+    "ScenarioProgram",
+    "ScenarioRunResult",
+    "StressReport",
+    "WorkloadClass",
+    "compile_program",
+    "default_stress_dispatchers",
+    "generate_stress_scenario",
+    "get_preset",
+    "list_presets",
+    "run_program",
+    "run_stress",
+    "suggest_presets",
+]

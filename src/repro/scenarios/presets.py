@@ -1,0 +1,171 @@
+"""Named scenario presets.
+
+A small library of ready-made :class:`~repro.scenarios.program.ScenarioProgram`
+values covering the structured situations the paper's experiments gesture at
+but a scalar config cannot express: mixed-capacity fleets, demand shocks,
+street closures and concurrent multi-class workloads. Presets are looked up
+by name with did-you-mean suggestions, mirroring the dispatcher registry.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios.program import (
+    DemandSurge,
+    FleetClass,
+    NetworkDisruption,
+    ScenarioProgram,
+    WorkloadClass,
+)
+
+SCENARIO_PRESETS: dict[str, ScenarioProgram] = {
+    "baseline": ScenarioProgram(
+        name="baseline",
+        description="Empty program: exactly the base config, bit-for-bit.",
+    ),
+    "mixed-fleet": ScenarioProgram(
+        name="mixed-fleet",
+        description=(
+            "Heterogeneous fleet: two-seat sedans, four-seat taxis on "
+            "staggered shifts, and a few six-seat vans."
+        ),
+        fleet=(
+            FleetClass(name="sedan", count=40, capacity=2, hotspot_share=0.6),
+            FleetClass(name="taxi", count=50, capacity=4, shift_hours=2.0),
+            FleetClass(name="van", count=10, capacity=6, hotspot_share=0.3),
+        ),
+    ),
+    "concert-surge": ScenarioProgram(
+        name="concert-surge",
+        description=(
+            "A concert lets out mid-horizon: a tight burst of trips from one "
+            "venue with short deadlines."
+        ),
+        surges=(
+            DemandSurge(
+                name="concert",
+                start_hours=2.0,
+                duration_minutes=20.0,
+                count=120,
+                deadline_minutes=12.0,
+                spread_fraction=0.02,
+            ),
+        ),
+    ),
+    "airport-bank": ScenarioProgram(
+        name="airport-bank",
+        description=(
+            "Two arrival banks an hour apart: moderate bursts from one "
+            "airport-like origin cluster, wider deadlines, larger parties."
+        ),
+        surges=(
+            DemandSurge(
+                name="bank-1",
+                start_hours=1.0,
+                duration_minutes=30.0,
+                count=60,
+                deadline_minutes=20.0,
+                capacity=2,
+                spread_fraction=0.02,
+            ),
+            DemandSurge(
+                name="bank-2",
+                start_hours=2.0,
+                duration_minutes=30.0,
+                count=60,
+                deadline_minutes=20.0,
+                capacity=2,
+                spread_fraction=0.02,
+            ),
+        ),
+    ),
+    "street-closures": ScenarioProgram(
+        name="street-closures",
+        description=(
+            "Rolling roadworks: three streets close early and reopen after "
+            "an hour; two more close permanently mid-horizon."
+        ),
+        disruptions=(
+            NetworkDisruption(
+                name="roadworks", start_hours=0.5, duration_minutes=60.0, edge_count=3
+            ),
+            NetworkDisruption(name="collapse", start_hours=2.0, edge_count=2),
+        ),
+    ),
+    "multi-class": ScenarioProgram(
+        name="multi-class",
+        description=(
+            "Unified platform workload: ridesharing, food delivery (tight "
+            "deadlines, unit capacity) and parcels (loose deadlines) served "
+            "concurrently by one fleet."
+        ),
+        workload=(
+            WorkloadClass(name="ridesharing", count=800),
+            WorkloadClass(
+                name="food", count=400, deadline_minutes=8.0, capacity=1, penalty_factor=14.0
+            ),
+            WorkloadClass(
+                name="parcel", count=300, deadline_minutes=30.0, capacity=1, penalty_factor=6.0
+            ),
+        ),
+    ),
+    "rush-hour-chaos": ScenarioProgram(
+        name="rush-hour-chaos",
+        description=(
+            "Kitchen sink: mixed fleet, multi-class workload, a surge and a "
+            "temporary closure in the same run."
+        ),
+        fleet=(
+            FleetClass(name="taxi", count=60, capacity=4, shift_hours=2.5),
+            FleetClass(name="van", count=15, capacity=6),
+            FleetClass(name="courier", count=25, capacity=1, hotspot_share=0.7),
+        ),
+        workload=(
+            WorkloadClass(name="ridesharing", count=700),
+            WorkloadClass(name="food", count=350, deadline_minutes=9.0, capacity=1),
+        ),
+        surges=(
+            DemandSurge(
+                name="stadium",
+                start_hours=1.5,
+                duration_minutes=25.0,
+                count=100,
+                deadline_minutes=12.0,
+            ),
+        ),
+        disruptions=(
+            NetworkDisruption(
+                name="parade", start_hours=1.0, duration_minutes=90.0, edge_count=2
+            ),
+        ),
+    ),
+}
+"""Preset registry; every value passes :meth:`ScenarioProgram.validate`."""
+
+
+def list_presets() -> list[str]:
+    """Sorted names of the available scenario presets."""
+    return sorted(SCENARIO_PRESETS)
+
+
+def suggest_presets(name: str, limit: int = 3) -> list[str]:
+    """Close-match preset names for a typo'd ``name`` (may be empty)."""
+    return difflib.get_close_matches(name, list_presets(), n=limit, cutoff=0.4)
+
+
+def get_preset(name: str) -> ScenarioProgram:
+    """Look up a preset by name, suggesting close matches on a miss."""
+    try:
+        return SCENARIO_PRESETS[name]
+    except KeyError:
+        suggestions = suggest_presets(name)
+        hint = f"; did you mean {', '.join(suggestions)}?" if suggestions else ""
+        raise ConfigurationError(
+            f"unknown scenario preset {name!r}{hint} "
+            f"(available: {', '.join(list_presets())})"
+        ) from None
+
+
+__all__ = ["SCENARIO_PRESETS", "get_preset", "list_presets", "suggest_presets"]

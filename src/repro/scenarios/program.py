@@ -1,0 +1,355 @@
+"""The declarative scenario-program value types.
+
+A :class:`ScenarioProgram` layers four structured, time-varying components on
+top of a scalar :class:`~repro.workloads.scenarios.ScenarioConfig`:
+
+* **fleet classes** — heterogeneous worker classes (2-seat cars, couriers,
+  high-capacity vans) sharing one city, each with its own count, capacity
+  and shift profile. A non-empty ``fleet`` *replaces* the config's scalar
+  fleet (``num_workers`` / ``worker_capacity``).
+* **workload classes** — concurrent request classes (ridesharing + food +
+  parcel) with per-class deadlines, capacities and penalty factors. A
+  non-empty ``workload`` replaces the config's scalar request stream.
+* **demand surges** — spatially concentrated request bursts at scheduled
+  times (a concert lets out, an airport arrival bank), *added* to the
+  base/workload stream.
+* **network disruptions** — scheduled street closures (and reopenings)
+  applied as live :class:`~repro.network.graph.RoadNetwork` mutations
+  mid-run.
+
+Programs are frozen dataclasses with ``from_dict``/``to_dict`` and JSON/TOML
+file loading, mirroring :class:`~repro.service.spec.PlatformSpec`; unknown
+mapping keys fail with close-match suggestions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+from repro.dispatch.registry import unknown_fields_error
+from repro.exceptions import ConfigurationError
+
+
+def _component_from_dict(cls, kind: str, data: dict):
+    known = {component_field.name for component_field in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise unknown_fields_error(kind, unknown, known)
+    return cls(**data)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class FleetClass:
+    """One heterogeneous worker class (e.g. ``sedan``, ``courier``, ``van``).
+
+    Attributes:
+        name: class label (unique within a program).
+        count: number of workers of this class.
+        capacity: fixed capacity ``K_w`` of every worker in the class (unlike
+            the scalar fleet's Gaussian draw, a class *is* its capacity).
+        shift_hours: staggered duty-window length for this class in hours
+            (0 = the whole horizon).
+        hotspot_share: fraction of the class initially placed near demand
+            hotspots.
+    """
+
+    name: str
+    count: int
+    capacity: int = 4
+    shift_hours: float = 0.0
+    hotspot_share: float = 0.5
+
+    def validate(self) -> "FleetClass":
+        _require(bool(self.name), "fleet class name must be non-empty")
+        _require(self.count >= 0, f"fleet class {self.name!r}: count must be >= 0, got {self.count}")
+        _require(
+            self.capacity >= 1,
+            f"fleet class {self.name!r}: capacity must be >= 1, got {self.capacity}",
+        )
+        _require(
+            self.shift_hours >= 0.0,
+            f"fleet class {self.name!r}: shift_hours must be >= 0, got {self.shift_hours}",
+        )
+        _require(
+            0.0 <= self.hotspot_share <= 1.0,
+            f"fleet class {self.name!r}: hotspot_share must be within [0, 1], "
+            f"got {self.hotspot_share}",
+        )
+        return self
+
+
+@dataclass(frozen=True)
+class WorkloadClass:
+    """One concurrent request class (e.g. ``ridesharing``, ``food``, ``parcel``).
+
+    Attributes:
+        name: class label (unique within a program).
+        count: number of requests of this class over the horizon.
+        deadline_minutes: service window; ``None`` inherits the base config.
+        penalty_factor: rejection-penalty factor; ``None`` inherits.
+        capacity: fixed ``K_r`` per request (1 for food/parcel); ``None``
+            draws from the NYC passenger-count distribution like the base
+            stream.
+    """
+
+    name: str
+    count: int
+    deadline_minutes: float | None = None
+    penalty_factor: float | None = None
+    capacity: int | None = None
+
+    def validate(self) -> "WorkloadClass":
+        _require(bool(self.name), "workload class name must be non-empty")
+        _require(
+            self.count >= 0, f"workload class {self.name!r}: count must be >= 0, got {self.count}"
+        )
+        if self.deadline_minutes is not None:
+            _require(
+                self.deadline_minutes > 0,
+                f"workload class {self.name!r}: deadline_minutes must be positive, "
+                f"got {self.deadline_minutes}",
+            )
+        if self.penalty_factor is not None:
+            _require(
+                self.penalty_factor >= 0,
+                f"workload class {self.name!r}: penalty_factor must be >= 0, "
+                f"got {self.penalty_factor}",
+            )
+        if self.capacity is not None:
+            _require(
+                self.capacity >= 1,
+                f"workload class {self.name!r}: capacity must be >= 1, got {self.capacity}",
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class DemandSurge:
+    """A spatially concentrated request burst at a scheduled time.
+
+    Origins cluster tightly around one seeded surge centre (the venue);
+    destinations disperse city-wide — the "concert lets out" shape.
+
+    Attributes:
+        name: surge label (unique within a program); surge requests are
+            tracked under the class label ``surge:<name>``.
+        start_hours: burst window start, hours from t=0.
+        duration_minutes: burst window length.
+        count: requests injected inside the window.
+        deadline_minutes: per-request service window; ``None`` inherits.
+        capacity: fixed ``K_r``; ``None`` draws from the NYC distribution.
+        spread_fraction: origin spread around the surge centre as a fraction
+            of the city's bounding-box diagonal (small = concentrated).
+    """
+
+    name: str
+    start_hours: float
+    duration_minutes: float
+    count: int
+    deadline_minutes: float | None = None
+    capacity: int | None = None
+    spread_fraction: float = 0.03
+
+    def validate(self) -> "DemandSurge":
+        _require(bool(self.name), "surge name must be non-empty")
+        _require(
+            self.start_hours >= 0,
+            f"surge {self.name!r}: start_hours must be >= 0, got {self.start_hours}",
+        )
+        _require(
+            self.duration_minutes > 0,
+            f"surge {self.name!r}: duration_minutes must be positive, "
+            f"got {self.duration_minutes}",
+        )
+        _require(self.count >= 0, f"surge {self.name!r}: count must be >= 0, got {self.count}")
+        if self.deadline_minutes is not None:
+            _require(
+                self.deadline_minutes > 0,
+                f"surge {self.name!r}: deadline_minutes must be positive, "
+                f"got {self.deadline_minutes}",
+            )
+        if self.capacity is not None:
+            _require(
+                self.capacity >= 1,
+                f"surge {self.name!r}: capacity must be >= 1, got {self.capacity}",
+            )
+        _require(
+            0.0 < self.spread_fraction <= 1.0,
+            f"surge {self.name!r}: spread_fraction must be within (0, 1], "
+            f"got {self.spread_fraction}",
+        )
+        return self
+
+
+@dataclass(frozen=True)
+class NetworkDisruption:
+    """A scheduled street closure (with optional reopening).
+
+    Concrete edges are resolved at compile time around a seeded focus
+    vertex, skipping candidates whose removal would disconnect the network,
+    so runtime application never strands a committed trip.
+
+    Attributes:
+        name: disruption label (unique within a program).
+        start_hours: closure time, hours from t=0.
+        duration_minutes: minutes until the streets reopen; ``None`` keeps
+            them closed for the rest of the run.
+        edge_count: number of streets closed together.
+    """
+
+    name: str
+    start_hours: float
+    duration_minutes: float | None = None
+    edge_count: int = 1
+
+    def validate(self) -> "NetworkDisruption":
+        _require(bool(self.name), "disruption name must be non-empty")
+        _require(
+            self.start_hours >= 0,
+            f"disruption {self.name!r}: start_hours must be >= 0, got {self.start_hours}",
+        )
+        if self.duration_minutes is not None:
+            _require(
+                self.duration_minutes > 0,
+                f"disruption {self.name!r}: duration_minutes must be positive, "
+                f"got {self.duration_minutes}",
+            )
+        _require(
+            self.edge_count >= 1,
+            f"disruption {self.name!r}: edge_count must be >= 1, got {self.edge_count}",
+        )
+        return self
+
+
+@dataclass(frozen=True)
+class ScenarioProgram:
+    """A declarative scenario: fleet + workload + surges + disruptions.
+
+    The empty program (all components empty) compiles to exactly the base
+    config's instance, so plain runs are the degenerate case — and stay
+    bit-for-bit reproducible through the scenario layer.
+    """
+
+    name: str = "custom"
+    description: str = ""
+    fleet: tuple[FleetClass, ...] = ()
+    workload: tuple[WorkloadClass, ...] = ()
+    surges: tuple[DemandSurge, ...] = ()
+    disruptions: tuple[NetworkDisruption, ...] = ()
+
+    # -------------------------------------------------------------- accessors
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the program adds nothing on top of the base config."""
+        return not (self.fleet or self.workload or self.surges or self.disruptions)
+
+    def without_disruptions(self) -> "ScenarioProgram":
+        """This program with the network disruptions stripped.
+
+        Cluster serving cannot absorb live network mutations (worker
+        processes hold replica networks); the stress harness uses this to
+        keep cluster combinations in the sweep.
+        """
+        return replace(self, disruptions=())
+
+    # -------------------------------------------------------------- validation
+
+    def validate(self) -> "ScenarioProgram":
+        """Check every component; returns ``self`` so calls can be chained."""
+        _require(bool(self.name), "program name must be non-empty")
+        for kind, components in (
+            ("fleet class", self.fleet),
+            ("workload class", self.workload),
+            ("surge", self.surges),
+            ("disruption", self.disruptions),
+        ):
+            seen: set[str] = set()
+            for component in components:
+                component.validate()
+                if component.name in seen:
+                    raise ConfigurationError(
+                        f"duplicate {kind} name {component.name!r} in program {self.name!r}"
+                    )
+                seen.add(component.name)
+        if self.fleet and all(component.count == 0 for component in self.fleet):
+            raise ConfigurationError(
+                f"program {self.name!r}: fleet classes define zero workers in total"
+            )
+        return self
+
+    # ------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> dict:
+        """Plain-data representation (exact inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioProgram":
+        """Build a validated program from a plain mapping (JSON/TOML payloads)."""
+        known = {program_field.name for program_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise unknown_fields_error("scenario program", unknown, known)
+        component_types = {
+            "fleet": (FleetClass, "fleet class"),
+            "workload": (WorkloadClass, "workload class"),
+            "surges": (DemandSurge, "surge"),
+            "disruptions": (NetworkDisruption, "disruption"),
+        }
+        kwargs: dict = {}
+        for key, value in data.items():
+            if key in component_types:
+                component_cls, kind = component_types[key]
+                if not isinstance(value, (list, tuple)):
+                    raise ConfigurationError(f"{key!r} must be a list of {kind} mappings")
+                kwargs[key] = tuple(
+                    _component_from_dict(component_cls, kind, item) for item in value
+                )
+            else:
+                kwargs[key] = value
+        return cls(**kwargs).validate()
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ScenarioProgram":
+        """Load a program from a ``.json`` or ``.toml`` file."""
+        path = Path(path)
+        suffix = path.suffix.lower()
+        if suffix == ".json":
+            data = json.loads(path.read_text(encoding="utf-8"))
+        elif suffix == ".toml":
+            import tomllib
+
+            data = tomllib.loads(path.read_text(encoding="utf-8"))
+        else:
+            raise ConfigurationError(
+                f"unsupported scenario program format {suffix!r} ({path}); "
+                "use .json or .toml"
+            )
+        if not isinstance(data, dict):
+            raise ConfigurationError(f"scenario program file {path} must contain a mapping")
+        return cls.from_dict(data)
+
+    def to_json(self, path: str | Path | None = None, indent: int = 2) -> str:
+        """Serialise to JSON; also writes ``path`` when given."""
+        payload = json.dumps(self.to_dict(), indent=indent) + "\n"
+        if path is not None:
+            Path(path).write_text(payload, encoding="utf-8")
+        return payload
+
+
+__all__ = [
+    "DemandSurge",
+    "FleetClass",
+    "NetworkDisruption",
+    "ScenarioProgram",
+    "WorkloadClass",
+]

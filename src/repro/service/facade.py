@@ -211,6 +211,39 @@ class MatchingService:
         if worker_id not in self.fleet.states:
             raise DispatchError(f"unknown worker id {worker_id}")
 
+    def apply_network_update(self, mutate) -> None:
+        """Mutate the road network mid-session (street closure / reopening).
+
+        ``mutate`` receives the live :class:`~repro.network.graph.RoadNetwork`.
+        The engine re-derives every distance-dependent structure afterwards —
+        oracle backend, worker routes, dispatcher spatial index — so the
+        session keeps serving on the new topology. Requires the event engine
+        and an in-process dispatcher (cluster workers hold replica networks
+        that a parent-side mutation cannot reach).
+        """
+        self._ensure_open()
+        if self.engine != "event":
+            raise ConfigurationError(
+                "live network updates require engine='event'; the legacy loop "
+                "snapshots distances up front"
+            )
+        self._backend.apply_network_update(mutate)
+
+    def close_edge(self, u: int, v: int):
+        """Close the street between ``u`` and ``v``; returns the removed
+        :class:`~repro.network.graph.Edge` (keep it to reopen later)."""
+        removed = []
+        self.apply_network_update(lambda network: removed.append(network.remove_edge(u, v)))
+        return removed[0]
+
+    def reopen_edge(self, edge) -> None:
+        """Reopen a previously closed street from its removed ``edge`` record."""
+        self.apply_network_update(
+            lambda network: network.add_edge(
+                edge.u, edge.v, length=edge.length, speed=edge.speed, road_class=edge.road_class
+            )
+        )
+
     def advance_to(self, now: float) -> list[AssignmentDecision]:
         """Advance simulated time to ``now``, processing everything due.
 

@@ -229,6 +229,19 @@ class ShardedDispatcher(Dispatcher):
         shard.view.members.add(worker_id)
         shard.dispatcher.grid.insert(worker_id, position)
 
+    def notify_network_changed(self) -> None:
+        """Refresh shard-local oracles and every inner dispatcher's grid.
+
+        The spatial partition itself is coordinate-based and closures do not
+        move vertices, so worker-to-shard membership stays valid; only the
+        distance machinery and the per-shard grid indexes need re-deriving.
+        The instance's shared oracle was already refreshed by the engine.
+        """
+        for oracle in self._shard_oracles.values():
+            oracle.refresh_topology()
+        for shard in self._shards:
+            shard.dispatcher.notify_network_changed()
+
     # --------------------------------------------------------------- running
 
     def dispatch(self, request: Request, now: float) -> DispatchOutcome | None:

@@ -50,9 +50,10 @@ import time as _time
 from typing import Callable
 
 from repro.core.instance import URPSMInstance
+from repro.core.route import Route
 from repro.core.types import Request, Worker
 from repro.dispatch.base import Dispatcher, DispatchOutcome
-from repro.exceptions import DispatchError
+from repro.exceptions import ConfigurationError, DispatchError
 from repro.simulation.events import (
     BatchFlush,
     Event,
@@ -121,6 +122,10 @@ class EventEngine:
         #: every processed cancellation (client- or dynamics-initiated) so the
         #: facade can resolve still-open deferred decisions.
         self.on_cancellation: Callable[[Request, str, float], None] | None = None
+        #: observer called as ``on_completion(record, now)`` for every
+        #: delivered service record, independent of metric collection — the
+        #: stress harness checks invariants (waits, deadlines) on raw records.
+        self.on_completion: Callable[[ServiceRecord, float], None] | None = None
         self._last_cancel_status = "unknown_request"
         self._handlers = {
             RequestArrival: self._handle_arrival,
@@ -288,6 +293,65 @@ class EventEngine:
         self.fleet.add_worker(worker, at_time=self.clock)
         self.dispatcher.notify_worker_added(worker.id)
 
+    def apply_network_update(self, mutate: Callable[[object], None]) -> None:
+        """Mutate the road network mid-run (street closure / reopening).
+
+        ``mutate`` is called with the live :class:`~repro.network.graph.
+        RoadNetwork` and may add/remove edges or vertices. The engine then
+        re-derives every piece of distance-dependent state, in order:
+
+        1. the whole fleet is materialised to the current clock, so every
+           worker sits on a concrete vertex and no cached concrete path is
+           walked across the mutation boundary;
+        2. the instance oracle rebuilds its backend against the new topology
+           (:meth:`~repro.network.oracle.DistanceOracle.refresh_topology`);
+        3. every non-idle route is rebuilt from its surviving stops — fresh
+           :class:`~repro.core.route.Route` objects drop cached concrete
+           paths and per-request direct distances, and ``replace_route``
+           re-times the plan and bumps the plan version so stale
+           :class:`~repro.simulation.events.StopCompletion` events are
+           ignored;
+        4. the dispatcher re-derives its spatial index
+           (:meth:`~repro.dispatch.base.Dispatcher.notify_network_changed`).
+
+        Existing commitments are kept: closures can make planned arrivals
+        slip past deadlines, which is reported as deadline violations — the
+        honest outcome of a street closing under committed trips.
+
+        Raises:
+            ConfigurationError: for dispatchers that cannot absorb live
+                network updates (cluster serving — worker processes hold
+                replica networks built at fork time).
+            DispatchError: on a drained engine.
+        """
+        self.start()
+        if self._finished:
+            raise DispatchError("cannot mutate the network of a drained engine")
+        if not self.dispatcher.supports_network_updates:
+            raise ConfigurationError(
+                f"dispatcher {self.dispatcher.name!r} cannot apply live network "
+                "updates (its distance state lives in worker processes); use an "
+                "in-process dispatcher for disruption scenarios"
+            )
+        self._record_completions(self.fleet.advance_all(self.clock))
+        mutate(self.instance.network)
+        self.instance.oracle.refresh_topology()
+        for worker_id in sorted(self.fleet.states):
+            state = self.fleet.peek_state(worker_id)
+            route = state.route
+            if route.is_empty:
+                continue
+            state.replace_route(
+                Route(
+                    worker=route.worker,
+                    origin=route.origin,
+                    start_time=route.start_time,
+                    stops=list(route.stops),
+                )
+            )
+        self.dispatcher.notify_network_changed()
+        self._post_dispatcher()
+
     def set_worker_online(self, worker_id: int, online: bool) -> None:
         """Toggle a worker's availability (online retire / reinstate)."""
         self.start()
@@ -452,6 +516,9 @@ class EventEngine:
             self._schedule_flush(next_flush)
 
     def _record_completions(self, completions: list[ServiceRecord]) -> None:
+        if self.on_completion is not None:
+            for record in completions:
+                self.on_completion(record, self.clock)
         if not self.collect_completions:
             return
         oracle = self.instance.oracle

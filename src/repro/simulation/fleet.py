@@ -216,10 +216,22 @@ class WorkerState:
                 self.travelled_cost += max(leg_cost, 0.0)
                 record = self.assigned_requests.get(stop.request.id)
                 if record is not None:
+                    # Clamp the *recorded* service times to their physical
+                    # bounds: a rider cannot be picked up before appearing,
+                    # nor dropped off before the pickup. A re-plan from a
+                    # vertex-snapped position (whose start_time lags the
+                    # clock by up to one edge traversal) can schedule model
+                    # arrivals slightly earlier than that; cost accounting
+                    # keeps the exact model times, the service record does
+                    # not time-travel.
                     if stop.kind is StopKind.PICKUP:
-                        record.pickup_time = next_arrival
+                        record.pickup_time = max(next_arrival, stop.request.release_time)
                     else:
-                        record.dropoff_time = next_arrival
+                        record.dropoff_time = (
+                            next_arrival
+                            if record.pickup_time is None
+                            else max(next_arrival, record.pickup_time)
+                        )
                         completed.append(record)
                 new_route = Route(
                     worker=self.worker,

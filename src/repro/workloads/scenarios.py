@@ -130,6 +130,26 @@ class ScenarioConfig:
     shift_hours: float = 0.0
     oracle_artifact_dir: str | None = None
 
+    def __post_init__(self) -> None:
+        """Reject out-of-range dynamics knobs at construction.
+
+        A rate of 1.3 or a negative shift used to surface as an opaque
+        failure deep inside the run (or worse, silently clamp); fail fast
+        with the field name instead.
+        """
+        if not 0.0 <= self.cancellation_rate <= 1.0:
+            raise ConfigurationError(
+                f"cancellation_rate must be within [0, 1], got {self.cancellation_rate}"
+            )
+        if self.shift_hours < 0.0:
+            raise ConfigurationError(
+                f"shift_hours must be >= 0 (0 disables shifts), got {self.shift_hours}"
+            )
+        if self.horizon_hours <= 0.0:
+            raise ConfigurationError(
+                f"horizon_hours must be positive, got {self.horizon_hours}"
+            )
+
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         """Return a copy with the given fields replaced (sweep helper)."""
         return replace(self, **kwargs)

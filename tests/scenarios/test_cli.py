@@ -1,0 +1,48 @@
+"""Tests for the ``repro scenarios`` and ``repro stress`` sub-commands."""
+
+import json
+
+from repro.cli import main
+
+
+class TestScenariosCommand:
+    def test_lists_presets(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "rush-hour-chaos" in out
+        assert "baseline" in out
+        assert "empty (plain base config)" in out
+
+    def test_describes_one_preset(self, capsys):
+        assert main(["scenarios", "multi-class"]) == 0
+        out = capsys.readouterr().out
+        assert "workload classes" in out
+        assert "ridesharing" in out
+
+    def test_json_output_is_loadable(self, capsys):
+        assert main(["scenarios", "mixed-fleet", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "mixed-fleet"
+        assert len(payload["fleet"]) == 3
+
+    def test_unknown_preset_suggests(self, capsys):
+        assert main(["scenarios", "mixed-flet"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "mixed-fleet" in err
+
+
+class TestStressCommand:
+    def test_small_sweep_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_stress.json"
+        code = main([
+            "stress", "--scenarios", "1", "--seed", "99",
+            "--dispatchers", "pruneGreedyDP", "--reruns", "0",
+            "--quiet", "--output", str(output),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "0 crashes" in out
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["ok"] is True
+        assert payload["total_runs"] == 1

@@ -1,0 +1,152 @@
+"""Tests for the declarative scenario-program value types."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    DemandSurge,
+    FleetClass,
+    NetworkDisruption,
+    ScenarioProgram,
+    WorkloadClass,
+)
+
+
+def kitchen_sink() -> ScenarioProgram:
+    return ScenarioProgram(
+        name="sink",
+        description="everything at once",
+        fleet=(
+            FleetClass(name="sedan", count=5, capacity=2, shift_hours=1.0, hotspot_share=0.3),
+            FleetClass(name="van", count=2, capacity=6),
+        ),
+        workload=(
+            WorkloadClass(name="ride", count=20),
+            WorkloadClass(name="food", count=10, deadline_minutes=8.0, capacity=1,
+                          penalty_factor=12.0),
+        ),
+        surges=(
+            DemandSurge(name="concert", start_hours=1.0, duration_minutes=15.0, count=12),
+        ),
+        disruptions=(
+            NetworkDisruption(name="closure", start_hours=0.5, duration_minutes=30.0,
+                              edge_count=2),
+        ),
+    )
+
+
+class TestValidation:
+    def test_kitchen_sink_validates(self):
+        assert kitchen_sink().validate() is not None
+
+    def test_empty_program_is_empty(self):
+        program = ScenarioProgram()
+        assert program.is_empty
+        program.validate()
+
+    def test_non_empty_program_is_not_empty(self):
+        assert not kitchen_sink().is_empty
+
+    @pytest.mark.parametrize(
+        "component",
+        [
+            FleetClass(name="x", count=-1),
+            FleetClass(name="x", count=1, capacity=0),
+            FleetClass(name="x", count=1, shift_hours=-0.5),
+            FleetClass(name="x", count=1, hotspot_share=1.5),
+            FleetClass(name="", count=1),
+            WorkloadClass(name="x", count=-2),
+            WorkloadClass(name="x", count=1, deadline_minutes=0.0),
+            WorkloadClass(name="x", count=1, penalty_factor=-1.0),
+            WorkloadClass(name="x", count=1, capacity=0),
+            DemandSurge(name="x", start_hours=-1.0, duration_minutes=10.0, count=5),
+            DemandSurge(name="x", start_hours=1.0, duration_minutes=0.0, count=5),
+            DemandSurge(name="x", start_hours=1.0, duration_minutes=10.0, count=5,
+                        spread_fraction=0.0),
+            NetworkDisruption(name="x", start_hours=-0.1),
+            NetworkDisruption(name="x", start_hours=0.1, duration_minutes=0.0),
+            NetworkDisruption(name="x", start_hours=0.1, edge_count=0),
+        ],
+    )
+    def test_invalid_components_rejected(self, component):
+        with pytest.raises(ConfigurationError):
+            component.validate()
+
+    def test_duplicate_component_names_rejected(self):
+        program = ScenarioProgram(
+            surges=(
+                DemandSurge(name="s", start_hours=1.0, duration_minutes=10.0, count=5),
+                DemandSurge(name="s", start_hours=2.0, duration_minutes=10.0, count=5),
+            )
+        )
+        with pytest.raises(ConfigurationError, match="duplicate surge name"):
+            program.validate()
+
+    def test_all_zero_fleet_rejected(self):
+        program = ScenarioProgram(fleet=(FleetClass(name="ghost", count=0),))
+        with pytest.raises(ConfigurationError, match="zero workers"):
+            program.validate()
+
+    def test_without_disruptions_strips_only_disruptions(self):
+        program = kitchen_sink()
+        stripped = program.without_disruptions()
+        assert stripped.disruptions == ()
+        assert stripped.fleet == program.fleet
+        assert stripped.surges == program.surges
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        program = kitchen_sink()
+        assert ScenarioProgram.from_dict(program.to_dict()) == program
+
+    def test_unknown_program_field_suggests(self):
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            ScenarioProgram.from_dict({"surgees": []})
+
+    def test_unknown_component_field_suggests(self):
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            ScenarioProgram.from_dict(
+                {"fleet": [{"name": "a", "count": 3, "capcity": 2}]}
+            )
+
+    def test_component_list_required(self):
+        with pytest.raises(ConfigurationError, match="must be a list"):
+            ScenarioProgram.from_dict({"fleet": {"name": "a", "count": 3}})
+
+    def test_json_file_round_trip(self, tmp_path):
+        program = kitchen_sink()
+        path = tmp_path / "program.json"
+        program.to_json(path)
+        assert ScenarioProgram.from_file(path) == program
+
+    def test_toml_file_loads(self, tmp_path):
+        path = tmp_path / "program.toml"
+        path.write_text(
+            """
+name = "tomltest"
+description = "loaded from toml"
+
+[[fleet]]
+name = "sedan"
+count = 4
+capacity = 2
+
+[[surges]]
+name = "concert"
+start_hours = 1.0
+duration_minutes = 15.0
+count = 10
+""",
+            encoding="utf-8",
+        )
+        program = ScenarioProgram.from_file(path)
+        assert program.name == "tomltest"
+        assert program.fleet[0].capacity == 2
+        assert program.surges[0].count == 10
+
+    def test_unsupported_suffix_rejected(self, tmp_path):
+        path = tmp_path / "program.yaml"
+        path.write_text("name: nope\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="unsupported scenario program format"):
+            ScenarioProgram.from_file(path)

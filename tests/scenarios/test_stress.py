@@ -1,0 +1,91 @@
+"""Tests for the seeded scenario fuzzer / stress harness."""
+
+import pytest
+
+from repro.scenarios import (
+    default_stress_dispatchers,
+    generate_stress_scenario,
+    get_preset,
+    list_presets,
+    run_stress,
+    suggest_presets,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestGeneration:
+    def test_same_key_same_scenario(self):
+        first = generate_stress_scenario(2018, 3)
+        second = generate_stress_scenario(2018, 3)
+        assert first == second
+
+    def test_different_indices_differ(self):
+        configs = [generate_stress_scenario(2018, i)[0] for i in range(6)]
+        assert len({config.seed for config in configs}) == 6
+
+    def test_scenarios_are_small(self):
+        for index in range(10):
+            config, program = generate_stress_scenario(7, index)
+            assert 6 <= config.num_workers <= 14
+            assert 30 <= config.num_requests <= 80
+            program.validate()
+
+    def test_allow_disruptions_flag(self):
+        for index in range(10):
+            _config, program = generate_stress_scenario(7, index, allow_disruptions=False)
+            assert program.disruptions == ()
+
+
+class TestDefaultDispatchers:
+    def test_covers_registry_plus_distribution_modes(self):
+        names = default_stress_dispatchers()
+        assert "pruneGreedyDP" in names
+        assert "batch" in names
+        assert "sharded:pruneGreedyDP" in names
+        assert "cluster:pruneGreedyDP" in names
+
+
+class TestSweep:
+    def test_small_sweep_is_clean_and_deterministic(self):
+        kwargs = dict(master_seed=99, reruns=1)
+        report = run_stress(2, ["pruneGreedyDP", "batch"], **kwargs)
+        assert report.ok, (report.crashes, report.nondeterministic, report.violations)
+        assert len(report.runs) == 4
+        again = run_stress(2, ["pruneGreedyDP", "batch"], **kwargs)
+        assert [run["served_rate"] for run in report.runs] == [
+            run["served_rate"] for run in again.runs
+        ]
+
+    def test_report_round_trips_to_dict(self):
+        report = run_stress(1, ["pruneGreedyDP"], master_seed=5, reruns=0)
+        payload = report.to_dict()
+        assert payload["ok"] == report.ok
+        assert payload["total_runs"] == 1
+        assert payload["master_seed"] == 5
+
+    def test_crash_is_reported_not_raised(self, monkeypatch):
+        import repro.scenarios.stress as stress_module
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("synthetic dispatcher explosion")
+
+        monkeypatch.setattr(stress_module, "run_program", boom)
+        report = run_stress(1, ["pruneGreedyDP"], master_seed=5, reruns=0)
+        assert not report.ok
+        assert len(report.crashes) == 1
+        assert "synthetic dispatcher explosion" in report.crashes[0]["error"]
+        assert report.runs[0]["crashed"] is True
+
+
+class TestPresetLookup:
+    def test_every_preset_validates(self):
+        for name in list_presets():
+            get_preset(name).validate()
+
+    def test_suggestions_on_typo(self):
+        assert "mixed-fleet" in suggest_presets("mixed-flet")
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            get_preset("mixed-flet")
+
+    def test_baseline_is_empty(self):
+        assert get_preset("baseline").is_empty
