@@ -21,11 +21,23 @@ Any gate failure exits non-zero. Every entry lands in the perf trajectory
 (``BENCH_chaos.json`` by default) with the recovery telemetry
 (failures / restarts / retries / degraded dispatches) per run.
 
+With ``--disruptions`` the matrix switches to **live network updates**: a
+deterministic timed close→reopen plan (``closure_plan``) runs through the
+cluster session, and workers are killed anchored *before*, *during* and
+*after* an update window, plus killed early with a restart delay that lands
+the respawn adoption between the closure and the reopening (forcing a
+journal replay of the missed mutation). Every faulted run must stay
+bit-identical to the fault-free run with the same plan, leave no orphan
+process, and the replay gate must observe an ``update_replayed`` recovery
+event.
+
 Usage::
 
-    python benchmarks/bench_chaos.py            # full gate matrix
-    python benchmarks/bench_chaos.py --smoke    # CI preset (same scenario,
-                                                # kill gates only)
+    python benchmarks/bench_chaos.py                  # full gate matrix
+    python benchmarks/bench_chaos.py --smoke          # CI preset (same
+                                                      # scenario, kill gates
+                                                      # only)
+    python benchmarks/bench_chaos.py --disruptions    # live-update gates
 """
 
 from __future__ import annotations
@@ -48,6 +60,7 @@ from tests.cluster.chaos import (  # noqa: E402
     DEFAULT_SCENARIO,
     DEFAULT_SHARDS,
     Fault,
+    closure_plan,
     run_chaos,
     seeded_faults,
 )
@@ -75,6 +88,9 @@ def _telemetry(chaos) -> dict:
         "degraded_dispatches": chaos.degraded_dispatches,
         "shard_health": list(chaos.shard_health),
         "faults_fired": len(chaos.fired),
+        "network_updates": chaos.network_updates,
+        "update_ack_retries": chaos.update_ack_retries,
+        "replica_rebuilds": list(chaos.replica_rebuilds),
     }
 
 
@@ -195,12 +211,131 @@ def bench_algorithm(algorithm: str, smoke: bool) -> tuple[dict, list[str]]:
     }, failures
 
 
+def bench_update_windows(algorithm: str, plan) -> tuple[dict, list[str]]:
+    """Live network updates: kills anchored to update windows + journal replay."""
+    failures: list[str] = []
+    baseline, baseline_wall = _run(algorithm, updates=plan)
+    if baseline.network_updates != len(plan):
+        failures.append(
+            f"{algorithm}: fault-free run applied {baseline.network_updates} "
+            f"updates, plan had {len(plan)}"
+        )
+    print(
+        f"  [{algorithm}] fault-free with {len(plan)} updates: served "
+        f"{baseline.result.served_requests}/{baseline.result.total_requests} "
+        f"in {baseline_wall}s"
+    )
+
+    gates = {}
+
+    # gate 1: kill before / during / after the first update window
+    for window in ("before", "during", "after"):
+        chaos, wall = _run(
+            algorithm,
+            [Fault("kill", shard=1, at_update=0, window=window)],
+            updates=plan,
+        )
+        identical = chaos.fingerprint == baseline.fingerprint
+        if not chaos.fired:
+            failures.append(f"{algorithm}: kill {window} update never fired")
+        if not identical:
+            failures.append(
+                f"{algorithm}: kill {window} update diverged: "
+                f"{chaos.fingerprint} != {baseline.fingerprint}"
+            )
+        if chaos.orphans:
+            failures.append(
+                f"{algorithm}: kill {window} update left orphan processes"
+            )
+        gates[f"kill_{window}_update"] = {
+            "wall_s": wall,
+            "bit_identical": identical,
+            **_telemetry(chaos),
+        }
+        print(
+            f"  [{algorithm}] kill {window} update window: "
+            f"bit-identical={identical}"
+        )
+
+    # gate 2: respawn adopted between close and reopen replays the journal
+    chaos, wall = _run(
+        algorithm,
+        [Fault("kill", shard=0, at_command=1)],
+        updates=plan,
+        restart_delay_s=plan[0].time + 1.0,
+    )
+    replayed = any(event == "update_replayed" for event, _ in chaos.recovery_log)
+    identical = chaos.fingerprint == baseline.fingerprint
+    if not replayed:
+        failures.append(
+            f"{algorithm}: delayed respawn never replayed the missed update"
+        )
+    if not identical:
+        failures.append(f"{algorithm}: journal replay diverged from fault-free run")
+    if chaos.orphans:
+        failures.append(f"{algorithm}: journal replay left orphan processes")
+    gates["journal_replay_on_adoption"] = {
+        "wall_s": wall,
+        "replayed": replayed,
+        "bit_identical": identical,
+        **_telemetry(chaos),
+    }
+    print(
+        f"  [{algorithm}] journal replay on adoption: replayed={replayed} "
+        f"bit-identical={identical}"
+    )
+
+    # gate 3: degraded shard (no restart budget) follows updates
+    chaos, wall = _run(
+        algorithm,
+        [Fault("kill", shard=2, at_command=1)],
+        updates=plan,
+        max_restarts=0,
+    )
+    degraded = any(event == "update_degraded" for event, _ in chaos.recovery_log)
+    identical = chaos.fingerprint == baseline.fingerprint
+    if not degraded:
+        failures.append(
+            f"{algorithm}: degraded shard never saw an update_degraded event"
+        )
+    if not identical:
+        failures.append(f"{algorithm}: degraded update run diverged")
+    gates["degraded_follows_updates"] = {
+        "wall_s": wall,
+        "degraded": degraded,
+        "bit_identical": identical,
+        **_telemetry(chaos),
+    }
+    print(
+        f"  [{algorithm}] degraded shard follows updates: "
+        f"bit-identical={identical}"
+    )
+
+    return {
+        "algorithm": algorithm,
+        "baseline": {
+            "wall_s": baseline_wall,
+            "served_rate": round(baseline.result.served_rate, 6),
+            "fingerprint": baseline.fingerprint,
+            "network_updates": baseline.network_updates,
+            "replica_rebuilds": list(baseline.replica_rebuilds),
+        },
+        "gates": gates,
+    }, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="CI preset: kill gates only (skip seeded-plan and retry gates)",
+    )
+    parser.add_argument(
+        "--disruptions",
+        action="store_true",
+        help="live network-update gates: kills anchored before/during/after "
+        "timed close->reopen windows, journal replay, degraded follow",
     )
     parser.add_argument(
         "--output",
@@ -210,20 +345,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    matrix = "disruptions" if args.disruptions else "faults"
     print(
-        f"== chaos benchmark: {DEFAULT_SCENARIO.city} "
+        f"== chaos benchmark ({matrix}): {DEFAULT_SCENARIO.city} "
         f"W{DEFAULT_SCENARIO.num_workers} R{DEFAULT_SCENARIO.num_requests} "
         f"K={DEFAULT_SHARDS} =="
     )
     sweeps, failures = [], []
-    for algorithm in ALGORITHMS:
-        entry, algo_failures = bench_algorithm(algorithm, args.smoke)
-        sweeps.append(entry)
-        failures.extend(algo_failures)
+    if args.disruptions:
+        from repro.workloads.scenarios import build_instance
+
+        plan = closure_plan(build_instance(DEFAULT_SCENARIO))
+        for algorithm in ALGORITHMS:
+            entry, algo_failures = bench_update_windows(algorithm, plan)
+            sweeps.append(entry)
+            failures.extend(algo_failures)
+    else:
+        for algorithm in ALGORITHMS:
+            entry, algo_failures = bench_algorithm(algorithm, args.smoke)
+            sweeps.append(entry)
+            failures.extend(algo_failures)
 
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "scenario": "chaos",
+        "scenario": "chaos-disruptions" if args.disruptions else "chaos",
         "city": DEFAULT_SCENARIO.city,
         "workers": DEFAULT_SCENARIO.num_workers,
         "requests": DEFAULT_SCENARIO.num_requests,
@@ -234,7 +379,7 @@ def main(argv: list[str] | None = None) -> int:
         "algorithms": sweeps,
         "all_gates_pass": not failures,
     }
-    append_trajectory(args.output, "chaos", [entry])
+    append_trajectory(args.output, entry["scenario"], [entry])
 
     if failures:
         for message in failures:

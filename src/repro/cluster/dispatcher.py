@@ -24,7 +24,14 @@ pipe, instead of calling an in-process inner dispatcher. It mirrors
   partition on the authoritative fleet (the exact mirror of
   ``ShardedDispatcher._resync``, run at the same decision points) and
   piggybacks the deltas, so each replica advances only its *own members* and
-  per-command work stays proportional to the shard, not the fleet.
+  per-command work stays proportional to the shard, not the fleet;
+* live **network updates** (street closures/reopenings) broadcast as
+  :class:`~repro.cluster.messages.NetworkUpdateCommand`: the engine's
+  recorded edge mutations are journaled on the front door, shipped to every
+  worker under a barrier acknowledgement hash-checked against the
+  authoritative post-mutation network content hash, and replayed to
+  respawned replicas at adoption — so replicas track topology changes
+  exactly and recovery stays bit-identical across update windows.
 
 Resilience (see :mod:`repro.cluster.recovery` for the machinery):
 
@@ -60,11 +67,14 @@ import time as _time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
+from repro.artifacts.hashing import network_content_hash
 from repro.cluster.messages import (
     AddWorkerCommand,
     CancelCommand,
     DispatchCommand,
     FlushCommand,
+    NetworkUpdate,
+    NetworkUpdateCommand,
     ShardInit,
     ShutdownCommand,
     StatsCommand,
@@ -83,7 +93,11 @@ from repro.cluster.recovery import (
 from repro.cluster.worker import plan_snapshot, shard_worker_main
 from repro.core.types import Request, Stop, Worker
 from repro.dispatch.base import Dispatcher, DispatcherConfig, DispatchOutcome
-from repro.exceptions import ConfigurationError, DispatchError
+from repro.exceptions import (
+    ConfigurationError,
+    DispatchError,
+    UnsupportedNetworkUpdateError,
+)
 from repro.network.oracle import OracleCounters
 from repro.sharding.partitioner import Partition, SpatialPartitioner
 from repro.utils.rng import derive_spawned_seed, make_rng
@@ -134,6 +148,9 @@ class _ShardHandle:
     incarnation: int = 0
     #: traceback of the last runtime error reply (observability only).
     last_error: str | None = None
+    #: acknowledged replica network rebuilds (live broadcasts + adoption
+    #: replays of journaled updates).
+    replica_rebuilds: int = 0
 
 
 class ClusterDispatcher(Dispatcher):
@@ -177,17 +194,29 @@ class ClusterDispatcher(Dispatcher):
     #: to ~1e-9 relative instead of bit-for-bit. At K>1 both regimes
     #: materialise at every arrival and flush, so replays are bit-identical.
     requires_exact_positions = True
-    #: worker processes hold replica networks/oracles built at fork time; a
-    #: parent-side road-network mutation cannot reach them, so live network
-    #: updates are rejected up front (the engine checks this flag before
-    #: mutating anything).
-    supports_network_updates = False
+    #: live network updates are supported via the replica-sync protocol: the
+    #: engine hands the recorded mutation batch to
+    #: :meth:`apply_network_update`, which journals it and broadcasts a
+    #: :class:`~repro.cluster.messages.NetworkUpdateCommand` to every shard
+    #: worker under a barrier acknowledgement.
+    supports_network_updates = True
 
-    def notify_network_changed(self) -> None:  # pragma: no cover - guarded upstream
-        raise ConfigurationError(
-            "cluster serving cannot apply live network updates: shard worker "
-            "processes hold replica networks built at fork time. Run "
-            "disruption scenarios with an in-process dispatcher instead."
+    def notify_network_changed(self) -> None:
+        """Refuse topology-change notifications outside the command flow.
+
+        Worker processes hold pickled network replicas: a parent-side
+        mutation that reaches the front door as a bare *notification* —
+        without the :class:`~repro.network.graph.EdgeMutation` records to
+        broadcast — would desynchronise every replica. The engine routes
+        live updates through :meth:`apply_network_update` instead; anything
+        else is a programming error surfaced as a typed exception.
+        """
+        raise UnsupportedNetworkUpdateError(
+            "cluster serving cannot absorb a bare network-change "
+            "notification: shard worker processes hold replica networks, so "
+            "live mutations must flow through apply_network_update (the "
+            "replica-sync NetworkUpdateCommand broadcast), not "
+            "notify_network_changed"
         )
 
     def __init__(
@@ -270,6 +299,10 @@ class ClusterDispatcher(Dispatcher):
         self.retries = 0
         self.degraded_dispatches = 0
         self.recovery_log: list[tuple[str, int]] = []
+        # live network updates: cumulative journal + telemetry
+        self._applied_updates: list[NetworkUpdate] = []
+        self.network_updates_applied = 0
+        self.update_ack_retries = 0
 
     # ------------------------------------------------------------- lifecycle
 
@@ -360,6 +393,7 @@ class ClusterDispatcher(Dispatcher):
             ),
             extra_workers=tuple(self._added_workers),
             delay_replies=self._delays_for(shard_id),
+            applied_updates=tuple(self._applied_updates),
         )
 
     def close(self) -> None:
@@ -648,6 +682,30 @@ class ClusterDispatcher(Dispatcher):
         )
         self.worker_restarts += 1
         self._log("respawn_adopted", handle.shard_id)
+        # replay network updates journaled after the respawn snapshot was
+        # pickled: the rebuilt replica's network reflects exactly
+        # ``slot.updates_count`` updates, and each replay is hash-checked so
+        # a diverged replica is killed, never adopted. Empty sync payload —
+        # the cursor was just cleared, so full member snapshots (re-timed on
+        # the replica's refreshed oracle) ship with the next regular command.
+        for update in self._applied_updates[slot.updates_count :]:
+            reply = self._roundtrip(
+                handle, NetworkUpdateCommand(self.fleet.clock, update)
+            )
+            if reply is None:
+                return  # died again during adoption; _mark_dead failed it over
+            if reply.content_hash != update.content_hash:
+                handle.last_error = (
+                    f"replica content hash {reply.content_hash!r} diverged from "
+                    f"authoritative {update.content_hash!r} replaying update "
+                    f"#{update.ordinal}"
+                )
+                self._log("update_hash_mismatch", handle.shard_id)
+                self._mark_dead(handle)
+                return
+            handle.next_flush = reply.next_flush
+            handle.replica_rebuilds += 1
+            self._log("update_replayed", handle.shard_id)
         for worker, _ in self._added_workers[slot.extra_count :]:
             if not self._send(handle, AddWorkerCommand(self.fleet.clock, worker)):
                 return  # died again during adoption; _mark_dead failed it over
@@ -1181,6 +1239,78 @@ class ClusterDispatcher(Dispatcher):
             elif handle.degraded is not None and handle.shard_id == home:
                 handle.degraded.add_member(worker_id, state.position)
 
+    def apply_network_update(self, mutations, now: float) -> None:
+        """Broadcast a live network mutation batch to every shard replica.
+
+        Called by the engine *after* it mutated the authoritative network,
+        refreshed the instance oracle and rebuilt every route — so the
+        journal entry built here captures the post-mutation content hash and
+        ``_sync_payload`` ships the post-rebuild route snapshots. The
+        broadcast is a **barrier**: commands fan out to every UP shard, then
+        acknowledgements are collected in shard order under the usual retry
+        policy — a straggler burns ``retry_attempts`` timeout windows before
+        its worker is marked down, and a replica whose post-replay content
+        hash diverges from the authoritative one is killed rather than left
+        serving on a stale map (both fail over to the degraded in-process
+        executor, which shares the already-updated authoritative state).
+        """
+        assert self.fleet is not None and self.instance is not None
+        self._poll_recovery(now)
+        self._note_advance_clock(now)
+        self._resync_membership()
+        update = NetworkUpdate(
+            ordinal=len(self._applied_updates),
+            clock=now,
+            mutations=tuple(mutations),
+            content_hash=network_content_hash(self.instance.network),
+        )
+        # journal before broadcasting: any respawn scheduled from here on
+        # snapshots an instance that already reflects this update
+        self._applied_updates.append(update)
+        self.network_updates_applied += 1
+        retries_before = self.retries
+        sent: list[_ShardHandle] = []
+        for handle in self._handles:
+            if handle.health != ShardHealth.UP:
+                continue
+            self._drain_acks(handle, block=True)
+            if not handle.alive:
+                continue
+            command = NetworkUpdateCommand(
+                now,
+                update,
+                plans=self._sync_payload(handle),
+                moves=self._take_moves(handle),
+                advance_clocks=self._take_clocks(handle),
+            )
+            if self._send(handle, command):
+                self._log("update_sent", handle.shard_id)
+                sent.append(handle)
+        for handle in sent:
+            reply = self._recv(handle)
+            if reply is None:
+                continue  # marked down; degraded failover notified below
+            handle.next_flush = reply.next_flush
+            if reply.content_hash != update.content_hash:
+                handle.last_error = (
+                    f"replica content hash {reply.content_hash!r} diverged from "
+                    f"authoritative {update.content_hash!r} applying update "
+                    f"#{update.ordinal}"
+                )
+                self._log("update_hash_mismatch", handle.shard_id)
+                self._mark_dead(handle)
+                continue
+            handle.replica_rebuilds += 1
+            self._log("update_ack", handle.shard_id)
+        self.update_ack_retries += self.retries - retries_before
+        # shards serving in-process (recovering or permanently degraded) run
+        # on the authoritative fleet and oracle — already updated — and only
+        # need their inner dispatcher's grid re-derived
+        for handle in self._handles:
+            if handle.health != ShardHealth.UP and handle.degraded is not None:
+                handle.degraded.inner.notify_network_changed()
+                self._log("update_degraded", handle.shard_id)
+
     # --------------------------------------------------------------- metrics
 
     def queue_depth(self) -> int:
@@ -1237,6 +1367,8 @@ class ClusterDispatcher(Dispatcher):
             "cluster_retries": float(self.retries),
             "cluster_degraded_dispatches": float(self.degraded_dispatches),
             "cluster_commands_sent": float(self.commands_sent),
+            "cluster_network_updates": float(self.network_updates_applied),
+            "cluster_update_ack_retries": float(self.update_ack_retries),
             "cluster_boundary_vertices": float(self.partition.num_boundary_vertices()),
         }
         for handle in self._handles:
@@ -1246,6 +1378,9 @@ class ClusterDispatcher(Dispatcher):
             extra[f"cluster_shard{handle.shard_id}_health"] = HEALTH_CODES[
                 handle.health
             ]
+            extra[f"cluster_shard{handle.shard_id}_replica_rebuilds"] = float(
+                handle.replica_rebuilds
+            )
         return extra
 
     def shard_health(self) -> tuple[str, ...]:

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.core.instance import URPSMInstance
 from repro.core.types import Request, Stop, Worker
 from repro.dispatch.base import DispatcherConfig, DispatchOutcome
+from repro.network.graph import EdgeMutation
 from repro.sharding.partitioner import Partition
 
 
@@ -124,6 +125,13 @@ class ShardInit:
     #: chaos-harness fault plan: ``(command ordinal, seconds)`` reply delays,
     #: keyed on the worker-side command counter of this incarnation.
     delay_replies: tuple[tuple[int, float], ...] = ()
+    #: the front door's network-update journal prefix that is *already baked
+    #: into* the pickled ``instance`` (a respawn snapshots the live, mutated
+    #: network). The replica records ``len(applied_updates)`` as its update
+    #: cursor and must NOT re-apply these; updates applied after the snapshot
+    #: are replayed by the front door at adoption via
+    #: :class:`NetworkUpdateCommand`.
+    applied_updates: tuple["NetworkUpdate", ...] = ()
 
 
 # ------------------------------------------------------------------ commands
@@ -187,6 +195,44 @@ class AddWorkerCommand:
 
 
 @dataclass(frozen=True, slots=True)
+class NetworkUpdate:
+    """One journaled live network update (a close/reopen batch).
+
+    ``ordinal`` is the update's position in the front door's cumulative
+    journal — replicas track their own cursor and reject gaps or duplicates,
+    which turns lost-update bugs into immediate worker-down events instead
+    of silent divergence. ``content_hash`` is the authoritative network's
+    content hash *after* the mutations were applied; every replica echoes
+    the hash it computes after replay, and a mismatch marks the worker down
+    rather than letting it serve on a stale map.
+    """
+
+    ordinal: int
+    clock: float
+    mutations: tuple[EdgeMutation, ...]
+    content_hash: str
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkUpdateCommand:
+    """Broadcast a live network update to a shard replica.
+
+    Carries the same piggybacked sync payload as dispatch/flush commands:
+    the replica first applies ``moves``, replays ``advance_clocks`` and
+    advances members to ``clock`` on the *old* topology (mirroring the
+    engine's ``advance_all`` before the mutation), then applies the
+    mutations, refreshes its oracles, and only then applies ``plans`` — the
+    authoritative post-rebuild route snapshots — so re-timing happens on the
+    new topology. The reply is a barrier acknowledgement."""
+
+    clock: float
+    update: NetworkUpdate
+    plans: tuple[WorkerPlan, ...] = ()
+    moves: tuple[tuple[int, int], ...] = ()
+    advance_clocks: tuple[float, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
 class StatsCommand:
     """Request the replica's oracle counters (end-of-run reporting)."""
 
@@ -240,6 +286,18 @@ class AckReply:
 
 
 @dataclass(frozen=True, slots=True)
+class UpdateReply:
+    """Barrier acknowledgement of a :class:`NetworkUpdateCommand`.
+
+    ``content_hash`` is the replica's post-replay network content hash; the
+    front door compares it against the authoritative hash in the update."""
+
+    content_hash: str | None = None
+    next_flush: float | None = None
+    error: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
 class StatsReply:
     counters: dict[str, object] = field(default_factory=dict)
     error: str | None = None
@@ -254,11 +312,14 @@ __all__ = [
     "DispatchReply",
     "FlushCommand",
     "FlushReply",
+    "NetworkUpdate",
+    "NetworkUpdateCommand",
     "OutcomePayload",
     "RecordSnapshot",
     "ShardInit",
     "ShutdownCommand",
     "StatsCommand",
     "StatsReply",
+    "UpdateReply",
     "WorkerPlan",
 ]

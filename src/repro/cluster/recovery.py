@@ -31,14 +31,14 @@ adoption gate joins the spawn thread at a simulated-clock boundary.
 
 from __future__ import annotations
 
+import pickle
 import threading
 import time as _time
 import traceback
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.cluster.messages import ShardInit
-from repro.cluster.worker import shard_worker_main
+from repro.cluster.worker import shard_worker_from_payload
 
 if TYPE_CHECKING:
     import multiprocessing
@@ -198,6 +198,9 @@ class RespawnSlot:
     membership: dict[int, int]
     #: how many ``_added_workers`` the respawn init already carries.
     extra_count: int
+    #: front-door network-update journal length at schedule time — the init
+    #: snapshot reflects exactly this many updates; adoption replays the rest.
+    updates_count: int = 0
     thread: threading.Thread | None = None
     process: "multiprocessing.process.BaseProcess | None" = None
     connection: object | None = None
@@ -207,10 +210,12 @@ class RespawnSlot:
 class WorkerSupervisor:
     """Respawns dead shard workers off the dispatch hot path.
 
-    ``schedule`` (called by the dispatcher when it marks a worker down) forks
-    the replacement on a daemon thread: build the
-    :class:`~repro.cluster.messages.ShardInit` snapshot, spawn the process,
-    wait for its ready ack. ``claim`` — called from the dispatcher's
+    ``schedule`` (called by the dispatcher when it marks a worker down)
+    builds and pickles the :class:`~repro.cluster.messages.ShardInit`
+    snapshot synchronously — pinning the replica to the front door's
+    network-update journal cursor before the live instance can mutate
+    further — then forks the replacement on a daemon thread: spawn the
+    process, wait for its ready ack. ``claim`` — called from the dispatcher's
     deterministic adoption gate — joins that thread (blocking if the spawn is
     still in flight, so adoption order depends only on simulated time) and
     hands the result back. Every process ever spawned is tracked until
@@ -247,15 +252,22 @@ class WorkerSupervisor:
         dispatcher = self.dispatcher
         handle.incarnation += 1
         init = dispatcher._respawn_init(handle.shard_id, handle.incarnation)
+        # Serialise the init snapshot NOW, on the scheduling thread: the live
+        # instance keeps mutating (network updates, added workers) while the
+        # spawn thread runs, and a torn snapshot would poison the replica.
+        # The journal cursor recorded below is therefore exact: the payload
+        # reflects precisely ``updates_count`` applied updates.
+        payload = pickle.dumps(init, protocol=pickle.HIGHEST_PROTOCOL)
         slot = RespawnSlot(
             shard_id=handle.shard_id,
             not_before=death_clock + self.restart_delay_s,
             membership=dict(init.membership),
             extra_count=len(init.extra_workers),
+            updates_count=len(init.applied_updates),
         )
         thread = threading.Thread(
             target=self._spawn,
-            args=(init, slot),
+            args=(init.shard_id, payload, slot),
             name=f"repro-respawn-{handle.shard_id}",
             daemon=True,
         )
@@ -263,15 +275,15 @@ class WorkerSupervisor:
         self._slots[handle.shard_id] = slot
         thread.start()
 
-    def _spawn(self, init: ShardInit, slot: RespawnSlot) -> None:
+    def _spawn(self, shard_id: int, payload: bytes, slot: RespawnSlot) -> None:
         process = None
         parent = None
         try:
             parent, child = self.context.Pipe(duplex=True)
             process = self.context.Process(
-                target=shard_worker_main,
-                args=(child, init),
-                name=f"repro-shard-{init.shard_id}-r{self.dispatcher._handles[init.shard_id].incarnation}",
+                target=shard_worker_from_payload,
+                args=(child, payload),
+                name=f"repro-shard-{shard_id}-r{self.dispatcher._handles[shard_id].incarnation}",
                 daemon=True,
             )
             process.start()

@@ -176,6 +176,10 @@ class ClusterMatchingService(MatchingService):
             "retries": dispatcher.retries,
             "degraded_dispatches": dispatcher.degraded_dispatches,
             "shard_health": dispatcher.shard_health(),
+            "update_ack_retries": dispatcher.update_ack_retries,
+            "shard_replica_rebuilds": tuple(
+                handle.replica_rebuilds for handle in dispatcher._handles
+            ),
         }
 
 

@@ -56,12 +56,14 @@ from repro.cluster.messages import (
     DispatchReply,
     FlushCommand,
     FlushReply,
+    NetworkUpdateCommand,
     OutcomePayload,
     RecordSnapshot,
     ShardInit,
     ShutdownCommand,
     StatsCommand,
     StatsReply,
+    UpdateReply,
     WorkerPlan,
 )
 from repro.core.route import Route
@@ -98,6 +100,13 @@ def make_shard_oracle(instance, config, num_shards: int):
     Mirrors ``ShardedDispatcher._make_shard_oracle`` for a single shard: the
     oracle answers over the full network, so every backend stays value-exact
     with the shared one.
+
+    When the instance oracle carries a content-addressed artifact store, the
+    shard-local oracle shares its root: cold starts warm-load preprocessed
+    backends, and — crucially for live network updates — a worker-side
+    ``refresh_topology`` after the instance oracle already rebuilt (and
+    saved) the mutated topology warm-starts from the store instead of
+    rebuilding per shard.
     """
     mode = config.shard_oracle_backend
     if mode == "shared":
@@ -108,7 +117,9 @@ def make_shard_oracle(instance, config, num_shards: int):
     if mode == "auto":
         hint = max(1, len(instance.requests) // max(1, num_shards))
         mode = select_backend_name(instance.network.csr.num_vertices, query_volume_hint=hint)
-    return DistanceOracle(instance.network, backend=mode)
+    store = getattr(instance.oracle, "artifact_store", None)
+    artifact_dir = store.root if store is not None else None
+    return DistanceOracle(instance.network, backend=mode, artifact_dir=artifact_dir)
 
 
 class ShardWorkerRuntime:
@@ -130,6 +141,11 @@ class ShardWorkerRuntime:
         for worker, clock in init.extra_workers:
             self.fleet.add_worker(worker, at_time=clock)
         self.fleet.drain_moved()
+        # network-update cursor: ``init.applied_updates`` are already baked
+        # into the pickled instance (the respawn snapshot is taken from the
+        # live, mutated network), so the replica only records how many it has
+        # and rejects out-of-order NetworkUpdateCommands as protocol errors.
+        self.updates_applied = len(init.applied_updates)
         self.membership: dict[int, int] = dict(init.membership)
         members = {
             worker_id
@@ -321,6 +337,57 @@ class ShardWorkerRuntime:
         self.fleet.drain_moved()
         return AckReply(next_flush=self.inner.next_flush_time())
 
+    def handle_network_update(self, command: NetworkUpdateCommand) -> UpdateReply:
+        """Replay a live network mutation batch on this replica.
+
+        Ordering mirrors the authoritative engine exactly:
+
+        1. membership moves, then the ``advance_all`` clock sequence and
+           member advancement to the command clock — all on the *old*
+           topology, matching the engine's fleet materialisation before the
+           mutation;
+        2. the recorded mutations, then instance-oracle and shard-oracle
+           ``refresh_topology`` (the instance oracle of the *authoritative*
+           process refreshed first and saved the new-topology backend into
+           the shared artifact store, so replicas warm-start when one is
+           configured);
+        3. only then the piggybacked plan snapshots: ``replace_route``
+           re-times routes against the replica oracle, so the authoritative
+           post-rebuild snapshots must meet the refreshed topology;
+        4. a grid rebuild via the inner dispatcher's
+           ``notify_network_changed``.
+
+        The reply echoes the replica's post-replay network content hash; the
+        front door treats a mismatch as worker death.
+        """
+        from repro.artifacts import network_content_hash
+        from repro.exceptions import DispatchError
+
+        update = command.update
+        if update.ordinal != self.updates_applied:
+            raise DispatchError(
+                f"shard {self.shard_id} replica expected network update "
+                f"#{self.updates_applied}, got #{update.ordinal}; replica is "
+                "out of sync with the front-door journal"
+            )
+        self._apply_moves(command.moves)
+        self._replay_advances(command.advance_clocks)
+        self.fleet.set_clock(command.clock)
+        self._advance_members()
+        for mutation in update.mutations:
+            mutation.apply(self.instance.network)
+        self.instance.oracle.refresh_topology()
+        if self.shard_oracle is not None:
+            self.shard_oracle.refresh_topology()
+        self._apply_plans(command.plans)
+        self.inner.notify_network_changed()
+        self._housekeeping()
+        self.updates_applied += 1
+        return UpdateReply(
+            content_hash=network_content_hash(self.instance.network),
+            next_flush=self.inner.next_flush_time(),
+        )
+
     def handle_stats(self, command: StatsCommand) -> StatsReply:
         counters = self.instance.oracle.counters
         merged = {
@@ -363,6 +430,7 @@ def shard_worker_main(connection, init: ShardInit) -> None:
         FlushCommand: runtime.handle_flush,
         CancelCommand: runtime.handle_cancel,
         AddWorkerCommand: runtime.handle_add_worker,
+        NetworkUpdateCommand: runtime.handle_network_update,
         StatsCommand: runtime.handle_stats,
     }
     # chaos-harness fault plan: sleep before replying to selected commands,
@@ -396,6 +464,8 @@ def shard_worker_main(connection, init: ShardInit) -> None:
                 )
             elif kind is CancelCommand:
                 reply = CancelReply(removed=False, next_flush=None, error=error)
+            elif kind is NetworkUpdateCommand:
+                reply = UpdateReply(error=error)
             else:
                 reply = AckReply(error=error)
         pause = delays.pop(ordinal, None)
@@ -408,4 +478,25 @@ def shard_worker_main(connection, init: ShardInit) -> None:
     connection.close()
 
 
-__all__ = ["ShardWorkerRuntime", "make_shard_oracle", "plan_snapshot", "shard_worker_main"]
+def shard_worker_from_payload(connection, payload: bytes) -> None:
+    """Entry point for respawned workers: unpickle a pre-serialised init.
+
+    The supervisor pickles the :class:`ShardInit` synchronously on the
+    thread that observed the worker's death, *before* handing off to the
+    spawn thread — the live instance keeps mutating (network updates, added
+    workers) while the respawn is in flight, and serialising it at schedule
+    time is what pins the replica snapshot to the journal cursor recorded in
+    the respawn slot.
+    """
+    import pickle
+
+    shard_worker_main(connection, pickle.loads(payload))
+
+
+__all__ = [
+    "ShardWorkerRuntime",
+    "make_shard_oracle",
+    "plan_snapshot",
+    "shard_worker_from_payload",
+    "shard_worker_main",
+]

@@ -103,9 +103,9 @@ class Dispatcher(abc.ABC):
     requires_exact_positions: ClassVar[bool] = False
 
     #: whether the dispatcher can absorb a live road-network mutation via
-    #: :meth:`notify_network_changed`. The cluster dispatcher sets this to
-    #: False: its worker processes hold replica networks/oracles that a
-    #: parent-side mutation cannot reach.
+    #: :meth:`apply_network_update`. All built-in dispatchers can: in-process
+    #: ones read the live network directly, and the cluster dispatcher
+    #: broadcasts the mutations to its worker replicas.
     supports_network_updates: ClassVar[bool] = True
 
     def __init__(self, config: DispatcherConfig | None = None) -> None:
@@ -191,6 +191,21 @@ class Dispatcher(abc.ABC):
         self.grid = self._build_grid(self.instance)
         for state in self.fleet:
             self.grid.insert(state.worker.id, state.position)
+
+    def apply_network_update(self, mutations, now: float) -> None:
+        """Absorb a live network mutation batch applied at simulated ``now``.
+
+        ``mutations`` is the :class:`~repro.network.graph.EdgeMutation`
+        sequence recorded while the engine mutated the authoritative
+        network; the engine calls this *after* refreshing the instance
+        oracle and rebuilding routes. In-process dispatchers share the live
+        network object, so the base implementation ignores the mutation
+        records and just runs :meth:`notify_network_changed`. The cluster
+        dispatcher overrides this to broadcast the mutations to its worker
+        replicas under a barrier acknowledgement.
+        """
+        del mutations, now
+        self.notify_network_changed()
 
     def bind_flush_scheduler(self, schedule: Callable[[float], None] | None) -> None:
         """Attach the event engine's flush scheduler (``None`` detaches).

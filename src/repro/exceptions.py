@@ -27,6 +27,16 @@ class ConfigurationError(ReproError):
     """Raised for invalid scenario or experiment configuration."""
 
 
+class UnsupportedNetworkUpdateError(ConfigurationError):
+    """Raised when a live network mutation reaches a path that cannot apply it.
+
+    The cluster front door raises this when topology changes arrive outside
+    the replica-sync ``NetworkUpdateCommand`` flow — worker processes hold
+    pickled network copies, so mutating the authoritative network without
+    broadcasting the matching update would silently desynchronise replicas.
+    """
+
+
 class IngestError(ReproError):
     """Raised for malformed real-map input (GeoJSON / CSV edge lists)."""
 

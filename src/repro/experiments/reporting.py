@@ -81,12 +81,15 @@ def format_results(results: Iterable[SimulationResult]) -> str:
         if any(sharding_column in row for row in rows):
             columns.append(sharding_column)
     # cluster runs: self-healing telemetry (failures, restarts, retries,
-    # requests served in-process while a shard was down)
+    # requests served in-process while a shard was down, live network
+    # updates broadcast to replicas and the retries their acks burned)
     for recovery_column in (
         "cluster_worker_failures",
         "cluster_worker_restarts",
         "cluster_retries",
         "cluster_degraded_dispatches",
+        "cluster_network_updates",
+        "cluster_update_ack_retries",
     ):
         if any(recovery_column in row for row in rows):
             columns.append(recovery_column)

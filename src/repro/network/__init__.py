@@ -18,7 +18,14 @@ from repro.network.generators import (
     random_geometric_city,
     ring_radial_city,
 )
-from repro.network.graph import CSRAdjacency, Edge, RoadNetwork, Vertex, connected_components
+from repro.network.graph import (
+    CSRAdjacency,
+    Edge,
+    EdgeMutation,
+    RoadNetwork,
+    Vertex,
+    connected_components,
+)
 from repro.network.hub_labeling import (
     HubLabels,
     HubLabelsReference,
@@ -59,6 +66,7 @@ __all__ = [
     "ring_radial_city",
     "CSRAdjacency",
     "Edge",
+    "EdgeMutation",
     "RoadNetwork",
     "Vertex",
     "connected_components",

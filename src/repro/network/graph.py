@@ -145,6 +145,40 @@ class Edge:
         return self.length / self.speed
 
 
+@dataclass(frozen=True, slots=True)
+class EdgeMutation:
+    """One recorded topology mutation, replayable on an identical network.
+
+    Instances are produced by :meth:`RoadNetwork.end_mutation_capture` and
+    carry the full edge metadata so a ``close`` (``remove_edge``) or
+    ``reopen`` (``add_edge``) can be re-applied verbatim on a *replica* of
+    the network that recorded it — the basis of the cluster replica-sync
+    ``NetworkUpdateCommand``. The dataclass is picklable and frozen so it
+    can travel over worker pipes and live in the front door's journal.
+    """
+
+    kind: str
+    """Either ``"close"`` (edge removed) or ``"reopen"`` (edge added)."""
+
+    u: Vertex
+    v: Vertex
+    length: float
+    speed: float
+    road_class: str
+
+    def apply(self, network: "RoadNetwork") -> None:
+        """Re-apply this mutation to ``network``."""
+        if self.kind == "close":
+            network.remove_edge(self.u, self.v)
+        elif self.kind == "reopen":
+            network.add_edge(
+                self.u, self.v, length=self.length, speed=self.speed,
+                road_class=self.road_class,
+            )
+        else:  # pragma: no cover - constructor is internal
+            raise RoadNetworkError(f"unknown edge mutation kind {self.kind!r}")
+
+
 class RoadNetwork:
     """An undirected road network with per-vertex coordinates.
 
@@ -167,6 +201,26 @@ class RoadNetwork:
         self._csr: CSRAdjacency | None = None
         self._topology_version: int = 0
         self._csr_version: int = -1
+        # when not None, add_edge/remove_edge append EdgeMutation records
+        self._mutation_capture: list[EdgeMutation] | None = None
+
+    # ------------------------------------------------------------- mutation log
+
+    def begin_mutation_capture(self) -> None:
+        """Start recording edge mutations for later replay.
+
+        Every subsequent :meth:`add_edge` / :meth:`remove_edge` appends an
+        :class:`EdgeMutation` until :meth:`end_mutation_capture` is called.
+        Used by the event engine to ship live network updates to cluster
+        replicas as replayable commands.
+        """
+        self._mutation_capture = []
+
+    def end_mutation_capture(self) -> tuple[EdgeMutation, ...]:
+        """Stop recording and return the mutations captured since ``begin``."""
+        captured = self._mutation_capture or ()
+        self._mutation_capture = None
+        return tuple(captured)
 
     # ------------------------------------------------------------------ build
 
@@ -235,6 +289,11 @@ class RoadNetwork:
             self._adjacency[v][u] = cost
             self._edges[self._edge_key(u, v)] = edge
             self._topology_version += 1
+            if self._mutation_capture is not None:
+                self._mutation_capture.append(EdgeMutation(
+                    "reopen", edge.u, edge.v, edge.length, edge.speed,
+                    edge.road_class,
+                ))
         self._max_speed = max(self._max_speed, edge.speed)
         return edge
 
@@ -257,6 +316,11 @@ class RoadNetwork:
         del self._adjacency[u][v]
         del self._adjacency[v][u]
         self._topology_version += 1
+        if self._mutation_capture is not None:
+            self._mutation_capture.append(EdgeMutation(
+                "close", edge.u, edge.v, edge.length, edge.speed,
+                edge.road_class,
+            ))
         return edge
 
     @staticmethod

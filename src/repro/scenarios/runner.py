@@ -66,20 +66,17 @@ def run_program(
         on_completion: optional observer invoked as ``(record, now)`` for
             every completed/expired service record (event engine only).
 
+    Disruption programs run on every serving path, including ``cluster:``
+    specs — the front door broadcasts each timed closure/reopening to its
+    shard worker processes via the replica-sync update protocol, so cluster
+    replays stay bit-identical to the in-process ``sharded:`` path at K>1.
+
     Raises:
-        ConfigurationError: disruption programs on a cluster spec (worker
-            processes hold replica networks) or on the legacy engine (it
+        ConfigurationError: disruption programs on the legacy engine (it
             snapshots distances up front).
     """
     program = (program or ScenarioProgram(name="baseline")).validate()
     spec.validate()
-    is_cluster = spec.cluster or spec.dispatcher.cluster
-    if program.disruptions and is_cluster:
-        raise ConfigurationError(
-            "network disruptions cannot run on a cluster spec: shard worker "
-            "processes hold replica networks built at fork time. Use an "
-            "in-process dispatcher, or program.without_disruptions()."
-        )
     if program.disruptions and spec.engine != "event":
         raise ConfigurationError(
             "network disruptions require engine='event'; the legacy loop "

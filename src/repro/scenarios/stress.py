@@ -20,9 +20,10 @@ independent stream and the whole sweep replays bit-for-bit from one seed.
   best dispatcher on the same scenario (reported, not failed: some
   algorithms are legitimately weak on adversarial programs).
 
-Cluster combinations run ``program.without_disruptions()`` — shard worker
-processes hold replica networks built at fork time and cannot absorb live
-closures.
+Cluster combinations run the full program, disruptions included — the
+front door broadcasts live closures/reopenings to its shard worker
+processes via the replica-sync update protocol, so nothing is stripped and
+the determinism rerun covers the cluster mutation path too.
 """
 
 from __future__ import annotations
@@ -247,11 +248,10 @@ def run_stress(
         scenario_rates: dict[str, float] = {}
         for dispatcher_name in dispatchers:
             spec = _stress_spec(config, dispatcher_name, num_shards)
-            effective = (
-                program.without_disruptions()
-                if spec.dispatcher.cluster and program.disruptions
-                else program
-            )
+            # cluster combinations run disruptions like everyone else since
+            # the replica-sync protocol gained NetworkUpdateCommand; the key
+            # stays in the combo schema so trajectory diffs show the change
+            effective = program
             combo = {
                 "scenario": index,
                 "seed": config.seed,

@@ -86,6 +86,7 @@ class MatchingService:
         self._undelivered: dict[int, AssignmentDecision] = {}
         self._deferred_open: set[int] = set()
         self._submitted = 0
+        self._network_updates_applied = 0
         self._result: SimulationResult | None = None
         self._backend.start()
 
@@ -217,9 +218,11 @@ class MatchingService:
         ``mutate`` receives the live :class:`~repro.network.graph.RoadNetwork`.
         The engine re-derives every distance-dependent structure afterwards —
         oracle backend, worker routes, dispatcher spatial index — so the
-        session keeps serving on the new topology. Requires the event engine
-        and an in-process dispatcher (cluster workers hold replica networks
-        that a parent-side mutation cannot reach).
+        session keeps serving on the new topology. Requires the event
+        engine. On the cluster path, the recorded edge mutations are
+        additionally broadcast to every shard worker process under a barrier
+        acknowledgement (see
+        :meth:`~repro.cluster.dispatcher.ClusterDispatcher.apply_network_update`).
         """
         self._ensure_open()
         if self.engine != "event":
@@ -228,6 +231,7 @@ class MatchingService:
                 "snapshots distances up front"
             )
         self._backend.apply_network_update(mutate)
+        self._network_updates_applied += 1
 
     def close_edge(self, u: int, v: int):
         """Close the street between ``u`` and ``v``; returns the removed
@@ -311,6 +315,7 @@ class MatchingService:
             events_processed=getattr(self._backend, "events_processed", 0),
             requests_inflight=self._requests_inflight(),
             queue_depth=self._queue_depth(),
+            network_updates_applied=self._network_updates_applied,
             **self._recovery_stats(),
         )
 

@@ -183,6 +183,14 @@ class ServiceSnapshot:
     at the front door while their shard was down; ``shard_health`` — current
     per-shard serving path, shard-id order (``up``/``recovering``/
     ``degraded``).
+
+    The network-update counters describe live topology mutations:
+    ``network_updates_applied`` — close/reopen batches applied through
+    :meth:`~repro.service.facade.MatchingService.apply_network_update` (both
+    facades); ``update_ack_retries`` — retries burned collecting update
+    barrier acknowledgements from shard workers; ``shard_replica_rebuilds``
+    — per-shard count of acknowledged replica network rebuilds (broadcasts
+    plus adoption replays), shard-id order (cluster facade only).
     """
 
     clock: float
@@ -204,6 +212,9 @@ class ServiceSnapshot:
     retries: int = 0
     degraded_dispatches: int = 0
     shard_health: tuple[str, ...] = ()
+    network_updates_applied: int = 0
+    update_ack_retries: int = 0
+    shard_replica_rebuilds: tuple[int, ...] = ()
 
 
 __all__ = [

@@ -311,17 +311,20 @@ class EventEngine:
            re-times the plan and bumps the plan version so stale
            :class:`~repro.simulation.events.StopCompletion` events are
            ignored;
-        4. the dispatcher re-derives its spatial index
-           (:meth:`~repro.dispatch.base.Dispatcher.notify_network_changed`).
+        4. the dispatcher absorbs the update
+           (:meth:`~repro.dispatch.base.Dispatcher.apply_network_update`) —
+           in-process dispatchers re-derive their spatial index; the cluster
+           dispatcher additionally broadcasts the recorded
+           :class:`~repro.network.graph.EdgeMutation` batch to its worker
+           replicas under a barrier acknowledgement.
 
         Existing commitments are kept: closures can make planned arrivals
         slip past deadlines, which is reported as deadline violations — the
         honest outcome of a street closing under committed trips.
 
         Raises:
-            ConfigurationError: for dispatchers that cannot absorb live
-                network updates (cluster serving — worker processes hold
-                replica networks built at fork time).
+            ConfigurationError: for dispatchers that declare themselves
+                unable to absorb live network updates.
             DispatchError: on a drained engine.
         """
         self.start()
@@ -330,11 +333,15 @@ class EventEngine:
         if not self.dispatcher.supports_network_updates:
             raise ConfigurationError(
                 f"dispatcher {self.dispatcher.name!r} cannot apply live network "
-                "updates (its distance state lives in worker processes); use an "
-                "in-process dispatcher for disruption scenarios"
+                "updates; use a dispatcher that supports disruption scenarios"
             )
         self._record_completions(self.fleet.advance_all(self.clock))
-        mutate(self.instance.network)
+        network = self.instance.network
+        network.begin_mutation_capture()
+        try:
+            mutate(network)
+        finally:
+            mutations = network.end_mutation_capture()
         self.instance.oracle.refresh_topology()
         for worker_id in sorted(self.fleet.states):
             state = self.fleet.peek_state(worker_id)
@@ -349,7 +356,7 @@ class EventEngine:
                     stops=list(route.stops),
                 )
             )
-        self.dispatcher.notify_network_changed()
+        self.dispatcher.apply_network_update(mutations, self.clock)
         self._post_dispatcher()
 
     def set_worker_online(self, worker_id: int, online: bool) -> None:

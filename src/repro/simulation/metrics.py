@@ -108,6 +108,8 @@ class SimulationResult:
             "cluster_worker_restarts",
             "cluster_retries",
             "cluster_degraded_dispatches",
+            "cluster_network_updates",
+            "cluster_update_ack_retries",
         ):
             if key in self.extra:
                 row[key] = self.extra[key]

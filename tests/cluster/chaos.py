@@ -22,6 +22,17 @@ Fault kinds:
   fault point (the retry/backoff path, never lethal below the retry budget);
 * ``delay`` — make the worker sleep ``seconds`` before replying to its
   ``at_command``-th received command (the ``dispatch_timeout`` path).
+
+Faults can alternatively anchor to **network-update ordinals**
+(``at_update`` + ``window``): a kill fires immediately before the shard's
+``at_update``-th :class:`~repro.cluster.messages.NetworkUpdateCommand` is
+sent (``window="before"``), right after it crossed the pipe but before its
+barrier acknowledgement (``"during"``), or before the first command that
+follows the acknowledged update (``"after"``) — the three positions a crash
+can take relative to a live topology mutation. :func:`closure_plan` builds a
+deterministic timed close→reopen plan over connectivity-safe edges, and
+:func:`run_chaos` drives it through the service exactly like the scenario
+runner drives disruption programs.
 """
 
 from __future__ import annotations
@@ -30,9 +41,11 @@ import os
 import signal
 from dataclasses import dataclass, field
 
+from repro.cluster.messages import NetworkUpdateCommand
 from repro.cluster.recovery import FaultInjector, TransientRPCError
 from repro.cluster.service import ClusterMatchingService
 from repro.dispatch import DispatcherConfig
+from repro.network.graph import connected_components
 from repro.utils.rng import derive_spawned_seed, make_rng
 from repro.workloads.scenarios import ScenarioConfig, build_instance
 
@@ -46,7 +59,16 @@ DEFAULT_SHARDS = 4
 
 @dataclass(frozen=True)
 class Fault:
-    """One deterministic fault, anchored to a shard + command ordinal."""
+    """One deterministic fault, anchored to a shard + command ordinal.
+
+    When ``at_update`` is set, the fault anchors to the shard's per-shard
+    network-update ordinal instead of ``at_command``: ``window`` places the
+    kill ``"before"`` the update command is sent, ``"during"`` the barrier
+    round-trip (sent, acknowledgement lost), or ``"after"`` the update is
+    acknowledged (the kill fires before the shard's next command of any
+    kind). Update-anchored faults are kills — the windows are defined by
+    the broadcast protocol, not the retry loop.
+    """
 
     kind: str  #: ``kill`` | ``transient_send`` | ``transient_recv`` | ``delay``
     shard: int
@@ -54,6 +76,8 @@ class Fault:
     phase: str = "before_send"  #: kill faults: ``before_send`` | ``after_send``
     count: int = 1  #: transient faults: times the error is raised
     seconds: float = 0.0  #: delay faults: worker-side reply delay
+    at_update: int | None = None  #: anchor to the Nth NetworkUpdateCommand
+    window: str = "during"  #: update faults: ``before`` | ``during`` | ``after``
 
 
 class ChaosInjector(FaultInjector):
@@ -64,6 +88,9 @@ class ChaosInjector(FaultInjector):
         self.fired: list[tuple[str, int, int]] = []
         self._once: set[int] = set()
         self._budget: dict[int, int] = {}
+        #: per-shard count of NetworkUpdateCommands successfully sent —
+        #: the anchor stream for ``at_update`` faults.
+        self._updates_seen: dict[int, int] = {}
 
     # ------------------------------------------------------------------ hooks
 
@@ -75,8 +102,34 @@ class ChaosInjector(FaultInjector):
         )
 
     def before_send(self, handle, command, ordinal: int, attempt: int) -> None:
+        seen = self._updates_seen.get(handle.shard_id, 0)
         for fault in self.faults:
-            if fault.shard != handle.shard_id or fault.at_command != ordinal:
+            if fault.shard != handle.shard_id:
+                continue
+            if fault.at_update is not None:
+                if fault.kind != "kill" or attempt != 0:
+                    continue
+                if (
+                    fault.window == "before"
+                    and isinstance(command, NetworkUpdateCommand)
+                    and seen == fault.at_update
+                    and self._fire_once(fault)
+                ):
+                    self.fired.append(
+                        ("kill_before_update", handle.shard_id, fault.at_update)
+                    )
+                    self._kill(handle)
+                elif (
+                    fault.window == "after"
+                    and seen == fault.at_update + 1
+                    and self._fire_once(fault)
+                ):
+                    self.fired.append(
+                        ("kill_after_update", handle.shard_id, fault.at_update)
+                    )
+                    self._kill(handle)
+                continue
+            if fault.at_command != ordinal:
                 continue
             if fault.kind == "kill" and fault.phase == "before_send":
                 if attempt == 0 and self._fire_once(fault):
@@ -89,16 +142,33 @@ class ChaosInjector(FaultInjector):
                 )
 
     def after_send(self, handle, command, ordinal: int) -> None:
+        seen = self._updates_seen.get(handle.shard_id, 0)
         for fault in self.faults:
+            if fault.shard != handle.shard_id:
+                continue
+            if fault.at_update is not None:
+                if (
+                    fault.kind == "kill"
+                    and fault.window == "during"
+                    and isinstance(command, NetworkUpdateCommand)
+                    and seen == fault.at_update
+                    and self._fire_once(fault)
+                ):
+                    self.fired.append(
+                        ("kill_during_update", handle.shard_id, fault.at_update)
+                    )
+                    self._kill(handle)
+                continue
             if (
                 fault.kind == "kill"
                 and fault.phase == "after_send"
-                and fault.shard == handle.shard_id
                 and fault.at_command == ordinal
                 and self._fire_once(fault)
             ):
                 self.fired.append(("kill_after_send", handle.shard_id, ordinal))
                 self._kill(handle)
+        if isinstance(command, NetworkUpdateCommand):
+            self._updates_seen[handle.shard_id] = seen + 1
 
     def before_recv(self, handle) -> None:
         for fault in self.faults:
@@ -166,6 +236,72 @@ def seeded_faults(
     return faults
 
 
+@dataclass(frozen=True)
+class UpdateAction:
+    """One timed live network mutation driven through the service."""
+
+    time: float
+    kind: str  #: ``close`` | ``reopen``
+    u: int
+    v: int
+    length: float = 0.0
+    speed: float = 10.0
+    road_class: str = "residential"
+
+    def apply(self, network) -> None:
+        if self.kind == "close":
+            network.remove_edge(self.u, self.v)
+        else:
+            network.add_edge(
+                self.u, self.v, length=self.length, speed=self.speed,
+                road_class=self.road_class,
+            )
+
+
+def closure_plan(
+    instance,
+    *,
+    closures: int = 1,
+    close_fraction: float = 0.35,
+    reopen_fraction: float = 0.65,
+) -> tuple[UpdateAction, ...]:
+    """A deterministic timed close→reopen plan over connectivity-safe edges.
+
+    Edges are picked in iteration order, skipping any whose removal would
+    disconnect the network; the closure lands at the release time of the
+    request ``close_fraction`` of the way through the workload and reopens
+    at ``reopen_fraction``, so kills anchored before/during/after the update
+    window land inside live traffic.
+    """
+    network = instance.network
+    releases = sorted(request.release_time for request in instance.requests)
+    t_close = releases[int(len(releases) * close_fraction)]
+    t_reopen = releases[int(len(releases) * reopen_fraction)]
+    picked = []
+    for edge in list(network.edges()):
+        if len(picked) >= closures:
+            break
+        removed = network.remove_edge(edge.u, edge.v)
+        keep = connected_components(network).count == 1
+        network.add_edge(
+            removed.u, removed.v, length=removed.length, speed=removed.speed,
+            road_class=removed.road_class,
+        )
+        if keep:
+            picked.append(removed)
+    actions = []
+    for edge in picked:
+        actions.append(UpdateAction(
+            t_close, "close", edge.u, edge.v, edge.length, edge.speed,
+            edge.road_class,
+        ))
+        actions.append(UpdateAction(
+            t_reopen, "reopen", edge.u, edge.v, edge.length, edge.speed,
+            edge.road_class,
+        ))
+    return tuple(sorted(actions, key=lambda action: action.time))
+
+
 @dataclass
 class ChaosRun:
     """Everything a gate needs from one chaos replay."""
@@ -180,6 +316,9 @@ class ChaosRun:
     degraded_dispatches: int
     shard_health: tuple[str, ...]
     orphans: list = field(default_factory=list)
+    network_updates: int = 0
+    update_ack_retries: int = 0
+    replica_rebuilds: tuple[int, ...] = ()
 
 
 def result_fingerprint(result) -> dict:
@@ -206,18 +345,26 @@ def run_chaos(
     max_restarts: int = 2,
     restart_delay_s: float = 0.0,
     instance=None,
+    updates: tuple = (),
 ) -> ChaosRun:
     """Replay the chaos scenario through a cluster session with ``faults``.
 
     ``retry_backoff_s`` defaults to 0 so injected transient faults retry
     without real sleeps (jitter × 0 = 0); the retry *path* is identical.
+
+    ``updates`` is an optional timed :class:`UpdateAction` plan (see
+    :func:`closure_plan`); when present the replay interleaves submissions
+    with ``advance_to`` + ``apply_network_update`` exactly the way the
+    scenario runner drives disruption programs.
     """
     config_kwargs = {"grid_cell_metres": scenario.grid_km * 1000.0}
     if batch_interval is not None:
         config_kwargs["batch_interval"] = batch_interval
     injector = ChaosInjector(faults) if faults else None
+    if instance is None:
+        instance = build_instance(scenario)
     service = ClusterMatchingService.build(
-        instance if instance is not None else build_instance(scenario),
+        instance,
         inner=inner,
         num_shards=num_shards,
         config=DispatcherConfig(**config_kwargs),
@@ -231,7 +378,27 @@ def run_chaos(
     )
     dispatcher = service.dispatcher
     with service:
-        result = service.replay()
+        if updates:
+            timeline = sorted(updates, key=lambda action: action.time)
+            cursor = 0
+            for request in instance.requests:
+                while (
+                    cursor < len(timeline)
+                    and timeline[cursor].time <= request.release_time
+                ):
+                    action = timeline[cursor]
+                    service.advance_to(action.time)
+                    service.apply_network_update(action.apply)
+                    cursor += 1
+                service.submit(request)
+            while cursor < len(timeline):
+                action = timeline[cursor]
+                service.advance_to(action.time)
+                service.apply_network_update(action.apply)
+                cursor += 1
+            result = service.drain()
+        else:
+            result = service.replay()
     return ChaosRun(
         result=result,
         fingerprint=result_fingerprint(result),
@@ -243,6 +410,11 @@ def run_chaos(
         degraded_dispatches=dispatcher.degraded_dispatches,
         shard_health=dispatcher.shard_health(),
         orphans=dispatcher.child_processes(),
+        network_updates=dispatcher.network_updates_applied,
+        update_ack_retries=dispatcher.update_ack_retries,
+        replica_rebuilds=tuple(
+            handle.replica_rebuilds for handle in dispatcher._handles
+        ),
     )
 
 
@@ -252,6 +424,8 @@ __all__ = [
     "DEFAULT_SCENARIO",
     "DEFAULT_SHARDS",
     "Fault",
+    "UpdateAction",
+    "closure_plan",
     "result_fingerprint",
     "run_chaos",
     "seeded_faults",

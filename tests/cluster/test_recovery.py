@@ -365,3 +365,60 @@ def test_chaos_injector_delay_plan_reaches_workers():
     injector = ChaosInjector([Fault("delay", shard=2, at_command=5, seconds=0.25)])
     assert injector.delays_for(2) == ((5, 0.25),)
     assert injector.delays_for(0) == ()
+
+
+def test_shard_oracle_warm_starts_from_artifact_store_after_refresh(tmp_path):
+    from repro.cluster.worker import make_shard_oracle
+    from repro.network.generators import grid_city
+    from repro.network.graph import connected_components
+    from repro.network.oracle import DistanceOracle
+
+    scenario = DEFAULT_SCENARIO
+    network = grid_city(rows=6, columns=6, block_metres=200.0,
+                        removed_block_fraction=0.0, seed=7)
+    oracle = DistanceOracle(network, backend="ch", artifact_dir=tmp_path)
+    instance = build_instance(scenario, network=network, oracle=oracle)
+
+    config = DispatcherConfig(
+        grid_cell_metres=scenario.grid_km * 1000.0, shard_oracle_backend="ch"
+    )
+    shard_oracle = make_shard_oracle(instance, config, num_shards=2)
+    # shard-local oracles inherit the instance oracle's artifact store
+    assert shard_oracle.artifact_store is not None
+    assert shard_oracle.artifact_store.root == oracle.artifact_store.root
+
+    # close an edge the way a worker replays an update: the authoritative
+    # oracle refreshes (and saves) first, then the shard-local one — which
+    # must warm-start from the store instead of rebuilding
+    edge = None
+    for candidate in list(network.edges()):
+        removed = network.remove_edge(candidate.u, candidate.v)
+        safe = connected_components(network).count == 1
+        network.add_edge(removed.u, removed.v, length=removed.length,
+                         speed=removed.speed, road_class=removed.road_class)
+        if safe:
+            edge = removed
+            break
+    assert edge is not None
+    network.remove_edge(edge.u, edge.v)
+    oracle.refresh_topology()
+    assert oracle.artifact_loaded is False  # fresh build, now persisted
+    shard_oracle.refresh_topology()
+    assert shard_oracle.artifact_loaded is True
+
+    # warm-started answers are bitwise-identical to a cold build
+    fresh = DistanceOracle(network, backend="ch")
+    vertices = sorted(network.vertices())
+    for source in vertices[:4]:
+        for target in vertices[-4:]:
+            assert shard_oracle.distance(source, target) == fresh.distance(
+                source, target
+            )
+
+    # reopen round-trip: both oracles warm-start the original topology
+    network.add_edge(edge.u, edge.v, length=edge.length, speed=edge.speed,
+                     road_class=edge.road_class)
+    oracle.refresh_topology()
+    shard_oracle.refresh_topology()
+    assert oracle.artifact_loaded is True
+    assert shard_oracle.artifact_loaded is True

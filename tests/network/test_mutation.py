@@ -132,6 +132,28 @@ class TestArtifactStoreAfterMutation:
         # reopening restores the original topology: its artifact is cached
         assert oracle.artifact_loaded is True
 
+    def test_warm_start_bitwise_equal_to_fresh_build(self, network, tmp_path):
+        # first oracle builds + saves both topologies (close, then reopen)
+        oracle = DistanceOracle(network, backend="ch", artifact_dir=tmp_path)
+        edge = _some_edge(network)
+        network.remove_edge(edge.u, edge.v)
+        oracle.refresh_topology()
+        network.add_edge(edge.u, edge.v, length=edge.length, speed=edge.speed,
+                         road_class=edge.road_class)
+        oracle.refresh_topology()
+        assert oracle.artifact_loaded is True
+
+        # a second oracle over the closed topology warm-starts from the
+        # store and answers bitwise-identically to a cold build
+        network.remove_edge(edge.u, edge.v)
+        warm = DistanceOracle(network, backend="ch", artifact_dir=tmp_path)
+        assert warm.artifact_loaded is True
+        fresh = DistanceOracle(network, backend="ch")
+        vertices = sorted(network.vertices())
+        for source in vertices[:4]:
+            for target in vertices[-4:]:
+                assert warm.distance(source, target) == fresh.distance(source, target)
+
     def test_mutated_artifacts_coexist_in_store(self, network, tmp_path):
         oracle = DistanceOracle(network, backend="apsp", artifact_dir=tmp_path)
         first_hash = oracle.content_hash

@@ -1,9 +1,11 @@
 """Tests for running scenario programs through the serving code path."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.dispatch.registry import DispatcherSpec
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, UnsupportedNetworkUpdateError
 from repro.scenarios import (
     NetworkDisruption,
     ScenarioProgram,
@@ -65,13 +67,6 @@ class TestDisruptionRuns:
         assert first.total_travel_cost == second.total_travel_cost
         assert first.served_requests == second.served_requests
 
-    def test_cluster_spec_rejected(self, config):
-        cluster_spec = PlatformSpec(
-            scenario=config, dispatcher=DispatcherSpec.parse("cluster:pruneGreedyDP")
-        )
-        with pytest.raises(ConfigurationError, match="cluster"):
-            run_program(cluster_spec, get_preset("street-closures"))
-
     def test_legacy_engine_rejected(self, config):
         legacy_spec = PlatformSpec(scenario=config, engine="legacy")
         with pytest.raises(ConfigurationError, match="legacy"):
@@ -107,3 +102,43 @@ class TestClusterRuns:
         assert outcome.result.total_requests == 40
         assert len(outcome.compiled.instance.workers) == 100
         assert outcome.result.served_requests > 0
+
+    def test_street_closures_on_cluster_bit_identical_to_sharded(self, config):
+        program = get_preset("street-closures")
+        sharded_spec = PlatformSpec(
+            scenario=config,
+            dispatcher=replace(
+                DispatcherSpec.parse("sharded:pruneGreedyDP"), num_shards=4
+            ),
+        )
+        cluster_spec = PlatformSpec(
+            scenario=config,
+            dispatcher=replace(
+                DispatcherSpec.parse("cluster:pruneGreedyDP"), num_shards=4
+            ),
+        )
+        sharded = run_program(sharded_spec, program).result
+        cluster_outcome = run_program(cluster_spec, program)
+        cluster = cluster_outcome.result
+        # the PR 6 contract extends to disruption programs: bit-identical at
+        # K>1 on served metrics (distance_queries differ by design — replicas
+        # duplicate oracle work)
+        assert cluster.served_requests == sharded.served_requests
+        assert cluster.rejected_requests == sharded.rejected_requests
+        assert cluster.unified_cost == sharded.unified_cost
+        assert cluster.mean_wait_seconds == sharded.mean_wait_seconds
+        assert cluster.mean_detour_ratio == sharded.mean_detour_ratio
+        # the broadcast telemetry counts one update per timed action
+        timeline = len(cluster_outcome.compiled.timeline)
+        assert cluster.extra["cluster_network_updates"] == float(timeline)
+
+    def test_bare_notify_raises_typed_error(self, config):
+        cluster_spec = PlatformSpec(
+            scenario=config,
+            dispatcher=DispatcherSpec.parse("cluster:pruneGreedyDP"),
+        )
+        from repro.service.facade import MatchingService
+
+        with MatchingService.from_spec(cluster_spec) as service:
+            with pytest.raises(UnsupportedNetworkUpdateError):
+                service.dispatcher.notify_network_changed()

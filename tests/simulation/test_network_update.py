@@ -67,6 +67,38 @@ class TestMidRunClosure:
         assert result.total_requests == len(requests)
         assert result.served_requests + result.rejected_requests == len(requests)
 
+    def test_cluster_close_and_reopen_mid_run(self, config):
+        spec = PlatformSpec(scenario=config,
+                            dispatcher=DispatcherSpec.parse("cluster:pruneGreedyDP"))
+        with MatchingService.from_spec(spec) as service:
+            requests = service.instance.requests
+            midpoint = len(requests) // 2
+            for request in requests[:midpoint]:
+                service.submit(request)
+
+            network = service.instance.network
+            edge = _busy_edge(service) or next(iter(network.edges()))
+            removed = service.close_edge(edge.u, edge.v)
+            assert not network.has_edge(edge.u, edge.v)
+
+            for request in requests[midpoint:midpoint + 5]:
+                service.submit(request)
+            service.reopen_edge(removed)
+            assert network.has_edge(edge.u, edge.v)
+
+            for request in requests[midpoint + 5:]:
+                service.submit(request)
+
+            snapshot = service.snapshot()
+            assert snapshot.network_updates_applied == 2
+            # every shard replica acknowledged both topology rebuilds
+            assert snapshot.shard_replica_rebuilds
+            assert all(count == 2 for count in snapshot.shard_replica_rebuilds)
+
+            result = service.drain()
+            assert result.total_requests == len(requests)
+            assert result.served_requests + result.rejected_requests == len(requests)
+
     def test_closure_forces_rederivation(self, config):
         plain = _service(config).replay()
 
@@ -128,21 +160,6 @@ class TestRefusalPaths:
         edge = next(iter(service.instance.network.edges()))
         with pytest.raises(ConfigurationError, match="legacy"):
             service.close_edge(edge.u, edge.v)
-
-    def test_cluster_dispatcher_refuses_before_mutating(self, config):
-        spec = PlatformSpec(scenario=config,
-                            dispatcher=DispatcherSpec.parse("cluster:pruneGreedyDP"))
-        service = MatchingService.from_spec(spec)
-        try:
-            network = service.instance.network
-            edge = next(iter(network.edges()))
-            edges_before = network.num_edges
-            with pytest.raises(ConfigurationError, match="cluster"):
-                service.close_edge(edge.u, edge.v)
-            # the gate fires BEFORE the mutation: nothing was removed
-            assert network.num_edges == edges_before
-        finally:
-            service.close()
 
     def test_drained_engine_refuses(self, config):
         service = _service(config)
